@@ -1,0 +1,69 @@
+"""Ablation study: which EVAX ingredient buys what.
+
+DESIGN.md calls out three design choices layered on the PerSpectron-style
+baseline: (1) the widened feature space with GAN-engineered security HPCs,
+(2) AM-GAN sample augmentation, (3) adversarial-direction hardening.  This
+benchmark removes them one at a time and measures the two metrics they
+exist for: robustness to feasible adversarial evasion (Figure 18's
+setting) and held-out detection quality.
+"""
+
+import numpy as np
+
+from conftest import print_table
+
+from repro.core import dilute_toward_benign, MAX_FEASIBLE_STRENGTH, vaccinate
+
+
+def _aml_accuracy(detector, corpus):
+    """Detection accuracy on maximally-evaded attack windows."""
+    raw = corpus.raw_matrix(detector.schema)
+    y = corpus.labels()
+    X = detector.normalizer.transform(raw)
+    benign_mean = X[y == 0].mean(axis=0)
+    evaded = dilute_toward_benign(X[y == 1], benign_mean,
+                                  MAX_FEASIBLE_STRENGTH, detector.schema)
+    preds = (detector.net.predict(evaded)[:, 0] >=
+             detector.threshold).astype(int)
+    return float(preds.mean())
+
+
+def _heldout_quality(detector, heldout):
+    m = detector.evaluate(heldout.raw_matrix(detector.schema),
+                          heldout.labels())
+    return m["accuracy"], m["fp_rate"] + m["fn_rate"]
+
+
+def test_ablation_of_evax_ingredients(benchmark, corpus, heldout_corpus):
+    def run_all():
+        variants = {
+            "full EVAX": dict(),
+            "- engineered HPCs": dict(engineer_features=False),
+            "- GAN samples": dict(samples_per_class=0),
+            "- adversarial hardening": dict(adversarial_hardening=False),
+        }
+        results = {}
+        for name, overrides in variants.items():
+            res = vaccinate(corpus, gan_iterations=800, seed=0,
+                            style_tracking=False, **overrides)
+            aml = _aml_accuracy(res.detector, corpus)
+            acc, err = _heldout_quality(res.detector, heldout_corpus)
+            results[name] = (aml, acc, err)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation — contribution of each EVAX ingredient",
+        ["variant", "AML accuracy", "held-out accuracy", "held-out err"],
+        [(name, f"{aml:.3f}", f"{acc:.4f}", f"{err:.4f}")
+         for name, (aml, acc, err) in results.items()])
+
+    full_aml = results["full EVAX"][0]
+    # adversarial hardening is what buys AML robustness
+    assert full_aml > results["- adversarial hardening"][0] + 0.3
+    # every variant still detects unperturbed attacks well
+    for name, (_, acc, _) in results.items():
+        assert acc > 0.95, name
+    # the full pipeline is not worse than any ablation on held-out error
+    full_err = results["full EVAX"][2]
+    assert full_err <= min(err for _, _, err in results.values()) + 0.01

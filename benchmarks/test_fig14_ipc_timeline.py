@@ -1,0 +1,50 @@
+"""Figure 14: IPC of the adaptive architecture vs always-on defenses.
+
+The paper plots IPC over benign execution regions: EVAX-gated defenses
+keep IPC near the unprotected baseline while always-on InvisiSpec (and
+even more so Fencing) depress it everywhere.
+"""
+
+from conftest import print_table
+
+from repro.core import AdaptiveArchitecture
+from repro.defenses import run_workload
+from repro.sim import SimConfig
+from repro.sim.config import DefenseMode
+
+
+def test_fig14_adaptive_ipc_vs_always_on(benchmark, evax, bench_workloads):
+    arch = AdaptiveArchitecture(evax.detector,
+                                secure_mode=DefenseMode.FENCE_SPECTRE,
+                                secure_window=10_000, sample_period=100)
+
+    def measure():
+        rows = []
+        for w in bench_workloads:
+            base = run_workload(w, SimConfig())
+            invisi = run_workload(
+                w, SimConfig(defense=DefenseMode.INVISISPEC_SPECTRE))
+            fence = run_workload(
+                w, SimConfig(defense=DefenseMode.FENCE_SPECTRE))
+            adaptive = arch.run_source(w)
+            rows.append((w.name, base.ipc, adaptive.result.ipc,
+                         invisi.ipc, fence.ipc))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table("Figure 14 — IPC: baseline vs EVAX-adaptive vs always-on",
+                ["workload", "baseline", "EVAX-adaptive", "InvisiSpec",
+                 "Fence"],
+                [(n, f"{b:.2f}", f"{a:.2f}", f"{i:.2f}", f"{f:.2f}")
+                 for n, b, a, i, f in rows])
+
+    # EVAX keeps IPC at/near baseline; always-on defenses depress it
+    n = len(rows)
+    mean = lambda xs: sum(xs) / len(xs)
+    base_ipc = mean([r[1] for r in rows])
+    adaptive_ipc = mean([r[2] for r in rows])
+    invisi_ipc = mean([r[3] for r in rows])
+    fence_ipc = mean([r[4] for r in rows])
+    assert adaptive_ipc > 0.97 * base_ipc
+    assert adaptive_ipc > invisi_ipc
+    assert invisi_ipc > fence_ipc

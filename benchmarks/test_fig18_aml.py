@@ -1,0 +1,87 @@
+"""Figure 18: filling the adversarial space — accuracy under adversarial
+ML evasion.
+
+The attacker (with white-box access to a similar detector, per the threat
+model) perturbs attack windows toward the benign distribution as far as
+the attack's mechanism allows: essential events (traps, flushes, assists,
+activations, timing reads) can be *diluted* across windows only by a
+bounded factor before the transient window (ROB-bounded) closes and the
+attack disables itself.  The paper reports fuzz-hardened PerSpectron
+plateauing near 78% while EVAX reaches 93%, at which point evasion
+attempts disable the attack.
+"""
+
+import numpy as np
+
+from conftest import SAMPLE_PERIOD, print_table
+
+from repro.attacks import Transynther
+from repro.core import HardwareDetector, perspectron_schema
+from repro.data import build_dataset
+from repro.workloads import all_workloads
+
+from repro.core.adversarial import (
+    MAX_FEASIBLE_STRENGTH, dilute_toward_benign,
+)
+
+
+def _adversarial_variants(X_attack, benign_mean, strengths, schema):
+    """The attacker's best feasible camouflage at each strength."""
+    return {s: dilute_toward_benign(X_attack, benign_mean, s, schema)
+            for s in strengths}
+
+
+def _accuracy_under_attack(detector, corpus, strengths):
+    raw = corpus.raw_matrix(detector.schema)
+    y = corpus.labels()
+    X = detector.normalizer.transform(raw)
+    benign_mean = X[y == 0].mean(axis=0)
+    attacks = X[y == 1]
+    accs = {}
+    for s, variants in _adversarial_variants(attacks, benign_mean, strengths,
+                                             detector.schema).items():
+        preds = (detector.net.predict(variants)[:, 0] >=
+                 detector.threshold).astype(int)
+        accs[s] = float(preds.mean())
+    return accs
+
+
+def test_fig18_adversarial_ml_accuracy(benchmark, corpus, evax, perspectron):
+    # strengths beyond ~0.5 exceed the ROB-bounded dilution budget and
+    # disable the attack (the paper's "further attempts to evade disable
+    # the attack"), so 0.5 is the attacker's best feasible evasion
+    strengths = (0.0, 0.25, MAX_FEASIBLE_STRENGTH)
+
+    def measure():
+        # the fuzz-hardened baseline: PerSpectron retrained with
+        # tool-generated attacks added to the corpus
+        fuzzed = Transynther(seed=31).generate(6)
+        fuzz_corpus = build_dataset(fuzzed, all_workloads(scale=3, seeds=(8,)),
+                                    sample_period=SAMPLE_PERIOD)
+        merged = type(corpus)(sample_period=corpus.sample_period)
+        merged.records = corpus.records + fuzz_corpus.records
+        hardened = HardwareDetector(perspectron_schema(), seed=1,
+                                    name="p.fuzzer")
+        hardened.fit(merged.raw_matrix(hardened.schema), merged.labels(),
+                     epochs=40)
+        return {
+            "PerSpectron": _accuracy_under_attack(perspectron, corpus,
+                                                  strengths),
+            "P.Fuzzer": _accuracy_under_attack(hardened, corpus, strengths),
+            "EVAX": _accuracy_under_attack(evax.detector, corpus, strengths),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Figure 18 — detection accuracy vs adversarial evasion strength",
+        ["detector"] + [f"strength {s}" for s in strengths],
+        [(name, *(f"{accs[s]:.3f}" for s in strengths))
+         for name, accs in results.items()])
+
+    # at the strongest feasible evasion, EVAX holds high accuracy while
+    # the classically- and fuzz-trained baselines collapse — the
+    # adversarial space has been filled
+    full = {name: accs[strengths[-1]] for name, accs in results.items()}
+    assert full["EVAX"] > full["PerSpectron"] + 0.1
+    assert full["EVAX"] > full["P.Fuzzer"] + 0.1
+    assert full["EVAX"] > 0.85

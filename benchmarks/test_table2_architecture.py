@@ -1,0 +1,22 @@
+"""Table II: parameters of the simulated architecture."""
+
+from repro.sim import SimConfig
+
+
+def test_table2_simulated_architecture(benchmark):
+    config = benchmark.pedantic(SimConfig, rounds=1, iterations=1)
+    print("\n=== Table II — parameters of simulated architecture ===")
+    print(config.pretty())
+
+    # the values the paper fixes
+    assert config.rob_entries == 192
+    assert config.lq_entries == 32 and config.sq_entries == 32
+    assert config.fetch_width == 8 and config.commit_width == 8
+    assert config.btb_entries == 4096
+    assert config.ras_entries == 16
+    assert config.l1i_size == 32 * 1024 and config.l1i_assoc == 4
+    assert config.l1d_size == 64 * 1024 and config.l1d_assoc == 8
+    assert config.l2_size == 2 * 1024 * 1024 and config.l2_assoc == 8
+    assert config.l2_latency == 20
+    assert config.l1d_mshrs == 20 and config.l1d_write_buffers == 8
+    assert config.line_bytes == 64

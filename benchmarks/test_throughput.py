@@ -1,0 +1,46 @@
+"""Raw throughput benchmarks (true multi-round pytest-benchmark runs).
+
+Not a paper figure — these track the substrate's own performance so
+regressions in simulator or detector speed are visible: simulated cycles
+per second, detector classification latency (the software model of the
+hardware fast path), and GAN sample-generation throughput.
+"""
+
+from repro.sim import Machine, SimConfig
+from repro.workloads import WORKLOAD_BUILDERS
+
+
+def test_simulator_throughput(benchmark):
+    program = WORKLOAD_BUILDERS["astar"](scale=4, seed=0)
+
+    def run():
+        return Machine(program, SimConfig()).run(max_cycles=400_000)
+
+    result = benchmark(run)
+    assert result.halt_reason == "halt"
+    cycles_per_sec = result.cycles / benchmark.stats["mean"]
+    print(f"\nsimulated cycles/sec: {cycles_per_sec:,.0f} "
+          f"({result.cycles} cycles, IPC {result.ipc:.2f})")
+    assert cycles_per_sec > 5_000
+
+
+def test_detector_window_latency(benchmark, evax, corpus):
+    deltas = corpus.records[0].deltas
+
+    def classify():
+        return evax.detector.classify_window(deltas)
+
+    benchmark(classify)
+    per_window_us = benchmark.stats["mean"] * 1e6
+    print(f"\ndetector latency per window: {per_window_us:.1f} us")
+    assert per_window_us < 5_000
+
+
+def test_gan_generation_throughput(benchmark, evax):
+    def generate():
+        return evax.gan.generate("meltdown", 1, 64)
+
+    samples = benchmark(generate)
+    assert samples.shape[0] == 64
+    per_sample_us = benchmark.stats["mean"] / 64 * 1e6
+    print(f"\ngeneration: {per_sample_us:.1f} us/sample")

@@ -1,0 +1,43 @@
+"""Section VIII-C: zero-day true-positive rates for named attacks.
+
+The paper reports, with each attack held out of training entirely:
+RDRND 95% TPR, FlushConflict 97% (vs 63% for PerSpectron), Medusa 98%
+(vs 38%), DRAMA 99% — and that MicroScope / Leaky Buddies / SMotherSpectre
+evade zero-day detection but are caught once added to training.
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    leave_one_attack_out, train_perspectron, vaccinate,
+)
+
+NAMED = ("rdrnd", "flushconflict", "medusa-cache", "drama")
+
+
+def test_zero_day_named_attack_tprs(benchmark, corpus):
+    def measure():
+        evax_folds = leave_one_attack_out(
+            corpus, lambda ds: vaccinate(ds, gan_iterations=800,
+                                         seed=0).detector,
+            categories=NAMED)
+        pers_folds = leave_one_attack_out(
+            corpus, lambda ds: train_perspectron(ds, epochs=30),
+            categories=NAMED)
+        return evax_folds, pers_folds
+
+    evax_folds, pers_folds = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    rows = [(cat, f"{evax_folds[cat].tpr:.2f}", f"{pers_folds[cat].tpr:.2f}")
+            for cat in NAMED]
+    print_table("Zero-day TPR on held-out named attacks",
+                ["attack", "EVAX TPR", "PerSpectron TPR"], rows)
+
+    mean_evax = sum(evax_folds[c].tpr for c in NAMED) / len(NAMED)
+    mean_pers = sum(pers_folds[c].tpr for c in NAMED) / len(NAMED)
+    # EVAX generalizes to these never-seen attacks
+    assert mean_evax >= mean_pers - 0.02
+    assert mean_evax > 0.85
+    # each named attack is substantially detected by EVAX
+    for cat in NAMED:
+        assert evax_folds[cat].tpr > 0.6, cat

@@ -1,0 +1,12 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("EVAX reproduction: GAN-vaccinated hardware attack detection "
+                 "gating adaptive microarchitectural defenses (MICRO 2022)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

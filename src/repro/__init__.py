@@ -1,0 +1,40 @@
+"""EVAX reproduction: a pro-active, adaptive architecture for high
+performance and security (MICRO 2022), rebuilt in pure Python.
+
+Layers (bottom-up):
+
+* :mod:`repro.ml` -- from-scratch neural-network substrate (numpy)
+* :mod:`repro.sim` -- cycle-level out-of-order CPU simulator with HPCs
+* :mod:`repro.workloads` -- benign SPEC-like kernels
+* :mod:`repro.attacks` -- 19 attack categories + evasion + fuzzing tools
+* :mod:`repro.defenses` -- fencing / InvisiSpec policies + secure-mode gating
+* :mod:`repro.data` -- the 145-feature schema and labelled window datasets
+* :mod:`repro.core` -- EVAX itself: AM-GAN vaccination, security-HPC
+  engineering, hardware detectors, adaptive architecture
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.config import DefenseMode
+
+
+def quick_pipeline(attack_seeds=(1, 2), workload_scale=3, sample_period=250,
+                   gan_iterations=1200, seed=0):
+    """Build a small dataset and run the full EVAX pipeline -- the one-call
+    end-to-end demo (minutes, not hours)."""
+    from repro.attacks import ALL_ATTACKS
+    from repro.workloads import all_workloads
+    from repro.data import build_dataset
+    from repro.core import vaccinate
+
+    attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in attack_seeds]
+    workloads = all_workloads(scale=workload_scale, seeds=(0, 1))
+    dataset = build_dataset(attacks, workloads, sample_period=sample_period)
+    return vaccinate(dataset, gan_iterations=gan_iterations, seed=seed)
+
+
+__all__ = [
+    "Machine", "ProgramBuilder", "SimConfig", "DefenseMode",
+    "quick_pipeline", "__version__",
+]

@@ -1,0 +1,12 @@
+"""Reporting and summarization over trained artifacts and corpora."""
+
+from repro.analysis.report import (
+    attack_inventory, dataset_summary, detector_summary, markdown_report,
+)
+
+__all__ = [
+    "attack_inventory",
+    "dataset_summary",
+    "detector_summary",
+    "markdown_report",
+]

@@ -1,0 +1,109 @@
+"""Human-readable summaries: corpus statistics, detector quality, the
+attack inventory, and a combined markdown report.
+
+These back the CLI's reporting surface and give downstream users a
+one-call overview of what a trained system looks like.
+"""
+
+from repro.core.interpret import weight_report
+
+
+def dataset_summary(dataset):
+    """Per-category window counts and phase coverage."""
+    rows = []
+    for category in dataset.categories:
+        records = [r for r in dataset.records if r.category == category]
+        phases = sorted({r.phase for r in records})
+        rows.append({
+            "category": category,
+            "windows": len(records),
+            "label": records[0].label if records else None,
+            "phases": phases,
+        })
+    attack_n, benign_n = dataset.balance_counts()
+    return {
+        "total_windows": len(dataset),
+        "attack_windows": attack_n,
+        "benign_windows": benign_n,
+        "sample_period": dataset.sample_period,
+        "categories": rows,
+    }
+
+
+def detector_summary(detector, dataset):
+    """Quality metrics plus the hyperplane's strongest features."""
+    raw = dataset.raw_matrix(detector.schema)
+    metrics = detector.evaluate(raw, dataset.labels())
+    malicious, benign = weight_report(detector, top=6)
+    return {
+        "name": detector.name,
+        "features": detector.schema.dim,
+        "threshold": detector.threshold,
+        "metrics": metrics,
+        "top_malicious_features": malicious,
+        "top_benign_features": benign,
+        "hardware": detector.hardware_cost(),
+    }
+
+
+def attack_inventory(seeds=(3,), include_extensions=False):
+    """Run the corpus and tabulate mechanism + leak status per attack."""
+    from repro.attacks import ALL_ATTACKS, EXTENDED_ATTACKS
+
+    classes = ALL_ATTACKS + (EXTENDED_ATTACKS if include_extensions else ())
+    rows = []
+    for cls in classes:
+        for seed in seeds:
+            outcome = cls(seed=seed).run()
+            rows.append({
+                "attack": outcome.name,
+                "category": outcome.category,
+                "seed": seed,
+                "leaked": outcome.leaked,
+                "success_rate": outcome.success_rate,
+                "cycles": outcome.run.cycles,
+            })
+    return rows
+
+
+def markdown_report(dataset, detector, title="EVAX system report"):
+    """A self-contained markdown report over a corpus + trained detector."""
+    ds = dataset_summary(dataset)
+    det = detector_summary(detector, dataset)
+    lines = [f"# {title}", ""]
+    lines += [
+        "## Corpus",
+        "",
+        f"* {ds['total_windows']} windows "
+        f"({ds['attack_windows']} attack / {ds['benign_windows']} benign), "
+        f"sampled every {ds['sample_period']} instructions",
+        f"* {len(ds['categories'])} classes",
+        "",
+        "| category | windows | label |",
+        "|---|---|---|",
+    ]
+    for row in ds["categories"]:
+        lines.append(f"| {row['category']} | {row['windows']} "
+                     f"| {row['label']} |")
+    metrics = det["metrics"]
+    lines += [
+        "",
+        "## Detector",
+        "",
+        f"* `{det['name']}` over {det['features']} features, "
+        f"threshold {det['threshold']:.3f}",
+        f"* accuracy {metrics['accuracy']:.4f}, AUC {metrics['auc']:.4f}, "
+        f"FP rate {metrics['fp_rate']:.4f}, FN rate {metrics['fn_rate']:.4f}",
+        f"* hardware: {det['hardware']['weight_storage_bits']} weight bits, "
+        f"{det['hardware']['adders']} adder, "
+        f"<= {det['hardware']['estimated_transistors']} transistors",
+        "",
+        "### Strongest malicious-leaning features",
+        "",
+    ]
+    for name, weight in det["top_malicious_features"]:
+        lines.append(f"* `{name}` ({weight:+.3f})")
+    lines += ["", "### Strongest benign-leaning features", ""]
+    for name, weight in det["top_benign_features"]:
+        lines.append(f"* `{name}` ({weight:+.3f})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Microarchitectural attack corpus (19 categories, as evaluated in the
+paper) plus evasion transformations and automatic attack-generation tools.
+
+Every attack is a real exploit of the simulated microarchitecture: it
+mistrains real predictors, performs real transient loads that perturb real
+cache state, hammers real DRAM rows, and recovers secrets through real
+timing measurements.  ``Attack.run()`` verifies the channel end-to-end.
+"""
+
+from repro.attacks.base import (
+    Attack, AttackOutcome, PHASE_IDLE, PHASE_LEAK, PHASE_NAMES,
+    PHASE_RECOVER, PHASE_SETUP, default_secret_bits,
+)
+from repro.attacks.spectre import SpectreBTB, SpectrePHT, SpectreRSB, SpectreSTL
+from repro.attacks.meltdown import Meltdown
+from repro.attacks.mds import (
+    Fallout, LVI, MedusaCacheIndexing, MedusaShadowRepMov, MedusaUnaligned,
+)
+from repro.attacks.rowhammer import DRAMA, Rowhammer, TRRespass
+from repro.attacks.cache_attacks import FlushFlush, FlushReload, PrimeProbe
+from repro.attacks.other import (
+    BranchScope, FlushConflict, LeakyBuddies, Microscope, RDRNDCovert,
+    SMotherSpectre,
+)
+from repro.attacks.evasion import EvasiveAttack
+from repro.attacks.extensions import (
+    EXTENDED_ATTACKS, EvictTime, Foreshadow, Spoiler, ZombieLoad,
+)
+from repro.attacks.fuzzing import ALL_FUZZERS, Osiris, Transynther, TRRespassFuzzer
+
+#: the 19 attack categories of the paper's evaluation (Section VII)
+ALL_ATTACKS = (
+    SpectrePHT, SpectreBTB, SpectreRSB, SpectreSTL,
+    Meltdown,
+    MedusaCacheIndexing, MedusaUnaligned, MedusaShadowRepMov,
+    LVI, Fallout,
+    Rowhammer, TRRespass, DRAMA,
+    FlushReload, FlushFlush, PrimeProbe,
+    SMotherSpectre, BranchScope, Microscope, LeakyBuddies,
+    RDRNDCovert, FlushConflict,
+)
+
+ATTACKS_BY_NAME = {cls.name: cls
+                   for cls in ALL_ATTACKS + EXTENDED_ATTACKS}
+CATEGORIES = tuple(cls.category for cls in ALL_ATTACKS)
+
+__all__ = [
+    "Attack", "AttackOutcome", "EvasiveAttack",
+    "PHASE_IDLE", "PHASE_SETUP", "PHASE_LEAK", "PHASE_RECOVER", "PHASE_NAMES",
+    "default_secret_bits",
+    "ALL_ATTACKS", "ATTACKS_BY_NAME", "CATEGORIES",
+    "SpectrePHT", "SpectreBTB", "SpectreRSB", "SpectreSTL", "Meltdown",
+    "MedusaCacheIndexing", "MedusaUnaligned", "MedusaShadowRepMov",
+    "LVI", "Fallout", "Rowhammer", "TRRespass", "DRAMA",
+    "FlushReload", "FlushFlush", "PrimeProbe",
+    "SMotherSpectre", "BranchScope", "Microscope", "LeakyBuddies",
+    "RDRNDCovert", "FlushConflict",
+    "Transynther", "TRRespassFuzzer", "Osiris", "ALL_FUZZERS",
+    "EXTENDED_ATTACKS", "EvictTime", "ZombieLoad", "Foreshadow", "Spoiler",
+]

@@ -1,0 +1,288 @@
+"""Shared scaffolding for attack programs.
+
+Every attack is a program in the simulator's micro-op ISA that genuinely
+exploits the simulated microarchitecture, plus (for cross-process channels)
+background actors sharing that microarchitecture.  Attacks follow the
+paper's phase structure — setup, leakage, recovery/transmission — marked
+with MARK micro-ops so the dataset can label and exclude phases exactly as
+the paper's cross-validation setting does.
+
+Conventions (all attacks):
+
+* secret bits live wherever the attack's threat model puts them (kernel
+  memory, victim actor state, DRAM rows...);
+* recovered bits are stored branchlessly to ``RESULT_BASE + 8*i``;
+* ``r15`` is the stack pointer; ``r14`` is reserved as the scratch zero.
+"""
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim import Machine, SimConfig
+
+# -- memory-map conventions ----------------------------------------------------
+
+PROBE_BASE = 0x20000      # transmission probe array (flush+reload lines)
+RESULT_BASE = 0x70000     # recovered bits, one word each
+STACK_BASE = 0x8000
+CHASE_A = 0x30000         # pointer-chase cells (delay chains), distinct
+CHASE_B = 0x32000         # DRAM rows so the chase misses all the way out
+CHASE_C = 0x34000
+SHARED_LINE_ONE = 0x50000   # shared lines victim actors touch
+SHARED_LINE_ZERO = 0x51000
+
+# -- attack phases (MARK ids), mirroring the paper's checkpointing ---------------
+
+PHASE_IDLE = 0
+PHASE_SETUP = 1
+PHASE_LEAK = 2
+PHASE_RECOVER = 3
+
+PHASE_NAMES = {
+    PHASE_IDLE: "idle",
+    PHASE_SETUP: "setup",
+    PHASE_LEAK: "leak",
+    PHASE_RECOVER: "recover",
+}
+
+
+@dataclass
+class AttackOutcome:
+    """Result of executing one attack instance."""
+
+    name: str
+    category: str
+    expected_bits: List[int]
+    recovered_bits: List[int]
+    run: object                      # sim RunResult
+    machine: object = None
+
+    @property
+    def success_rate(self):
+        if not self.expected_bits:
+            return 0.0
+        hits = sum(int(a == b) for a, b
+                   in zip(self.expected_bits, self.recovered_bits))
+        return hits / len(self.expected_bits)
+
+    @property
+    def balanced_accuracy(self):
+        return bits_balanced_accuracy(self.expected_bits, self.recovered_bits)
+
+    @property
+    def leaked(self):
+        """True when the channel recovered the secret reliably — judged by
+        balanced accuracy, so a trivial constant readout never counts."""
+        return self.balanced_accuracy >= 0.75 and len(self.expected_bits) > 0
+
+
+def bits_balanced_accuracy(expected, recovered):
+    """Mean of per-class recovery rates over the 0-bits and the 1-bits.
+
+    0.5 for any constant readout; 1.0 only when both classes of bits are
+    recovered.  When the secret is single-class (e.g. Rowhammer's success
+    flag), falls back to the plain hit rate.
+    """
+    pairs = list(zip(expected, recovered))
+    if not pairs:
+        return 0.0
+    rates = []
+    for cls in (0, 1):
+        cls_pairs = [(a, b) for a, b in pairs if a == cls]
+        if cls_pairs:
+            rates.append(sum(int(a == b) for a, b in cls_pairs)
+                         / len(cls_pairs))
+    return sum(rates) / len(rates)
+
+
+class Attack(abc.ABC):
+    """Base class for attack generators.
+
+    Subclasses implement :meth:`build` (program + actors) and
+    :meth:`recover` (read back the recovered secret after the run).
+    """
+
+    #: unique attack name, e.g. ``"spectre-pht"``
+    name = "attack"
+    #: category label used for GAN conditioning / cross-validation folds
+    category = "attack"
+    #: True when the attack needs more simulated time
+    slow = False
+
+    def __init__(self, secret_bits=None, seed=0):
+        if secret_bits is None:
+            secret_bits = default_secret_bits(seed)
+        self.secret_bits = list(secret_bits)
+        self.seed = seed
+
+    @abc.abstractmethod
+    def build(self):
+        """Return ``(program, actors)`` for this attack instance."""
+
+    def recover(self, machine, result):
+        """Read recovered bits from the finished machine (default: the
+        branchless result array convention)."""
+        return [machine.memory.load(RESULT_BASE + 8 * i) & 1
+                for i in range(len(self.secret_bits))]
+
+    def max_cycles(self):
+        return 400_000 if self.slow else 150_000
+
+    def run(self, config=None, sample_period=1000):
+        """Build, simulate and score this attack; returns AttackOutcome."""
+        program, actors = self.build()
+        machine = Machine(program, config if config is not None else SimConfig(),
+                          sample_period=sample_period, actors=actors)
+        result = machine.run(max_cycles=self.max_cycles())
+        recovered = self.recover(machine, result)
+        return AttackOutcome(
+            name=self.name,
+            category=self.category,
+            expected_bits=list(self.secret_bits),
+            recovered_bits=recovered,
+            run=result,
+            machine=machine,
+        )
+
+
+def default_secret_bits(seed, n=4):
+    """A deterministic, seed-dependent, roughly balanced bit pattern."""
+    state = seed * 0x9E3779B97F4A7C15 + 0x12345
+    bits = []
+    for _ in range(n):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        bits.append((state >> 33) & 1)
+    if all(b == bits[0] for b in bits):
+        bits[seed % n] ^= 1
+    return bits
+
+
+# -- builder idioms --------------------------------------------------------------
+
+
+def emit_timed_load(b, addr_reg, offset, dst_reg, tmp_reg, scratch_reg):
+    """rdtsc / load / fence / rdtsc: ``dst = cycles taken by the load``."""
+    b.rdtsc(tmp_reg)
+    b.load(scratch_reg, addr_reg, offset)
+    b.fence()
+    b.rdtsc(dst_reg)
+    b.sub(dst_reg, dst_reg, tmp_reg)
+
+
+def emit_timed_flush(b, addr_reg, offset, dst_reg, tmp_reg):
+    """Time a CLFLUSH (the Flush+Flush observable)."""
+    b.rdtsc(tmp_reg)
+    b.clflush(addr_reg, offset)
+    b.fence()
+    b.rdtsc(dst_reg)
+    b.sub(dst_reg, dst_reg, tmp_reg)
+
+
+def emit_sign_bit(b, dst_reg, value_reg):
+    """dst = 1 if value < 0 else 0 (branchless compare)."""
+    b.shr(dst_reg, value_reg, 63)
+    b.andi(dst_reg, dst_reg, 1)
+
+
+def emit_store_result(b, bit_index_reg, value_reg, addr_reg):
+    """mem[RESULT_BASE + 8*i] = value (clobbers addr_reg)."""
+    b.shl(addr_reg, bit_index_reg, 3)
+    b.addi(addr_reg, addr_reg, RESULT_BASE)
+    b.store(addr_reg, value_reg)
+
+
+def emit_probe_and_store(b, probe_reg, bit_index_reg, *, t0_reg=7, t1_reg=9,
+                         tmp_reg=10, scratch_reg=11, addr_reg=12):
+    """Time probe lines 0 and 1, recover ``t1 < t0`` branchlessly and store
+    it at ``RESULT_BASE + 8*i`` — the standard recovery tail."""
+    emit_timed_load(b, probe_reg, 0, t0_reg, tmp_reg, scratch_reg)
+    emit_timed_load(b, probe_reg, 64, t1_reg, tmp_reg, scratch_reg)
+    b.sub(tmp_reg, t1_reg, t0_reg)
+    emit_sign_bit(b, tmp_reg, tmp_reg)
+    emit_store_result(b, bit_index_reg, tmp_reg, addr_reg)
+
+
+def emit_below_threshold(b, dst_reg, time_reg, threshold):
+    """dst = 1 if time < threshold else 0 (a 'cache hit' test)."""
+    b.addi(dst_reg, time_reg, -threshold)
+    emit_sign_bit(b, dst_reg, dst_reg)
+
+
+def emit_above_threshold(b, dst_reg, time_reg, threshold, tmp_reg):
+    """dst = 1 if time > threshold else 0 (a 'contention seen' test)."""
+    b.movi(tmp_reg, threshold)
+    b.sub(dst_reg, tmp_reg, time_reg)
+    emit_sign_bit(b, dst_reg, dst_reg)
+
+
+def emit_nonzero(b, dst_reg, value_reg, tmp_reg):
+    """dst = 1 if value != 0 else 0 (value assumed non-negative)."""
+    b.movi(tmp_reg, 0)
+    b.sub(dst_reg, tmp_reg, value_reg)
+    emit_sign_bit(b, dst_reg, dst_reg)
+
+
+def emit_spin_until(b, target_cycle_reg, tmp_reg, label_prefix):
+    """Busy-wait until rdtsc >= target cycle.
+
+    Ends with a fence so code after the wait cannot issue on the wrong
+    path of the spin branch (which would perturb the state it measures).
+    """
+    b.label(f"{label_prefix}_spin")
+    b.rdtsc(tmp_reg)
+    b.blt(tmp_reg, target_cycle_reg, f"{label_prefix}_spin")
+    b.fence()
+
+
+def chase_data(b):
+    """Install the 3-deep pointer-chase cells used as slow, flushable
+    dependency chains (distinct DRAM rows)."""
+    b.data(CHASE_A, CHASE_B)
+    b.data(CHASE_B, CHASE_C)
+    b.data(CHASE_C, 8)
+
+
+def emit_flush_chase(b, tmp_reg):
+    """Flush all three chase cells (issue-ordered by surrounding fences)."""
+    for addr in (CHASE_A, CHASE_B, CHASE_C):
+        b.movi(tmp_reg, addr)
+        b.clflush(tmp_reg, 0)
+
+
+def emit_calibration(b, iterations=25):
+    """Timing-calibration preamble (real PoCs measure their hit/miss
+    thresholds before attacking): repeated flush + timed load on a
+    calibration line.  Emitted in the setup phase — its flush/rdtsc/DRAM
+    footprint is part of what the detector learns to flag before any
+    leakage happens."""
+    cal_base = 0x7E0000
+    b.mark(PHASE_SETUP)
+    b.movi(11, cal_base)
+    b.load(0, 11, 0xF80)
+    b.movi(12, 0)
+    b.movi(14, iterations)
+    b.label("calibrate")
+    b.clflush(11, 0)
+    b.fence()
+    b.rdtsc(9)
+    b.load(0, 11, 0)
+    b.fence()
+    b.rdtsc(10)
+    b.sub(10, 10, 9)
+    b.addi(12, 12, 1)
+    b.blt(12, 14, "calibrate")
+
+
+def emit_probe_init(b, probe_reg, scratch_reg):
+    """Point ``probe_reg`` at the probe array and warm its page in the
+    DTLB without touching the probed lines."""
+    b.movi(probe_reg, PROBE_BASE)
+    b.load(scratch_reg, probe_reg, 0xF80)
+
+
+def emit_flush_probe(b, probe_reg):
+    """Flush both probe lines and the DTLB-warming line."""
+    b.clflush(probe_reg, 0)
+    b.clflush(probe_reg, 64)
+    b.clflush(probe_reg, 0xF80)

@@ -1,0 +1,163 @@
+"""Classic cache side channels: Flush+Reload, Flush+Flush, Prime+Probe.
+
+A co-resident victim (background actor) touches a secret-dependent shared
+line; the attacker program observes real cache state through timing.
+"""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, SHARED_LINE_ONE,
+    SHARED_LINE_ZERO, STACK_BASE, emit_above_threshold,
+    emit_below_threshold, emit_spin_until, emit_store_result,
+    emit_timed_flush, emit_timed_load,
+)
+from repro.sim import ProgramBuilder, SimConfig
+from repro.sim.background import SecretDependentToucher
+
+_BIT_PERIOD = 2000
+
+
+def _victim(secret_bits):
+    return SecretDependentToucher(secret_bits,
+                                  addr_one=SHARED_LINE_ONE,
+                                  addr_zero=SHARED_LINE_ZERO,
+                                  bit_period=_BIT_PERIOD)
+
+
+class FlushReload(Attack):
+    """Flush the shared line, let the victim run, time the reload."""
+
+    name = "flush-reload"
+    category = "flush-reload"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(1, SHARED_LINE_ONE)
+        b.load(0, 1, 0xF80)             # warm the DTLB for the shared page
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        # flush early in window i
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 150)
+        emit_spin_until(b, 5, 6, "flush")
+        b.clflush(1, 0)
+        b.fence()
+        # reload late in the window: hit iff the victim touched the line
+        b.addi(5, 5, _BIT_PERIOD - 500)
+        emit_spin_until(b, 5, 6, "reload")
+        emit_timed_load(b, 1, 0, 8, 9, 10)
+        b.mark(PHASE_RECOVER)
+        emit_below_threshold(b, 8, 8, 30)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), [_victim(self.secret_bits)]
+
+
+class FlushFlush(Attack):
+    """Time the CLFLUSH itself: flushing a cached line is measurably
+    slower, and the attacker never performs a demand access (stealthy)."""
+
+    name = "flush-flush"
+    category = "flush-flush"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(1, SHARED_LINE_ONE)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        # clear the line at the window start
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 150)
+        emit_spin_until(b, 5, 6, "pre")
+        b.clflush(1, 0)
+        b.fence()
+        # timed flush late in the window: slow iff the victim re-cached it
+        b.addi(5, 5, _BIT_PERIOD - 500)
+        emit_spin_until(b, 5, 6, "probe")
+        emit_timed_flush(b, 1, 0, 8, 9)
+        b.mark(PHASE_RECOVER)
+        emit_above_threshold(b, 8, 8, 12, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), [_victim(self.secret_bits)]
+
+
+class PrimeProbe(Attack):
+    """Fill one L1 set with attacker lines, let the victim run, then time
+    a sweep of the set: a victim access evicted one way and the sweep sees
+    a miss."""
+
+    name = "prime-probe"
+    category = "prime-probe"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        cfg = SimConfig()
+        l1_sets = cfg.l1d_size // (cfg.l1d_assoc * cfg.line_bytes)
+        victim_set = (SHARED_LINE_ONE // cfg.line_bytes) % l1_sets
+        # attacker eviction set: assoc addresses mapping to victim_set
+        evset = [((victim_set + k * l1_sets) * cfg.line_bytes) + 0x400000
+                 for k in range(cfg.l1d_assoc)]
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        for addr in evset:              # warm DTLB pages for the ev-set
+            b.movi(2, addr)
+            b.load(0, 2, 0)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        # prime early in the window
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 150)
+        emit_spin_until(b, 5, 6, "prime")
+        for addr in evset:
+            b.movi(2, addr)
+            b.load(0, 2, 0)
+        b.fence()
+        # probe at the window end: time the whole sweep
+        b.addi(5, 5, _BIT_PERIOD - 500)
+        emit_spin_until(b, 5, 6, "probe")
+        b.rdtsc(9)
+        for addr in evset:
+            b.movi(2, addr)
+            b.load(0, 2, 0)
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        # all-hit sweep is fast (~7); a victim-evicted way adds an L2 trip
+        emit_above_threshold(b, 8, 8, 15, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        victim = SecretDependentToucher(self.secret_bits,
+                                        addr_one=SHARED_LINE_ONE,
+                                        addr_zero=SHARED_LINE_ZERO,
+                                        bit_period=_BIT_PERIOD,
+                                        period=200)
+        return b.build(), [victim]

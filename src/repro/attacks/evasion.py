@@ -1,0 +1,92 @@
+"""Manual evasion transformations (malware-community style).
+
+The paper evaluates detectors against attacks transformed with techniques
+from the malware literature: signature dilution (injecting benign work
+between attack instructions), cache-traffic camouflage, and bandwidth
+evasion (spreading the attack's events over more instructions so per-window
+HPC deltas shrink).  These are *program-level* transformations: the attack
+still leaks, but its microarchitectural footprint per sampling window is
+diluted.
+
+Instruction injection happens during the attack's ``build()`` by wrapping
+``ProgramBuilder.emit`` — label resolution still happens afterwards, so
+control flow stays intact.  Injected ops are side-effect-free for the
+attack (NOPs and prefetches of a dedicated decoy region through a
+read-only register).
+"""
+
+import random
+
+from repro.attacks.base import Attack
+from repro.sim.background import CacheToucherActor
+from repro.sim.isa import Op
+from repro.sim.program import ProgramBuilder
+
+#: decoy prefetch region (never used by any attack)
+_DECOY_BASE = 0x7F0000
+
+
+class EvasiveAttack(Attack):
+    """Wraps a base attack with evasion transformations.
+
+    Parameters
+    ----------
+    base:
+        An :class:`Attack` instance to transform.
+    nop_rate:
+        Probability of injecting a NOP after each emitted instruction
+        (signature dilution / bandwidth evasion).
+    prefetch_rate:
+        Probability of injecting a benign decoy prefetch (cache-traffic
+        camouflage).
+    camouflage_actors:
+        Number of benign cache-noise background actors to add.
+    """
+
+    def __init__(self, base, nop_rate=0.3, prefetch_rate=0.1,
+                 camouflage_actors=0, seed=0):
+        self.base = base
+        self.nop_rate = nop_rate
+        self.prefetch_rate = prefetch_rate
+        self.camouflage_actors = camouflage_actors
+        self.name = f"{base.name}-evasive"
+        self.category = base.category
+        self.slow = base.slow
+        super().__init__(secret_bits=base.secret_bits, seed=seed)
+
+    def max_cycles(self):
+        return int(self.base.max_cycles() * 2)
+
+    def build(self):
+        rng = random.Random(self.seed * 7919 + 13)
+        original_emit = ProgramBuilder.emit
+        nop_rate = self.nop_rate
+        prefetch_rate = self.prefetch_rate
+
+        def diluting_emit(builder, op, rd=None, rs1=None, rs2=None, imm=0,
+                          target=None):
+            result = original_emit(builder, op, rd=rd, rs1=rs1, rs2=rs2,
+                                   imm=imm, target=target)
+            if op in (Op.HALT, Op.MARK):
+                return result
+            if rng.random() < nop_rate:
+                original_emit(builder, Op.NOP)
+            if rng.random() < prefetch_rate:
+                original_emit(builder, Op.PREFETCH, rs1=15,
+                              imm=_DECOY_BASE + 64 * rng.randrange(32))
+            return result
+
+        ProgramBuilder.emit = diluting_emit
+        try:
+            program, actors = self.base.build()
+        finally:
+            ProgramBuilder.emit = original_emit
+        program.name = self.name
+        for k in range(self.camouflage_actors):
+            noise = [_DECOY_BASE + 0x10000 + 64 * (7 * k + j)
+                     for j in range(16)]
+            actors = list(actors) + [CacheToucherActor(noise, period=30 + 10 * k)]
+        return program, actors
+
+    def recover(self, machine, result):
+        return self.base.recover(machine, result)

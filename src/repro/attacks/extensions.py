@@ -1,0 +1,357 @@
+"""Extension attacks beyond the paper's 19 evaluated categories.
+
+The paper's background section discusses Evict+Time (Osvik et al.) and
+ZombieLoad (Schwarz et al.); they are natural extensions of the evaluated
+corpus and exercise the same substrate:
+
+* **Evict+Time** — conflict-based: evict one set, time the *victim
+  function's whole execution*; it runs slower iff its secret-dependent
+  access hit the evicted set.
+* **ZombieLoad** — an MDS flavour: a faulting load samples in-flight fill
+  data under heavy concurrent-miss (fill-buffer) pressure.
+
+They are exported separately (``EXTENDED_ATTACKS``) so the paper's
+evaluated corpus (``ALL_ATTACKS``) stays exactly as published.
+"""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, STACK_BASE,
+    emit_above_threshold, emit_calibration, emit_store_result,
+)
+from repro.attacks.mds import _AssistLeak
+from repro.sim import ProgramBuilder, SimConfig
+
+_SECRETS = 0x10040
+_TABLE = 0x44000           # the victim's secret-indexed table
+_EVSET_BASE = 0x480000
+
+
+class EvictTime(Attack):
+    """Evict one line of the victim's lookup table, then time the victim
+    function: a slow call means the secret indexed the evicted line."""
+
+    name = "evict-time"
+    category = "evict-time"
+
+    def build(self):
+        n = len(self.secret_bits)
+        cfg = SimConfig()
+        l1_sets = cfg.l1d_size // (cfg.l1d_assoc * cfg.line_bytes)
+        target_line = (_TABLE + 64) // cfg.line_bytes    # table[1]'s line
+        target_set = target_line % l1_sets
+        evset = [((target_set + k * l1_sets) * cfg.line_bytes) + _EVSET_BASE
+                 for k in range(cfg.l1d_assoc)]
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(2, _TABLE)
+        for addr in evset:              # warm DTLB for the eviction set
+            b.movi(4, addr)
+            b.load(0, 4, 0)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        # keep table[0] hot, evict table[1]'s set
+        b.load(0, 2, 0)
+        for addr in evset:
+            b.movi(4, addr)
+            b.load(0, 4, 0)
+        b.fence()
+        b.shl(3, 13, 3)
+        b.addi(3, 3, _SECRETS)
+        b.rdtsc(9)
+        b.call("victim")
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        # the victim's table[1] access missed (evicted) => slow => bit 1
+        emit_above_threshold(b, 8, 8, 30, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        # victim: one table lookup indexed by its secret bit
+        b.label("victim")
+        b.load(5, 3, 0)             # secret bit
+        b.shl(5, 5, 6)
+        b.add(5, 5, 2)
+        b.load(5, 5, 0)             # table[secret]
+        b.ret()
+        return b.build(), []
+
+
+class ZombieLoad(_AssistLeak):
+    """MDS fill-buffer flavour: the assisted load samples in-flight data
+    while the load ports are saturated with concurrent misses."""
+
+    name = "zombieload"
+    category = "zombieload"
+
+    _FILL_BASE = 0x4C0000
+
+    def emit_variant_prelude(self, b):
+        # fill-buffer pressure: a burst of independent missing loads
+        for k in range(4):
+            b.movi(11, self._FILL_BASE + 0x1000 * k)
+            b.shl(12, 13, 6)
+            b.add(11, 11, 12)       # fresh line each bit
+            b.load(12, 11, 0)
+
+
+class Foreshadow(Attack):
+    """L1-terminal-fault flavour of Meltdown: the secret must be resident
+    in L1 when the faulting load samples it, so the attacker relies on the
+    *kernel's own activity* caching the line rather than prefetching it.
+    (This substrate's deferred-privilege model always returns the data;
+    the L1TF residency requirement is represented by the attack's distinct
+    footprint — kernel-side cache traffic, no attacker prefetch.)"""
+
+    name = "foreshadow"
+    category = "foreshadow"
+    slow = True
+
+    _KSECRET_PAGE = None  # set in build
+
+    def build(self):
+        from repro.attacks.base import (
+            emit_flush_probe, emit_probe_and_store, emit_probe_init,
+        )
+        from repro.sim.background import KernelToucherActor
+        from repro.sim.isa import KERNEL_BASE
+
+        ksecret = KERNEL_BASE + 0x8000
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(ksecret + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        emit_flush_probe(b, 1)
+        b.shl(2, 13, 3)
+        b.addi(2, 2, ksecret)
+        b.fence()                 # NO prefetch: the kernel actor caches it
+        b.try_("recover")
+        b.movi(4, 1_000_000)
+        b.movi(5, 3)
+        b.div(4, 4, 5)
+        b.div(4, 4, 5)
+        b.div(4, 4, 5)
+        b.add(6, 4, 0)
+        b.load(3, 2, 0)           # faulting kernel load (L1-resident)
+        b.shl(3, 3, 6)
+        b.add(3, 3, 1)
+        b.load(3, 3, 0)
+        b.label("dead")
+        b.jmp("dead")
+        b.label("recover")
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        # the kernel touches its own secret lines continuously
+        actor = KernelToucherActor([1], ksecret, bit_period=10_000, period=40)
+        return b.build(), [actor]
+
+
+class Spoiler(Attack):
+    """Speculative load hazards reveal address aliasing: a load issued
+    after a store whose address resolves slowly suffers a memory-order
+    violation (and a measurable re-execution delay) exactly when the two
+    addresses alias — leaking physical-layout information the attacker
+    uses to steer Rowhammer."""
+
+    name = "spoiler"
+    category = "spoiler"
+
+    _PROBE = 0x68000
+
+    def build(self):
+        from repro.attacks.base import emit_below_threshold
+
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        # the "layout secret": the store's target aliases the probed
+        # address exactly when the secret bit is 1; probes stride whole
+        # DRAM rows so every probe miss pays a full activation
+        b.shl(2, 13, 13)
+        b.addi(2, 2, self._PROBE)     # probe address P_i
+        b.shl(3, 13, 3)
+        b.addi(3, 3, _SECRETS)
+        b.load(4, 3, 0)               # secret bit
+        b.movi(5, 1)
+        b.sub(5, 5, 4)                # 1 - bit
+        b.shl(5, 5, 3)                # 8 when bit=0, 0 when bit=1
+        b.add(5, 5, 2)                # store target: P_i or P_i + 8... same
+        b.addi(5, 5, 64)              # shift to the next line when bit=0?
+        b.fence()
+        # recompute the store address slowly so the probe load runs ahead
+        b.movi(8, 3)
+        b.mul(6, 5, 8)
+        b.mul(6, 6, 8)
+        b.movi(8, 9)
+        b.div(6, 6, 8)                # = store target, slowly
+        b.movi(9, 7)
+        b.rdtsc(10)
+        b.store(6, 9, -64)            # aliases P_i iff bit=1
+        b.load(7, 2, 0)               # speculative load of P_i
+        b.fence()
+        b.rdtsc(11)
+        b.sub(11, 11, 10)
+        b.mark(PHASE_RECOVER)
+        # aliasing (bit=1): the violation squash re-executes the load,
+        # which then *forwards* from the store — fast; no aliasing: the
+        # load waits out its cold DRAM miss — slow
+        emit_below_threshold(b, 11, 11, 60)
+        emit_store_result(b, 13, 11, 12)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), []
+
+
+class CrossContextFlushReload(Attack):
+    """Flush+Reload against a *time-shared victim program* (rather than a
+    background actor): attacker and victim are two full programs sharing
+    one core's microarchitectural state across OS context switches
+    (:class:`repro.sim.multiprog.TimeSharedMachine`)."""
+
+    name = "cross-context-flush-reload"
+    category = "cross-context-flush-reload"
+    slow = True
+
+    _SHARED = 0x50000
+    _VSECRETS = 0x58000
+    _BIT_PERIOD = 8000
+
+    def __init__(self, secret_bits=None, seed=0):
+        from repro.attacks.base import default_secret_bits
+        if secret_bits is None:
+            secret_bits = default_secret_bits(seed, n=8)
+        super().__init__(secret_bits=secret_bits, seed=seed)
+
+    def build(self):
+        """Returns the *attacker* program (the victim program is built by
+        :meth:`build_victim` and scheduled by :meth:`run`)."""
+        from repro.attacks.base import (
+            emit_below_threshold, emit_spin_until, emit_store_result,
+            emit_timed_load,
+        )
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.movi(1, self._SHARED)
+        b.load(0, 1, 0xF80)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, self._BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 400)
+        emit_spin_until(b, 5, 6, "pre")
+        b.clflush(1, 0)
+        b.fence()
+        b.addi(5, 5, self._BIT_PERIOD - 1000)
+        emit_spin_until(b, 5, 6, "probe")
+        emit_timed_load(b, 1, 0, 8, 9, 10)
+        emit_below_threshold(b, 8, 8, 30)
+        emit_store_result(b, 13, 8, 10)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), []
+
+    def build_victim(self):
+        """The victim program: touches the shared line throughout window i
+        iff its secret bit i is 1."""
+        b = ProgramBuilder("victim")
+        for i, bit in enumerate(self.secret_bits):
+            b.data(self._VSECRETS + 8 * i, bit)
+        b.movi(1, self._SHARED)
+        b.movi(2, self._VSECRETS)
+        b.movi(13, 0)
+        b.movi(14, len(self.secret_bits))
+        b.label("window")
+        b.shl(3, 13, 3)
+        b.add(3, 3, 2)
+        b.load(4, 3, 0)
+        b.movi(5, self._SHARED - 0x1000)
+        b.movi(6, 0x1000)
+        b.mul(7, 4, 6)
+        b.add(5, 5, 7)          # shared line iff bit == 1
+        b.movi(8, self._BIT_PERIOD)
+        b.mul(9, 13, 8)
+        b.addi(9, 9, self._BIT_PERIOD - 200)
+        # deadline is checked BEFORE each touch: a victim rescheduled past
+        # its window must not emit one stale touch of the old address
+        b.label("touch")
+        b.rdtsc(12)
+        b.blt(12, 9, "do_touch")
+        b.jmp("window_done")
+        b.label("do_touch")
+        b.lfence()              # no wrong-path touch of a stale address
+        b.load(0, 5, 0)
+        b.movi(10, 0)
+        b.movi(11, 30)
+        b.label("pause")
+        b.addi(10, 10, 1)
+        b.blt(10, 11, "pause")
+        b.jmp("touch")
+        b.label("window_done")
+        b.addi(13, 13, 1)
+        b.blt(13, 14, "window")
+        b.halt()
+        return b.build()
+
+    def run(self, config=None, sample_period=1000):
+        from repro.attacks.base import AttackOutcome
+        from repro.sim.multiprog import TimeSharedMachine
+
+        attacker, _ = self.build()
+        victim = self.build_victim()
+        tsm = TimeSharedMachine(attacker, victim, config=config,
+                                slice_cycles=1200, switch_overhead=40,
+                                sample_period=sample_period)
+        tsm.run(max_cycles=self.max_cycles())
+        tsm.machine.sampler.flush(tsm.machine.cpu.committed,
+                                  tsm.machine.cycle)
+        result = type("R", (), {})()   # lightweight run record
+        result.samples = list(tsm.machine.sampler.samples)
+        result.counters = tsm.counters.as_dict()
+        result.cycles = tsm.machine.cycle
+        result.committed = sum(c.committed for c in tsm.contexts)
+        result.halt_reason = "halt" if all(c.halted for c in tsm.contexts) \
+            else "max-cycles"
+        recovered = self.recover(tsm, result)
+        return AttackOutcome(
+            name=self.name,
+            category=self.category,
+            expected_bits=list(self.secret_bits),
+            recovered_bits=recovered,
+            run=result,
+            machine=tsm,
+        )
+
+
+#: attacks beyond the paper's evaluated 19 categories
+EXTENDED_ATTACKS = (EvictTime, ZombieLoad, Foreshadow, Spoiler,
+                    CrossContextFlushReload)

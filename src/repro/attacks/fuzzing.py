@@ -1,0 +1,113 @@
+"""Automatic attack-generation tools (the paper's evasive-tech corpus).
+
+The paper evaluates against 1.2M attack samples produced by Transynther
+(Meltdown/MDS variant synthesis), TRRespass (many-sided Rowhammer
+patterns), and Osiris (timing side-channel discovery).  These fuzzers
+reproduce that methodology: each mutates a family of attack programs —
+varying gadget composition, delays, aggressor patterns, decoy density and
+secrets — yielding attack instances that still leak but whose HPC
+footprints differ from the canonical training attacks.
+"""
+
+import random
+
+from repro.attacks.base import default_secret_bits
+from repro.attacks.evasion import EvasiveAttack
+from repro.attacks.cache_attacks import FlushFlush, FlushReload, PrimeProbe
+from repro.attacks.mds import (
+    Fallout, LVI, MedusaCacheIndexing, MedusaShadowRepMov, MedusaUnaligned,
+)
+from repro.attacks.meltdown import Meltdown
+from repro.attacks.other import RDRNDCovert
+from repro.attacks.rowhammer import DRAMA, Rowhammer, TRRespass, _VICTIM_ROW
+
+
+class _Fuzzer:
+    """Base mutational fuzzer: draws (attack family, mutation parameters)
+    and wraps the instance in evasion transformations."""
+
+    name = "fuzzer"
+    families = ()
+
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed * 104729 + 7)
+
+    def mutate(self, cls, seed):
+        """Instantiate one mutated attack (hookable per tool)."""
+        return cls(seed=seed)
+
+    def generate(self, count):
+        """Yield ``count`` mutated, evasion-wrapped attack instances."""
+        out = []
+        for _ in range(count):
+            cls = self.rng.choice(self.families)
+            seed = self.rng.randrange(1, 1 << 16)
+            base = self.mutate(cls, seed)
+            attack = EvasiveAttack(
+                base,
+                nop_rate=self.rng.uniform(0.0, 0.5),
+                prefetch_rate=self.rng.uniform(0.0, 0.25),
+                camouflage_actors=self.rng.randrange(0, 3),
+                seed=seed,
+            )
+            attack.name = f"{self.name}:{base.name}:{seed}"
+            out.append(attack)
+        return out
+
+
+class Transynther(_Fuzzer):
+    """Meltdown/MDS-variant synthesis: random fault-type gadgets."""
+
+    name = "transynther"
+    families = (Meltdown, Fallout, LVI, MedusaCacheIndexing,
+                MedusaUnaligned, MedusaShadowRepMov)
+
+    def mutate(self, cls, seed):
+        bits = default_secret_bits(seed, n=self.rng.choice((3, 4, 5)))
+        return cls(secret_bits=bits, seed=seed)
+
+
+class TRRespassFuzzer:
+    """Many-sided Rowhammer pattern search: random aggressor-row sets and
+    hammer counts."""
+
+    name = "trrespass-fuzzer"
+
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed * 15485863 + 3)
+
+    def generate(self, count):
+        out = []
+        for _ in range(count):
+            sides = self.rng.choice((2, 3, 4, 6))
+            offsets = self.rng.sample((-3, -2, -1, 1, 2, 3), k=sides)
+            iterations = self.rng.randrange(340, 520)
+            seed = self.rng.randrange(1, 1 << 16)
+
+            cls = TRRespass if sides > 2 else Rowhammer
+            attack = cls(seed=seed)
+            attack.aggressor_rows = tuple(sorted(_VICTIM_ROW + o
+                                                 for o in offsets))
+            attack.iterations = iterations
+            wrapped = EvasiveAttack(attack,
+                                    nop_rate=self.rng.uniform(0.0, 0.4),
+                                    prefetch_rate=self.rng.uniform(0.0, 0.2),
+                                    seed=seed)
+            wrapped.name = f"{self.name}:{sides}-sided:{seed}"
+            out.append(wrapped)
+        return out
+
+
+class Osiris(_Fuzzer):
+    """Timing side-channel discovery: random (reset, trigger, measure)
+    sequences over the cache/DRAM/RNG timing primitives."""
+
+    name = "osiris"
+    families = (FlushReload, FlushFlush, PrimeProbe, DRAMA, RDRNDCovert)
+
+    def mutate(self, cls, seed):
+        bits = default_secret_bits(seed, n=self.rng.choice((3, 4)))
+        return cls(secret_bits=bits, seed=seed)
+
+
+ALL_FUZZERS = (Transynther, TRRespassFuzzer, Osiris)

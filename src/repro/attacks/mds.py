@@ -1,0 +1,159 @@
+"""MDS-style fault/assist attacks: LVI, the three Medusa variants, Fallout.
+
+All of these abuse the same hardware fast path the paper targets with its
+engineered ``SquashedBytesReadFromWRQu`` HPC: a load that needs a microcode
+assist transiently receives stale data from the store queue / write queue
+before being squashed.  The variants differ in how the in-flight store got
+there — which is exactly what distinguishes their HPC footprints:
+
+* **LVI** — the attacker *injects* the store; the victim's assisted load
+  computes on the poisoned value and transmits it.
+* **Fallout** — a plain user store is picked up by the attacker's own
+  assisted load (write-transient forwarding).
+* **Medusa v1 (cache indexing)** — the injection store is surrounded by
+  cache-set-aliasing loads.
+* **Medusa v2 (unaligned store-to-load forwarding)** — the injection store
+  is unaligned, exercising the slow forwarding path.
+* **Medusa v3 (shadow REP MOV)** — the store is one of a block-copy loop's
+  stores, sampled mid-copy.
+"""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, STACK_BASE,
+    emit_calibration, emit_flush_probe, emit_probe_and_store,
+    emit_probe_init,
+)
+from repro.sim import ProgramBuilder
+from repro.sim.isa import ASSIST_BIT
+
+_SECRETS = 0x10040
+_BUF = 0x64000
+_ASSIST_ADDR = ASSIST_BIT | 0x2000
+_ALIAS_BASE = 0x100000      # cache-set-aliasing load addresses (Medusa v1)
+
+
+class _AssistLeak(Attack):
+    """Shared per-bit skeleton: plant an in-flight store carrying the
+    secret, issue an assisted load that transiently forwards it, transmit
+    through the probe array, and recover after the trap."""
+
+    #: hook: emit extra setup ops per bit (variant colour)
+    def emit_variant_prelude(self, b):
+        pass
+
+    #: hook: emit the in-flight store carrying the value in r4
+    def emit_injection(self, b):
+        b.movi(6, _BUF)
+        b.store(6, 4, 0)
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        emit_flush_probe(b, 1)
+        b.shl(2, 13, 3)
+        b.addi(2, 2, _SECRETS)
+        b.load(4, 2, 0)             # r4 = the value to traverse the channel
+        b.fence()
+        b.try_("recover")
+        self.emit_variant_prelude(b)
+        # slow chain keeps everything younger (the store) in flight long
+        # enough for the forwarded value to traverse the transmit gadget
+        # even when the assist page takes a DTLB walk
+        b.movi(8, 1_000_000)
+        b.movi(9, 3)
+        b.div(8, 8, 9)
+        b.div(8, 8, 9)
+        b.div(8, 8, 9)
+        b.add(10, 8, 0)
+        self.emit_injection(b)      # in-flight store carrying r4
+        b.movi(5, _ASSIST_ADDR)
+        b.load(5, 5, 0)             # assisted load: forwards r4, faults
+        b.shl(5, 5, 6)
+        b.add(5, 5, 1)
+        b.load(5, 5, 0)             # transmit
+        b.label("dead")
+        b.jmp("dead")
+        b.label("recover")
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), []
+
+
+class LVI(_AssistLeak):
+    """Load Value Injection: the attacker's store poisons the victim's
+    assisted load; the victim computes on the poisoned value (extra ALU
+    work between forwarding and transmission)."""
+
+    name = "lvi"
+    category = "lvi"
+
+    def build(self):
+        # identical skeleton; LVI's signature is the victim computation,
+        # emitted by overriding the transmit distance below
+        return super().build()
+
+    def emit_variant_prelude(self, b):
+        # victim-side computation the poisoned value flows through
+        b.movi(11, 7)
+        b.mul(12, 11, 11)
+        b.add(12, 12, 11)
+
+
+class Fallout(_AssistLeak):
+    """Write-transient forwarding: a plain user store is leaked by the
+    attacker's own assisted load."""
+
+    name = "fallout"
+    category = "fallout"
+
+
+class MedusaCacheIndexing(_AssistLeak):
+    """Medusa variant 1: the injection happens amid cache-set-aliasing
+    loads (conflict pressure on one L1 set)."""
+
+    name = "medusa-cache"
+    category = "medusa-cache"
+
+    def emit_variant_prelude(self, b):
+        # four addresses 0x2000 (num_sets * line) apart alias one L1 set
+        for k in range(4):
+            b.movi(11, _ALIAS_BASE + k * 0x2000)
+            b.load(12, 11, 0)
+
+
+class MedusaUnaligned(_AssistLeak):
+    """Medusa variant 2: unaligned store-to-load forwarding."""
+
+    name = "medusa-unaligned"
+    category = "medusa-unaligned"
+
+    def emit_injection(self, b):
+        b.movi(6, _BUF + 3)         # unaligned address
+        b.storeu(6, 4, 0)
+
+
+class MedusaShadowRepMov(_AssistLeak):
+    """Medusa variant 3: shadow REP MOV — the assisted load samples an
+    in-flight store of a block copy."""
+
+    name = "medusa-shadow"
+    category = "medusa-shadow"
+
+    def emit_injection(self, b):
+        # unrolled copy: 6 stores of the secret-carrying word
+        for k in range(6):
+            b.movi(6, _BUF + 8 * k)
+            b.store(6, 4, 0)

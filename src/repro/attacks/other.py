@@ -1,0 +1,299 @@
+"""Remaining attack categories: SMotherSpectre (port contention),
+BranchScope (directional-predictor probing), Microscope (replay
+amplification), Leaky Buddies (cross-component bus/DRAM contention),
+the RDRND covert channel, and FlushConflict (KASLR probing).
+"""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, STACK_BASE,
+    emit_above_threshold, emit_below_threshold, emit_spin_until,
+    emit_store_result, emit_timed_flush,
+)
+from repro.sim import ProgramBuilder
+from repro.sim.background import (
+    BranchTrainerActor, BusHammerActor, KernelToucherActor, PortHogActor,
+    RngDrainActor,
+)
+from repro.sim.isa import ASSIST_BIT, KERNEL_BASE
+from repro.sim.units import PORT_MULDIV
+
+_BIT_PERIOD = 2000
+
+
+class SMotherSpectre(Attack):
+    """Port-contention channel: a co-resident victim occupies the mul/div
+    ports in a secret-dependent pattern; the attacker times a burst of
+    multiplies through the shared scheduler."""
+
+    name = "smotherspectre"
+    category = "smotherspectre"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(2, 3)
+        b.movi(3, 5)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, _BIT_PERIOD // 2)
+        emit_spin_until(b, 5, 6, "w")
+        b.rdtsc(9)
+        for _ in range(12):          # independent muls racing for 2 ports
+            b.mul(7, 2, 3)
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        emit_above_threshold(b, 8, 8, 13, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        victim = PortHogActor(self.secret_bits, PORT_MULDIV,
+                              bit_period=_BIT_PERIOD, period=2, count=2)
+        return b.build(), [victim]
+
+
+class BranchScope(Attack):
+    """Directional-predictor probe: the victim trains the shared PHT entry
+    of the attacker's probe branch; the attacker times that branch (a
+    mispredict costs a squash and refetch)."""
+
+    name = "branchscope"
+    category = "branchscope"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(2, 0)
+        b.movi(3, 1)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, _BIT_PERIOD // 2)
+        emit_spin_until(b, 5, 6, "w")
+        b.rdtsc(9)
+        b.label("probe_branch")
+        b.blt(2, 3, "bs_taken")      # always taken; PHT state decides cost
+        b.nop()
+        b.label("bs_taken")
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        # fast (predicted taken) => victim trained taken => bit 1
+        emit_below_threshold(b, 8, 8, 8)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        program = b.build()
+        victim = BranchTrainerActor(self.secret_bits,
+                                    pc=b.label_pc("probe_branch"),
+                                    bit_period=_BIT_PERIOD, period=25)
+        return program, [victim]
+
+
+class Microscope(Attack):
+    """Replay amplification: repeated microcode-assist faults replay the
+    same measurement many times, accumulating a weak port-contention
+    signal until it is reliable (and leaving a huge trap footprint)."""
+
+    name = "microscope"
+    category = "microscope"
+    slow = True
+    replays = 6
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(2, 3)
+        b.movi(3, 5)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 300)
+        emit_spin_until(b, 5, 6, "w")
+        b.movi(12, 0)                # accumulated time
+        b.movi(8, 0)                 # replay counter
+        b.label("replay")
+        b.try_("measure")
+        b.movi(5, ASSIST_BIT | 0x3000)
+        b.load(5, 5, 0)              # assist fault: forces a replay/trap
+        b.label("dead")
+        b.jmp("dead")
+        b.label("measure")
+        b.rdtsc(9)
+        for _ in range(6):
+            b.mul(7, 2, 3)
+        b.fence()
+        b.rdtsc(10)
+        b.sub(10, 10, 9)
+        b.add(12, 12, 10)
+        b.addi(8, 8, 1)
+        b.movi(14, self.replays)
+        b.blt(8, 14, "replay")
+        b.mark(PHASE_RECOVER)
+        emit_above_threshold(b, 12, 12, 8 * self.replays, 10)
+        emit_store_result(b, 13, 12, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        victim = PortHogActor(self.secret_bits, PORT_MULDIV,
+                              bit_period=_BIT_PERIOD, period=2, count=2)
+        return b.build(), [victim]
+
+    def max_cycles(self):
+        return 600_000
+
+
+class LeakyBuddies(Attack):
+    """Cross-component contention (CPU side): another agent hammers the
+    memory system; the attacker watches its own open DRAM row get closed."""
+
+    name = "leaky-buddies"
+    category = "leaky-buddies"
+    slow = True
+
+    _MONITOR_ROW_BASE = 0x500000     # bank 0, row 40
+    _HAMMER_BASE = 0x800000
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(1, self._MONITOR_ROW_BASE)
+        b.load(0, 1, 63 * 64)        # warm DTLB for the monitored page
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 300)
+        emit_spin_until(b, 5, 6, "open")
+        b.shl(4, 13, 7)
+        b.add(4, 4, 1)
+        b.load(0, 4, 0)              # open the monitored row (fresh column)
+        b.fence()
+        b.addi(5, 5, 900)
+        emit_spin_until(b, 5, 6, "check")
+        b.rdtsc(9)
+        b.load(0, 4, 64)             # next column: hit iff row still open
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        # row conflict (victim active) => slow => bit 1
+        emit_above_threshold(b, 8, 8, 75, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        victim = BusHammerActor(self.secret_bits, self._HAMMER_BASE,
+                                bit_period=_BIT_PERIOD, period=10, burst=2)
+        return b.build(), [victim]
+
+
+class RDRNDCovert(Attack):
+    """RDRND covert channel: a sender drains the shared hardware-RNG
+    entropy buffer; the receiver's RDRAND underflows and slows down."""
+
+    name = "rdrnd"
+    category = "rdrnd"
+    slow = True
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, _BIT_PERIOD // 2 + 300)
+        emit_spin_until(b, 5, 6, "w")
+        b.rdtsc(9)
+        b.rdrand(7)
+        b.rdrand(7)
+        b.fence()
+        b.rdtsc(8)
+        b.sub(8, 8, 9)
+        b.mark(PHASE_RECOVER)
+        emit_above_threshold(b, 8, 8, 100, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        sender = RngDrainActor(self.secret_bits, bit_period=_BIT_PERIOD,
+                               period=20, amount=4)
+        return b.build(), [sender]
+
+
+class FlushConflict(Attack):
+    """Flush-timing KASLR probe: CLFLUSH of a cached (mapped-and-used)
+    kernel line is measurably slower than of an uncached one — no demand
+    access to kernel memory, no fault, defeats Spectre/Meltdown fixes."""
+
+    name = "flushconflict"
+    category = "flushconflict"
+    slow = True
+
+    _KPAGE = KERNEL_BASE + 0x4000
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        b.movi(1, self._KPAGE)
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.movi(4, _BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, 150)
+        emit_spin_until(b, 5, 6, "pre")
+        b.clflush(1, 0)              # clear state left by earlier windows
+        b.fence()
+        b.addi(5, 5, _BIT_PERIOD - 600)
+        emit_spin_until(b, 5, 6, "w")
+        emit_timed_flush(b, 1, 0, 8, 9)
+        b.mark(PHASE_RECOVER)
+        emit_above_threshold(b, 8, 8, 12, 10)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        victim = KernelToucherActor(self.secret_bits, self._KPAGE,
+                                    bit_period=_BIT_PERIOD, period=50)
+        return b.build(), [victim]

@@ -1,0 +1,151 @@
+"""DRAM attacks: Rowhammer (double-sided), TRRespass (many-sided), DRAMA.
+
+The simulator's DRAM model keeps per-row activation counts since the last
+refresh and corrupts neighbour rows past the bit-flip threshold, exactly
+like the dedicated memory-corruption module the paper added to gem5 +
+Ramulator.  Hammer loops here drive real activations: each access targets
+a fresh column (cache miss) of alternating rows in one bank, forcing a
+row-buffer conflict and therefore an activation per access.
+"""
+
+from repro.attacks.base import (
+    Attack, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP, RESULT_BASE, STACK_BASE,
+    emit_below_threshold, emit_nonzero, emit_spin_until, emit_store_result,
+    emit_timed_load,
+)
+from repro.sim import ProgramBuilder, SimConfig
+from repro.sim.background import RowToucherActor
+from repro.sim.dram import DRAM
+
+
+def _row_base(bank, row, config=None):
+    cfg = config if config is not None else SimConfig()
+    return (row * cfg.dram_banks + bank) * cfg.dram_row_bytes
+
+
+_PATTERN = 0xDEAD
+_HAMMER_BANK = 4
+_VICTIM_ROW = 10
+
+
+class Rowhammer(Attack):
+    """Double-sided hammering of the two rows adjacent to the victim row.
+
+    This is an *integrity* attack: success means a bit flip appeared in
+    the victim row, so ``expected_bits == [1]``.
+    """
+
+    name = "rowhammer"
+    category = "rowhammer"
+    slow = True
+    aggressor_rows = (_VICTIM_ROW - 1, _VICTIM_ROW + 1)
+    iterations = 420
+
+    def __init__(self, secret_bits=None, seed=0):
+        super().__init__(secret_bits=[1], seed=seed)
+
+    def build(self):
+        b = ProgramBuilder(self.name)
+        victim = _row_base(_HAMMER_BANK, _VICTIM_ROW)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        # plant the victim pattern
+        b.movi(1, victim)
+        b.movi(2, _PATTERN)
+        b.store(1, 2, 0)
+        b.fence()
+        b.mark(PHASE_LEAK)
+        # hammer loop: one fresh-column access per aggressor row per pass
+        b.movi(13, 0)
+        b.movi(14, self.iterations)
+        b.label("hammer")
+        b.andi(4, 13, 127)
+        b.shl(4, 4, 6)              # column offset: (i % 128) * 64
+        for j, row in enumerate(self.aggressor_rows):
+            base = _row_base(_HAMMER_BANK, row)
+            b.movi(5, base)
+            b.add(5, 5, 4)
+            b.load(6, 5, 0)
+            b.clflush(5, 0)         # keep future passes reaching DRAM
+        b.addi(13, 13, 1)
+        b.blt(13, 14, "hammer")
+        b.fence()
+        b.mark(PHASE_RECOVER)
+        # verify: did the victim word change?
+        b.movi(1, victim)
+        b.load(3, 1, 0)
+        b.movi(2, _PATTERN)
+        b.xor(3, 3, 2)
+        emit_nonzero(b, 4, 3, 5)
+        b.movi(13, 0)
+        emit_store_result(b, 13, 4, 6)
+        b.halt()
+        return b.build(), []
+
+    def recover(self, machine, result):
+        return [machine.memory.load(RESULT_BASE) & 1]
+
+
+class TRRespass(Rowhammer):
+    """Many-sided (TRRespass-style) hammering: four aggressor rows around
+    the victim, the pattern that defeats in-DRAM target-row-refresh."""
+
+    name = "trrespass"
+    category = "trrespass"
+    aggressor_rows = (_VICTIM_ROW - 2, _VICTIM_ROW - 1,
+                      _VICTIM_ROW + 1, _VICTIM_ROW + 2)
+    iterations = 360
+
+
+class DRAMA(Attack):
+    """DRAM row-buffer covert channel: a co-resident transmitter opens a
+    secret-dependent row; the receiver times an access to the monitored
+    row (row hit vs row conflict)."""
+
+    name = "drama"
+    category = "drama"
+    slow = True
+
+    _BANK = 2
+    _ROW_ONE = 20
+    _ROW_ZERO = 30
+    _BIT_PERIOD = 2000
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        probe_row = _row_base(self._BANK, self._ROW_ONE)
+        b.reg(15, STACK_BASE)
+        b.mark(PHASE_SETUP)
+        # warm the DTLB for the probed page without using measurement lines
+        b.movi(1, probe_row)
+        b.load(0, 1, 63 * 64)
+        b.fence()
+        b.mark(PHASE_LEAK)
+        b.movi(13, 0)
+        b.label("bitloop")
+        # wait until the middle of transmission window i
+        b.movi(4, self._BIT_PERIOD)
+        b.mul(5, 13, 4)
+        b.addi(5, 5, self._BIT_PERIOD // 2 + 400)
+        emit_spin_until(b, 5, 6, "w")
+        # fresh column => miss all the way to DRAM; latency reveals the row
+        b.shl(4, 13, 6)
+        b.add(4, 4, 1)
+        emit_timed_load(b, 4, 0, 8, 9, 10)
+        b.mark(PHASE_RECOVER)
+        # row hit (~52+fence) vs row conflict (~92+fence): hit -> bit 1
+        emit_below_threshold(b, 8, 8, 75)
+        emit_store_result(b, 13, 8, 10)
+        b.mark(PHASE_LEAK)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        actor = RowToucherActor(
+            self.secret_bits,
+            addr_one=_row_base(self._BANK, self._ROW_ONE),
+            addr_zero=_row_base(self._BANK, self._ROW_ZERO),
+            bit_period=self._BIT_PERIOD,
+        )
+        return b.build(), [actor]

@@ -1,0 +1,295 @@
+"""The Spectre family: PHT (v1), BTB (v2), RSB, and STL (v4).
+
+Each variant mistrains a different prediction structure of the simulated
+core and transmits the transiently-read secret through a Flush+Reload
+cache channel on the probe array.
+"""
+
+from repro.attacks.base import (
+    Attack, CHASE_A, PROBE_BASE, PHASE_LEAK, PHASE_RECOVER, PHASE_SETUP,
+    STACK_BASE, chase_data, emit_below_threshold, emit_calibration,
+    emit_flush_chase,
+    emit_flush_probe, emit_probe_and_store, emit_probe_init,
+    emit_store_result, emit_timed_load,
+)
+from repro.sim import ProgramBuilder
+
+_ARRAY1 = 0x10000           # victim array, 8 in-bounds words
+_SECRETS = _ARRAY1 + 64     # out-of-bounds region holding the secret bits
+_JT1 = 0x36000              # indirect-target pointer chain (Spectre-BTB)
+_JT2 = 0x38000
+_STL_BASE = 0x60000
+
+
+class SpectrePHT(Attack):
+    """Bounds-check bypass: mistrain the conditional predictor so the
+    gadget's in-bounds branch speculates taken for an out-of-bounds index.
+    """
+
+    name = "spectre-pht"
+    category = "spectre-pht"
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        chase_data(b)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.movi(2, _ARRAY1)
+        b.movi(6, CHASE_A)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        # initial predictor training: 16 in-bounds gadget calls
+        b.movi(8, 0)
+        b.movi(14, 16)
+        b.label("train")
+        b.andi(3, 8, 7)
+        b.fence()
+        emit_flush_chase(b, 9)
+        b.fence()
+        b.call("gadget")
+        b.addi(8, 8, 1)
+        b.blt(8, 14, "train")
+        # per-bit leak loop
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        # light retraining keeps the branch biased taken
+        b.movi(8, 0)
+        b.movi(14, 4)
+        b.label("retrain")
+        b.andi(3, 8, 7)
+        b.fence()
+        emit_flush_chase(b, 9)
+        b.fence()
+        b.call("gadget")
+        b.addi(8, 8, 1)
+        b.blt(8, 14, "retrain")
+        b.fence()
+        emit_flush_probe(b, 1)
+        emit_flush_chase(b, 9)
+        b.addi(3, 13, 8)            # out-of-bounds index 8+i -> secret bit i
+        b.fence()
+        b.call("gadget")
+        b.fence()
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        # victim gadget: if (idx < *len) touch probe[array1[idx] * 64]
+        b.label("gadget")
+        b.load(4, 6, 0)
+        b.load(4, 4, 0)
+        b.load(4, 4, 0)             # 3-deep flushed chase delays the check
+        b.blt(3, 4, "inb")
+        b.ret()
+        b.label("inb")
+        b.shl(5, 3, 3)
+        b.add(5, 5, 2)
+        b.load(5, 5, 0)             # array1[idx] -- the secret when OOB
+        b.shl(5, 5, 6)
+        b.add(5, 5, 1)
+        b.load(5, 5, 0)             # transmit through the probe array
+        b.ret()
+        return b.build(), []
+
+
+class SpectreBTB(Attack):
+    """Branch-target injection: train the BTB with an indirect jump to the
+    leak gadget, then redirect the architectural target to a benign block;
+    the core transiently executes the gadget from the stale BTB entry."""
+
+    name = "spectre-btb"
+    category = "spectre-btb"
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.data(_JT1, _JT2)            # two-level target chain: JT1 -> JT2
+        b.data_label(_JT2, "gadget")  # JT2 -> current architectural target
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.movi(2, _ARRAY1)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        # per-bit loop: train the shared indirect-jump site with the gadget
+        # target, then swing the architectural target to the benign block
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        # --- training passes through the shared jmpi site ---
+        b.movi(3, _ARRAY1)                   # dummy leak address (reads 0)
+        b.movi_label(4, "gadget")
+        b.movi(6, _JT2)
+        b.store(6, 4, 0)
+        b.fence()
+        b.movi(8, 0)
+        b.movi(14, 6)
+        b.label("train")
+        b.movi_label(0, "train_cont")
+        b.movi(6, _JT1)
+        b.clflush(6, 0)
+        b.movi(6, _JT2)
+        b.clflush(6, 0)
+        b.fence()
+        b.jmp("do_jump")
+        b.label("train_cont")
+        b.addi(8, 8, 1)
+        b.blt(8, 14, "train")
+        # --- attack pass: architectural target becomes benign ---
+        b.fence()
+        emit_flush_probe(b, 1)
+        b.shl(3, 13, 3)
+        b.addi(3, 3, _SECRETS)               # r3 -> secret bit i
+        b.movi_label(4, "benign_ret")
+        b.movi(6, _JT2)
+        b.store(6, 4, 0)
+        b.fence()
+        b.clflush(6, 0)                      # slow target resolution
+        b.movi(6, _JT1)
+        b.clflush(6, 0)
+        b.movi_label(0, "after_attack")
+        b.fence()
+        b.jmp("do_jump")
+        b.label("after_attack")
+        b.fence()
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        # the shared indirect-jump site (one BTB entry for train + attack)
+        b.label("do_jump")
+        b.movi(6, _JT1)
+        b.load(4, 6, 0)
+        b.load(4, 4, 0)                      # two flushed loads delay the jump
+        b.jmpi(4)
+        # the leak gadget: touch probe[*r3 * 64], then continue through r0
+        b.label("gadget")
+        b.load(5, 3, 0)
+        b.shl(5, 5, 6)
+        b.add(5, 5, 1)
+        b.load(5, 5, 0)
+        b.jmpi(0)
+        b.label("benign_ret")
+        b.jmpi(0)
+        return b.build(), []
+
+
+class SpectreRSB(Attack):
+    """Return-stack desynchronization: overwrite the in-memory return
+    address inside the callee; the RAS still predicts the original call
+    site, which transiently executes the leak gadget."""
+
+    name = "spectre-rsb"
+    category = "spectre-rsb"
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        emit_flush_probe(b, 1)
+        b.shl(3, 13, 3)
+        b.addi(3, 3, _SECRETS)      # r3 -> secret bit i
+        b.fence()
+        b.call("victim_fn")
+        # --- RAS-predicted return site: the transient leak gadget ---
+        b.load(5, 3, 0)
+        b.shl(5, 5, 6)
+        b.add(5, 5, 1)
+        b.load(5, 5, 0)
+        b.label("spin_dead")
+        b.jmp("spin_dead")
+        # --- architectural return site ---
+        b.label("benign_exit")
+        b.fence()
+        b.mark(PHASE_RECOVER)
+        emit_probe_and_store(b, 1, 13)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        # callee: commit a new return address over the stack slot, then
+        # flush the slot so the RET's load resolves slowly; the RAS
+        # meanwhile predicts the original call site -- the leak gadget
+        b.label("victim_fn")
+        b.movi_label(4, "benign_exit")
+        b.store(15, 4, 0)           # overwrite the return slot
+        b.fence()                   # commit the overwrite
+        b.clflush(15, 0)            # make the return-slot load miss
+        b.fence()
+        b.ret()                     # RAS: gadget; memory (slowly): benign
+        return b.build(), []
+
+
+class SpectreSTL(Attack):
+    """Speculative store bypass (v4): a younger load issues before an older
+    store's address resolves and transiently reads the stale secret."""
+
+    name = "spectre-stl"
+    category = "spectre-stl"
+
+    def build(self):
+        n = len(self.secret_bits)
+        b = ProgramBuilder(self.name)
+        b.reg(15, STACK_BASE)
+        emit_probe_init(b, 1, 0)
+        b.mark(PHASE_SETUP)
+        emit_calibration(b)
+        b.movi(13, 0)
+        b.label("bitloop")
+        b.mark(PHASE_LEAK)
+        emit_flush_probe(b, 1)
+        # plant the stale secret at a fresh per-bit address
+        b.shl(2, 13, 6)
+        b.addi(2, 2, _STL_BASE)     # r2 = A_i
+        b.shl(3, 13, 3)
+        b.addi(3, 3, _SECRETS)
+        b.load(4, 3, 0)             # r4 = secret bit (victim-owned value)
+        b.store(2, 4, 0)
+        b.fence()                   # commit the plant
+        # sanitizing store whose address resolves slowly
+        b.movi(8, 3)
+        b.mul(5, 2, 8)
+        b.mul(5, 5, 8)
+        b.movi(8, 9)
+        b.div(5, 5, 8)              # r5 = A_i, computed the slow way
+        b.movi(9, 0)
+        b.store(5, 9, 0)            # sanitize: [A_i] <- 0 (address late)
+        b.load(6, 2, 0)             # bypasses the store: stale secret
+        b.shl(6, 6, 6)
+        b.add(6, 6, 1)
+        b.load(6, 6, 0)             # transmit
+        b.fence()
+        b.mark(PHASE_RECOVER)
+        # after the violation squash this path re-runs with value 0, so
+        # probe line 0 is always hot -- the signal is "line 1 hot"
+        b.rdtsc(7)
+        b.load(11, 1, 64)
+        b.fence()
+        b.rdtsc(9)
+        b.sub(10, 9, 7)
+        emit_below_threshold(b, 10, 10, 20)
+        emit_store_result(b, 13, 10, 12)
+        b.addi(13, 13, 1)
+        b.movi(14, n)
+        b.blt(13, 14, "bitloop")
+        b.halt()
+        for i, bit in enumerate(self.secret_bits):
+            b.data(_SECRETS + 8 * i, bit)
+        return b.build(), []

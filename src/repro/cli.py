@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``attack <name>``      run one attack on the simulator and report the leak
+``attacks``            run the whole corpus (one line per attack)
+``workloads``          run the benign suite and report IPCs
+``collect <out>``      build and save a labelled trace corpus
+``train <corpus>``     vaccinate a detector on a saved corpus
+``adaptive``           train then demo the adaptive architecture
+``explain <corpus> <detector>``  interpret a trained detector
+"""
+
+import argparse
+import sys
+
+
+def _cmd_attack(args):
+    from repro.attacks import ATTACKS_BY_NAME
+    from repro.sim import SimConfig
+    from repro.sim.config import DefenseMode
+
+    cls = ATTACKS_BY_NAME.get(args.name)
+    if cls is None:
+        sys.exit(f"unknown attack {args.name!r}; "
+                 f"choose from {sorted(ATTACKS_BY_NAME)}")
+    config = SimConfig(defense=DefenseMode(args.defense))
+    outcome = cls(seed=args.seed).run(config=config)
+    print(f"attack      : {outcome.name}")
+    print(f"defense     : {args.defense}")
+    print(f"expected    : {outcome.expected_bits}")
+    print(f"recovered   : {outcome.recovered_bits}")
+    print(f"leaked      : {outcome.leaked}")
+    print(f"cycles      : {outcome.run.cycles}")
+    print(f"committed   : {outcome.run.committed}")
+    return 0 if outcome.leaked == (args.defense == "none") else 1
+
+
+def _cmd_attacks(args):
+    from repro.attacks import ALL_ATTACKS
+    for cls in ALL_ATTACKS:
+        outcome = cls(seed=args.seed).run()
+        print(f"{outcome.name:18s} leak={outcome.leaked!s:5s} "
+              f"rate={outcome.success_rate:.2f} "
+              f"cycles={outcome.run.cycles}")
+    return 0
+
+
+def _cmd_workloads(args):
+    from repro.defenses import run_workload
+    from repro.sim import SimConfig
+    from repro.workloads import all_workloads
+
+    for w in all_workloads(scale=args.scale):
+        result = run_workload(w, SimConfig())
+        print(f"{w.name:14s} IPC={result.ipc:5.2f} "
+              f"cycles={result.cycles:7d} committed={result.committed}")
+    return 0
+
+
+def _cmd_collect(args):
+    from repro.attacks import ALL_ATTACKS
+    from repro.data import build_dataset, save_dataset
+    from repro.data.parallel import build_dataset_parallel
+    from repro.workloads import all_workloads
+
+    attacks = [cls(seed=s) for cls in ALL_ATTACKS
+               for s in range(1, args.seeds + 1)]
+    workloads = all_workloads(scale=args.scale,
+                              seeds=tuple(range(args.seeds)))
+    if args.jobs != 1:
+        dataset = build_dataset_parallel(attacks, workloads,
+                                         sample_period=args.period,
+                                         processes=args.jobs)
+    else:
+        dataset = build_dataset(attacks, workloads,
+                                sample_period=args.period)
+    save_dataset(dataset, args.out)
+    attack_n, benign_n = dataset.balance_counts()
+    print(f"saved {len(dataset)} windows ({attack_n} attack / "
+          f"{benign_n} benign) to {args.out}")
+    return 0
+
+
+def _cmd_train(args):
+    from repro.core import vaccinate
+    from repro.core.patching import save_detector
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.corpus)
+    result = vaccinate(dataset, gan_iterations=args.iterations, seed=args.seed)
+    metrics = result.detector.evaluate(dataset.raw_matrix(result.schema),
+                                       dataset.labels())
+    print(f"accuracy={metrics['accuracy']:.4f} auc={metrics['auc']:.4f} "
+          f"fp={metrics['fp_rate']:.4f} fn={metrics['fn_rate']:.4f}")
+    print("engineered HPCs:")
+    for name, counters in result.engineered:
+        print(f"  {' AND '.join(counters)}")
+    if args.out:
+        save_detector(result.detector, args.out)
+        print(f"detector saved to {args.out}")
+    return 0
+
+
+def _cmd_adaptive(args):
+    from repro.attacks import ALL_ATTACKS, ATTACKS_BY_NAME, default_secret_bits
+    from repro.core import AdaptiveArchitecture, vaccinate
+    from repro.data import build_dataset
+    from repro.sim.config import DefenseMode
+    from repro.workloads import all_workloads
+
+    print("training...")
+    attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
+    dataset = build_dataset(attacks, all_workloads(scale=4, seeds=(0, 1)),
+                            sample_period=100)
+    evax = vaccinate(dataset, gan_iterations=args.iterations, seed=args.seed)
+    arch = AdaptiveArchitecture(evax.detector,
+                                secure_mode=DefenseMode(args.defense),
+                                secure_window=args.window,
+                                sample_period=100)
+    names = args.attacks or ["spectre-pht", "meltdown", "lvi"]
+    for name in names:
+        attack = ATTACKS_BY_NAME[name](
+            secret_bits=default_secret_bits(9, n=10), seed=9)
+        run, leaked = arch.run_attack(attack)
+        print(f"{name:18s} flags={run.flags:3d} "
+              f"secure={run.secure_fraction:4.0%} leaked={leaked}")
+    return 0
+
+
+def _cmd_explain(args):
+    from repro.core import explain_window, weight_report
+    from repro.core.patching import load_detector
+    from repro.data import load_dataset
+
+    detector = load_detector(args.detector)
+    malicious, benign = weight_report(detector, top=args.top)
+    print("most malicious-leaning features:")
+    for name, weight in malicious:
+        print(f"  {weight:+8.3f}  {name}")
+    print("most benign-leaning features:")
+    for name, weight in benign:
+        print(f"  {weight:+8.3f}  {name}")
+    if args.corpus:
+        dataset = load_dataset(args.corpus)
+        flagged = [r for r in dataset.records if r.label == 1][: args.top]
+        for record in flagged[:3]:
+            score, contributions = explain_window(detector, record.deltas)
+            tops = ", ".join(f"{n}={v:.2f}" for n, v in contributions[:4])
+            print(f"window from {record.source}: score={score:.3f} [{tops}]")
+    return 0
+
+
+def _cmd_report(args):
+    from repro.analysis import markdown_report
+    from repro.core.patching import load_detector
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.corpus)
+    detector = load_detector(args.detector)
+    text = markdown_report(dataset, detector)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser():
+    """Construct the argparse CLI (one sub-parser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="EVAX reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("attack", help="run one attack")
+    p.add_argument("name")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--defense", default="none",
+                   choices=[m.value for m in __import__(
+                       "repro.sim.config", fromlist=["DefenseMode"]
+                   ).DefenseMode])
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("attacks", help="run the whole corpus")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser("workloads", help="run the benign suite")
+    p.add_argument("--scale", type=int, default=3)
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("collect", help="build + save a trace corpus")
+    p.add_argument("out")
+    p.add_argument("--seeds", type=int, default=2)
+    p.add_argument("--scale", type=int, default=4)
+    p.add_argument("--period", type=int, default=100)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel collection processes (1 = sequential)")
+    p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser("report", help="markdown report for corpus+detector")
+    p.add_argument("corpus")
+    p.add_argument("detector")
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("train", help="vaccinate on a saved corpus")
+    p.add_argument("corpus")
+    p.add_argument("--out", default=None)
+    p.add_argument("--iterations", type=int, default=1200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("adaptive", help="adaptive architecture demo")
+    p.add_argument("--attacks", nargs="*", default=None)
+    p.add_argument("--defense", default="fence-futuristic")
+    p.add_argument("--window", type=int, default=10_000)
+    p.add_argument("--iterations", type=int, default=1200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_adaptive)
+
+    p = sub.add_parser("explain", help="interpret a trained detector")
+    p.add_argument("detector")
+    p.add_argument("--corpus", default=None)
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the command's exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The adaptive architecture: a trained detector gating mitigations
+(paper Section VIII-A, Figures 14 and 16).
+
+``AdaptiveArchitecture`` runs any program with the detector classifying
+every HPC sampling window; a positive flag enables the configured defense
+for ``secure_window`` committed instructions, after which the core falls
+back to full performance.
+"""
+
+import copy
+from dataclasses import dataclass
+
+from repro.defenses.controller import SecureModeController
+from repro.sim import Machine, SimConfig
+from repro.sim.config import DefenseMode
+
+
+@dataclass
+class AdaptiveRun:
+    """Outcome of one adaptive execution."""
+
+    result: object               # sim RunResult
+    flags: int                   # detector positives
+    secure_fraction: float       # fraction of windows in secure mode
+    machine: object = None
+
+    @property
+    def cycles(self):
+        return self.result.cycles
+
+    @property
+    def ipc(self):
+        return self.result.ipc
+
+
+class AdaptiveArchitecture:
+    """Detector + secure-mode policy, runnable over attacks or workloads."""
+
+    def __init__(self, detector, secure_mode=DefenseMode.FENCE_SPECTRE,
+                 secure_window=10_000, sample_period=1000):
+        self.detector = detector
+        self.secure_mode = secure_mode
+        self.secure_window = secure_window
+        self.sample_period = sample_period
+
+    def run_source(self, source, config=None, max_cycles=None):
+        """Run an Attack or Workload under adaptive protection."""
+        program, actors = source.build()
+        controller = SecureModeController(self.detector.detector_fn(),
+                                          self.secure_mode,
+                                          self.secure_window)
+        machine = Machine(
+            program,
+            copy.deepcopy(config) if config is not None else SimConfig(),
+            sample_period=self.sample_period,
+            actors=actors,
+            detector_hook=controller,
+        )
+        if max_cycles is None:
+            max_cycles = source.max_cycles() if hasattr(source, "max_cycles") \
+                else 400_000
+        result = machine.run(max_cycles=max_cycles)
+        return AdaptiveRun(result=result, flags=controller.flags,
+                           secure_fraction=controller.secure_fraction,
+                           machine=machine)
+
+    def overhead_on(self, workloads, baseline_cycles=None):
+        """Adaptive overhead per benign workload vs the undefended run."""
+        from repro.defenses.policies import run_workload
+        if baseline_cycles is None:
+            baseline_cycles = {
+                w.name: run_workload(w, SimConfig()).cycles for w in workloads
+            }
+        overheads = {}
+        for w in workloads:
+            run = self.run_source(w)
+            base = baseline_cycles[w.name]
+            overheads[w.name] = (run.cycles - base) / base if base else 0.0
+        return overheads, baseline_cycles
+
+    def run_attack(self, attack, config=None):
+        """Run an attack under adaptive protection; returns
+        ``(run, leaked)`` where ``leaked`` checks whether the channel
+        still recovered the secret despite the gated defense."""
+        from repro.attacks.base import bits_balanced_accuracy
+        run = self.run_source(attack, config=config)
+        recovered = attack.recover(run.machine, run.result)
+        leaked = bool(attack.secret_bits) and bits_balanced_accuracy(
+            attack.secret_bits, recovered) >= 0.75
+        return run, leaked

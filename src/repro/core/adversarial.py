@@ -1,0 +1,75 @@
+"""Adversarial-direction sample synthesis (paper Figure 2 and Section V).
+
+Evasive attacks exploit the margin between attack samples and the decision
+boundary by camouflaging their general activity as benign.  What they
+*cannot* hide are the mechanism-essential events — flushes, deferred
+faults, stale forwarding, row activations, timing reads — which must still
+occur within the ROB-bounded transient window for the attack to work; an
+attacker can dilute their per-window density only down to a floor before
+the attack disables itself.
+
+``dilute_toward_benign`` models that feasible evasion family.  The
+vaccination pipeline trains on such adversarial-direction interpolations
+of attack windows (the virtual-adversarial-training idea the paper builds
+on), pushing the detector's boundary to the edge of the feasible evasion
+space — so that "further attempts to evade disable the attack".
+"""
+
+import numpy as np
+
+#: events an attack's mechanism cannot avoid generating
+ESSENTIAL_COUNTERS = frozenset({
+    "dcache.flushes", "dcache.flushHits", "membus.transDist_FlushReq",
+    "l2.flushes", "cpu.rdtscReads", "commit.traps", "iq.squashedNonSpecLD",
+    "squash.faultSquashes", "lsq.assistForwards",
+    "lsq.specLoadsHitWriteQueue", "lsq.ignoredResponses",
+    "dram.activations", "dram.bitflips", "rng.underflows",
+    "branchPred.RASIncorrect", "iew.memOrderViolationEvents",
+})
+
+#: the minimum fraction of essential-event density an attack retains
+#: (further dilution stretches the attack past its transient window)
+ESSENTIAL_FLOOR = 0.3
+
+#: dilution strengths beyond this disable the attack entirely
+MAX_FEASIBLE_STRENGTH = 0.55
+
+
+def essential_columns(schema):
+    """Indices of mechanism-essential features in a schema (raw essential
+    counters plus every engineered security HPC)."""
+    return [i for i, name in enumerate(schema.names)
+            if name in ESSENTIAL_COUNTERS or name.startswith("sec.")]
+
+
+def dilute_toward_benign(X_attack, benign_mean, strength, schema,
+                         floor=ESSENTIAL_FLOOR):
+    """Camouflage attack windows toward the benign mean at ``strength``
+    in [0, 1], holding essential events above their feasibility floor.
+    Operates on normalized features."""
+    X_attack = np.asarray(X_attack, dtype=float)
+    variant = X_attack * (1.0 - strength) + benign_mean[None, :] * strength
+    cols = essential_columns(schema)
+    if cols:
+        floors = floor * X_attack[:, cols]
+        variant[:, cols] = np.maximum(variant[:, cols], floors)
+    return variant
+
+
+def adversarial_augmentation(X_attack, benign_mean, schema, seed=0,
+                             copies=2):
+    """Adversarial-direction training samples: ``copies`` diluted variants
+    of each attack window at random feasible strengths."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(copies):
+        strength = rng.uniform(0.15, MAX_FEASIBLE_STRENGTH,
+                               size=(len(X_attack), 1))
+        variant = X_attack * (1.0 - strength) + \
+            benign_mean[None, :] * strength
+        cols = essential_columns(schema)
+        if cols:
+            floors = ESSENTIAL_FLOOR * X_attack[:, cols]
+            variant[:, cols] = np.maximum(variant[:, cols], floors)
+        out.append(variant)
+    return np.vstack(out) if out else X_attack[:0]

@@ -1,0 +1,110 @@
+"""Cross-validation evaluation in the paper's zero-day setting.
+
+At each fold, *all* samples of one attack category are removed from
+training (the model never saw that attack); the test set is the held-out
+attack's windows — with the recovery/transmission phase excluded, exactly
+as the paper check-points and excludes it — plus a held-out slice of
+benign windows.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.base import PHASE_RECOVER
+from repro.core.vaccination import BENIGN
+
+
+@dataclass
+class FoldResult:
+    """Scores for one leave-one-attack-out fold."""
+
+    category: str
+    tpr: float            # detection rate on the unseen attack
+    fpr: float            # false positives on held-out benign
+    error: float          # 1 - accuracy over the fold's test set
+    n_test_attack: int
+    n_test_benign: int
+
+
+def _benign_holdout_mask(records, fraction=0.25):
+    """Deterministically hold out a stratified slice of benign windows:
+    every k-th benign record, so every benign kernel contributes to both
+    the training and the test side of each fold."""
+    mask = np.zeros(len(records), dtype=bool)
+    benign_positions = [i for i, r in enumerate(records)
+                        if r.category == BENIGN]
+    stride = max(1, int(round(1.0 / max(fraction, 1e-9))))
+    mask[benign_positions[::stride]] = True
+    return mask
+
+
+def leave_one_attack_out(dataset, trainer, categories=None,
+                         exclude_recovery=True, benign_fraction=0.25):
+    """Run the paper's K-fold setting.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`repro.data.Dataset`.
+    trainer:
+        Callable ``(train_dataset) -> detector`` (plain training, fuzz
+        hardening, or the full vaccination pipeline).
+    categories:
+        Attack categories to fold over (default: every non-benign
+        category present).
+
+    Returns a dict ``category -> FoldResult``.
+    """
+    records = dataset.records
+    all_categories = categories if categories is not None else [
+        c for c in dataset.categories if c != BENIGN
+    ]
+    benign_test = _benign_holdout_mask(records, benign_fraction)
+    results = {}
+    for held_out in all_categories:
+        train_records, test_attack, test_benign = [], [], []
+        for i, r in enumerate(records):
+            if r.category == held_out:
+                if exclude_recovery and r.phase == PHASE_RECOVER:
+                    continue
+                test_attack.append(r)
+            elif benign_test[i]:
+                test_benign.append(r)
+            else:
+                train_records.append(r)
+        train = type(dataset)(sample_period=dataset.sample_period)
+        train.records = train_records
+        detector = trainer(train)
+        results[held_out] = _score_fold(detector, held_out,
+                                        test_attack, test_benign)
+    return results
+
+
+def _score_fold(detector, category, test_attack, test_benign):
+    schema = detector.schema
+    tpr = fpr = 0.0
+    correct = total = 0
+    if test_attack:
+        Xa = schema.matrix([r.deltas for r in test_attack])
+        pa = detector.predict_raw(Xa)
+        tpr = float(pa.mean())
+        correct += int(pa.sum())
+        total += len(pa)
+    if test_benign:
+        Xb = schema.matrix([r.deltas for r in test_benign])
+        pb = detector.predict_raw(Xb)
+        fpr = float(pb.mean())
+        correct += int((pb == 0).sum())
+        total += len(pb)
+    error = 1.0 - correct / total if total else 0.0
+    return FoldResult(category=category, tpr=tpr, fpr=fpr, error=error,
+                      n_test_attack=len(test_attack),
+                      n_test_benign=len(test_benign))
+
+
+def mean_generalization_error(fold_results):
+    """Mean fold error — the paper's Figure 19 metric."""
+    if not fold_results:
+        return 0.0
+    return float(np.mean([f.error for f in fold_results.values()]))

@@ -1,0 +1,24 @@
+"""Deep detectors (paper Section VIII-D, Figure 20).
+
+The paper shows that AM-GAN training data improves not just the perceptron
+but deep networks too — a 16-layer net trained on EVAX data outperforms a
+32-layer net trained traditionally.  :class:`DeepDetector` is the same
+detector interface as the perceptron with hidden layers.
+"""
+
+from repro.core.perceptron import HardwareDetector
+
+
+class DeepDetector(HardwareDetector):
+    """An n-hidden-layer MLP detector over the same feature schema."""
+
+    def __init__(self, schema, depth=16, width=32, seed=0, threshold=0.5,
+                 name=None):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        hidden = tuple(width for _ in range(depth))
+        super().__init__(schema, hidden_layers=hidden, seed=seed,
+                         threshold=threshold,
+                         name=name or f"dnn-{depth}x{width}")
+        self.depth = depth
+        self.width = width

@@ -1,0 +1,39 @@
+"""Gram-matrix interpretability metric (paper Section V-D).
+
+The Gram matrix of a set of feature windows measures how often feature
+pairs fire together.  Attacks of the same type share leakage-phase
+correlation patterns even when their instruction mixes differ, so the
+style loss between a generated sample batch and real samples of the
+conditioned attack type scores the semantic quality of AM-GAN output —
+the paper's criterion for when to start harvesting training samples.
+"""
+
+import numpy as np
+
+
+def gram_matrix(windows):
+    """G = X^T X / n over a batch of feature windows (features on rows of
+    the result: ``G[i, j]`` is the mean co-activation of features i, j)."""
+    X = np.asarray(windows, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("windows must be a 2-D batch")
+    if X.shape[0] == 0:
+        raise ValueError("need at least one window")
+    return X.T @ X / X.shape[0]
+
+
+def style_loss(base_windows, generated_windows, alpha=1.0):
+    """Attack leakage style loss L_GM (paper Section V-D):
+
+        L = 1 / (4 * alpha * N^2) * sum_ij (GM(B)_ij - GM(G)_ij)^2
+    """
+    gb = gram_matrix(base_windows)
+    gg = gram_matrix(generated_windows)
+    n = gb.shape[0]
+    return float(np.sum((gb - gg) ** 2) / (4.0 * alpha * n * n))
+
+
+def feature_correlation(windows, index_a, index_b):
+    """Co-activation of one feature pair (one Gram entry)."""
+    X = np.asarray(windows, dtype=float)
+    return float(X[:, index_a] @ X[:, index_b] / X.shape[0])

@@ -1,0 +1,95 @@
+"""Interpretability tooling (paper Sections V-D and VIII-C).
+
+The paper argues single-hyperplane detectors are "the first major step to
+cracking open a black box": the weight vector *is* the explanation.  This
+module renders that story:
+
+* :func:`weight_report` — the detector's most malicious- and most
+  benign-leaning features, straight from the hyperplane;
+* :func:`explain_window` — per-feature contributions to one window's
+  score (why was this window flagged?);
+* :func:`gram_heatmap` — an ASCII rendering of a Gram matrix over chosen
+  features (the paper's Figure 6 visual check);
+* :func:`attack_signature` — the counters that most separate one attack
+  category from benign execution.
+"""
+
+import numpy as np
+
+from repro.core.gram import gram_matrix
+
+_SHADES = " .:-=+*#%@"
+
+
+def weight_report(detector, top=10):
+    """The detector's strongest weights, as (feature, weight) lists.
+
+    Returns ``(malicious_leaning, benign_leaning)``, each sorted by
+    influence.  Only meaningful for single-layer detectors, where the
+    weight vector is the decision hyperplane.
+    """
+    weights = detector.net.layers[0].weights[:, 0]
+    names = detector.schema.names
+    order = np.argsort(weights)
+    benign = [(names[i], float(weights[i])) for i in order[:top]]
+    malicious = [(names[i], float(weights[i])) for i in order[::-1][:top]]
+    return malicious, benign
+
+
+def explain_window(detector, deltas, top=8):
+    """Why did the detector score this window the way it did?
+
+    Returns ``(score, contributions)`` where contributions are the ``top``
+    (feature, weight * value) products pushing the window toward the
+    malicious side.
+    """
+    raw = detector.schema.raw_vector(deltas)
+    x = detector.normalizer.transform(raw[None, :])[0]
+    weights = detector.net.layers[0].weights[:, 0]
+    products = weights * x
+    score = float(detector.scores_raw(raw[None, :])[0])
+    order = np.argsort(-products)[:top]
+    names = detector.schema.names
+    contributions = [(names[i], float(products[i])) for i in order
+                     if products[i] > 0]
+    return score, contributions
+
+
+def gram_heatmap(windows, feature_names, selected=None, width=2):
+    """ASCII heatmap of the Gram matrix over ``selected`` feature names.
+
+    Returns a printable string; darker characters mean stronger feature
+    co-activation — the paper's leakage-style fingerprint.
+    """
+    windows = np.asarray(windows, dtype=float)
+    if selected is None:
+        selected = list(feature_names)[: min(8, windows.shape[1])]
+    cols = [list(feature_names).index(s) for s in selected]
+    G = gram_matrix(windows[:, cols])
+    peak = G.max() or 1.0
+    lines = []
+    label_width = max(len(s) for s in selected)
+    for i, name in enumerate(selected):
+        cells = []
+        for j in range(len(selected)):
+            shade = _SHADES[int((len(_SHADES) - 1) * G[i, j] / peak)]
+            cells.append(shade * width)
+        lines.append(f"{name:>{label_width}} |" + "".join(cells) + "|")
+    return "\n".join(lines)
+
+
+def attack_signature(dataset, category, schema, top=8):
+    """Counters whose normalized rates most separate ``category`` windows
+    from benign windows — the per-attack fingerprint."""
+    from repro.data.features import MaxNormalizer
+    raw = dataset.raw_matrix(schema)
+    norm = MaxNormalizer().fit(raw)
+    X = norm.transform(raw)
+    groups = dataset.groups()
+    attack = X[groups == category]
+    benign = X[groups == "benign"]
+    if not len(attack) or not len(benign):
+        raise ValueError(f"need windows for {category!r} and benign")
+    gap = attack.mean(axis=0) - benign.mean(axis=0)
+    order = np.argsort(-gap)[:top]
+    return [(schema.names[i], float(gap[i])) for i in order if gap[i] > 0]

@@ -1,0 +1,158 @@
+"""Detector serialization and vendor-style security patches.
+
+The paper's deployment story (Section VI-B, "Weight & Feature Updates"):
+the detector's weights are static in silicon but updatable "via a vendor
+distributed patch ... a process similar to microcode updates", including
+additions to the monitored feature set as new attacks emerge.
+
+* :func:`detector_to_dict` / :func:`detector_from_dict` — full round-trip
+  serialization of a trained detector (schema, normalizer, weights);
+* :class:`DetectorPatch` — the diff between a deployed detector and a
+  retrained one: new engineered features, weight updates, a version tag —
+  applied in place to a deployed detector.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.perceptron import HardwareDetector
+from repro.data.features import FeatureSchema, MaxNormalizer
+
+
+def detector_to_dict(detector):
+    """Serialize a detector to plain JSON-compatible data."""
+    return {
+        "name": detector.name,
+        "threshold": detector.threshold,
+        "schema": {
+            "base": list(detector.schema.base_features),
+            "engineered": [[name, list(counters)]
+                           for name, counters in detector.schema.engineered],
+        },
+        "normalizer_max": detector.normalizer.max_values.tolist()
+        if detector.normalizer.max_values is not None else None,
+        "layers": [
+            {
+                "weights": layer.weights.tolist(),
+                "bias": layer.bias.tolist(),
+                "activation": layer.activation,
+            }
+            for layer in detector.net.layers
+        ],
+    }
+
+
+def detector_from_dict(data):
+    """Reconstruct a detector serialized by :func:`detector_to_dict`."""
+    schema = FeatureSchema(
+        engineered=tuple((name, tuple(counters))
+                         for name, counters in data["schema"]["engineered"]),
+        base=tuple(data["schema"]["base"]),
+    )
+    hidden = [len(layer["bias"]) for layer in data["layers"][:-1]]
+    detector = HardwareDetector(schema, hidden_layers=tuple(hidden),
+                                threshold=data["threshold"],
+                                name=data["name"])
+    for layer, saved in zip(detector.net.layers, data["layers"]):
+        layer.weights[:] = np.array(saved["weights"])
+        layer.bias[:] = np.array(saved["bias"])
+        if layer.activation != saved["activation"]:
+            raise ValueError("activation mismatch in serialized detector")
+    if data["normalizer_max"] is not None:
+        detector.normalizer = MaxNormalizer()
+        detector.normalizer.max_values = np.array(data["normalizer_max"])
+    return detector
+
+
+def save_detector(detector, path):
+    """Write a detector's full deployable state to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(detector_to_dict(detector), f)
+
+
+def load_detector(path):
+    """Load a detector written by :func:`save_detector`."""
+    with open(path) as f:
+        return detector_from_dict(json.load(f))
+
+
+def classifier_to_dict(classifier):
+    """Serialize an :class:`repro.core.classifier.AttackClassifier`."""
+    return {
+        "families": list(classifier.families),
+        "schema": {
+            "base": list(classifier.schema.base_features),
+            "engineered": [[name, list(counters)]
+                           for name, counters
+                           in classifier.schema.engineered],
+        },
+        "normalizer_max": classifier.normalizer.max_values.tolist()
+        if classifier.normalizer.max_values is not None else None,
+        "layers": [
+            {
+                "weights": layer.weights.tolist(),
+                "bias": layer.bias.tolist(),
+                "activation": layer.activation,
+            }
+            for layer in classifier.net.layers
+        ],
+    }
+
+
+def classifier_from_dict(data):
+    """Reconstruct a serialized attack-family classifier."""
+    from repro.core.classifier import AttackClassifier
+
+    schema = FeatureSchema(
+        engineered=tuple((name, tuple(counters))
+                         for name, counters in data["schema"]["engineered"]),
+        base=tuple(data["schema"]["base"]),
+    )
+    hidden = tuple(len(layer["bias"]) for layer in data["layers"][:-1])
+    classifier = AttackClassifier(schema, hidden=hidden)
+    if tuple(data["families"]) != tuple(classifier.families):
+        raise ValueError("family vocabulary mismatch")
+    for layer, saved in zip(classifier.net.layers, data["layers"]):
+        layer.weights[:] = np.array(saved["weights"])
+        layer.bias[:] = np.array(saved["bias"])
+    if data["normalizer_max"] is not None:
+        classifier.normalizer = MaxNormalizer()
+        classifier.normalizer.max_values = np.array(data["normalizer_max"])
+    return classifier
+
+
+class DetectorPatch:
+    """A vendor patch: the delta from a deployed detector to an updated
+    one, distributable as JSON and applied in place."""
+
+    def __init__(self, version, payload):
+        self.version = version
+        self.payload = payload
+
+    @classmethod
+    def from_retrained(cls, updated_detector, version):
+        """Build a patch carrying the updated detector's deployable state
+        (weights, normalizer, widened feature set)."""
+        return cls(version, detector_to_dict(updated_detector))
+
+    def apply(self):
+        """Instantiate the patched detector (the microcode-update step)."""
+        detector = detector_from_dict(self.payload)
+        detector.name = f"{detector.name}@{self.version}"
+        return detector
+
+    def new_features_vs(self, deployed_detector):
+        """Engineered features this patch adds over a deployed detector."""
+        old = {name for name, _ in deployed_detector.schema.engineered}
+        return [name for name, _ in
+                (tuple(e) for e in self.payload["schema"]["engineered"])
+                if name not in old]
+
+    def to_json(self):
+        return json.dumps({"version": self.version, "payload": self.payload})
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        return cls(data["version"], data["payload"])

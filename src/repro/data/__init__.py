@@ -1,0 +1,15 @@
+"""Dataset layer: the 145-feature schema, normalization, trace collection."""
+
+from repro.data.features import (
+    BASE_FEATURES, ENGINEERED_FEATURES, FeatureSchema, MaxNormalizer,
+)
+from repro.data.dataset import (
+    Dataset, SampleRecord, build_dataset, collect_source,
+)
+from repro.data.io import load_dataset, save_dataset
+
+__all__ = [
+    "BASE_FEATURES", "ENGINEERED_FEATURES", "FeatureSchema", "MaxNormalizer",
+    "Dataset", "SampleRecord", "build_dataset", "collect_source",
+    "save_dataset", "load_dataset",
+]

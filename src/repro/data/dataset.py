@@ -1,0 +1,127 @@
+"""Trace collection and the labelled HPC-window dataset.
+
+Mirrors the paper's methodology: run every attack and benign workload on
+the simulator, sample all event counters every N committed instructions,
+label windows by their source (attack vs benign) and attack phase (the
+recovery/transmission phase is check-pointed so the cross-validation
+setting can exclude it from test folds), and normalize per-counter over
+the maximum seen value.
+"""
+
+import copy
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.data.features import FeatureSchema, MaxNormalizer
+from repro.sim import Machine, SimConfig
+
+
+@dataclass
+class SampleRecord:
+    """One labelled HPC sampling window."""
+
+    deltas: list             # raw counter deltas, COUNTER_NAMES order
+    label: int               # 1 = attack window, 0 = benign
+    category: str            # attack category or "benign"
+    phase: int               # attack phase active in this window
+    source: str              # program name
+    commit_index: int
+
+
+@dataclass
+class Dataset:
+    """A labelled collection of sampling windows."""
+
+    records: List[SampleRecord] = field(default_factory=list)
+    sample_period: int = 1000
+
+    def __len__(self):
+        return len(self.records)
+
+    def extend(self, records):
+        self.records.extend(records)
+
+    @property
+    def categories(self):
+        return sorted({r.category for r in self.records})
+
+    def labels(self):
+        return np.array([r.label for r in self.records])
+
+    def groups(self):
+        """Per-record category labels (for leave-one-attack-out folds)."""
+        return np.array([r.category for r in self.records])
+
+    def phases(self):
+        return np.array([r.phase for r in self.records])
+
+    def raw_matrix(self, schema):
+        return schema.matrix([r.deltas for r in self.records])
+
+    def features(self, schema=None, normalizer=None):
+        """Return ``(X, y, schema, normalizer)`` with max-normalization
+        fitted on this dataset unless one is supplied."""
+        schema = schema if schema is not None else FeatureSchema()
+        raw = self.raw_matrix(schema)
+        if normalizer is None:
+            normalizer = MaxNormalizer().fit(raw)
+        return normalizer.transform(raw), self.labels(), schema, normalizer
+
+    def subset(self, predicate):
+        out = Dataset(sample_period=self.sample_period)
+        out.records = [r for r in self.records if predicate(r)]
+        return out
+
+    def balance_counts(self):
+        y = self.labels()
+        return int((y == 1).sum()), int((y == 0).sum())
+
+
+def collect_source(source, label, config=None, sample_period=250,
+                   max_cycles=None):
+    """Run one attack or workload and convert its windows to records."""
+    program, actors = source.build()
+    machine = Machine(program,
+                      copy.deepcopy(config) if config is not None else SimConfig(),
+                      sample_period=sample_period, actors=actors)
+    if max_cycles is None:
+        max_cycles = source.max_cycles() if hasattr(source, "max_cycles") \
+            else 400_000
+    result = machine.run(max_cycles=max_cycles)
+    records = []
+    for sample in result.samples:
+        records.append(SampleRecord(
+            deltas=sample.deltas,
+            label=label,
+            category=getattr(source, "category", "benign"),
+            phase=sample.phase,
+            source=program.name,
+            commit_index=sample.commit_index,
+        ))
+    return records, result, machine
+
+
+def build_dataset(attacks, workloads, config=None, sample_period=250,
+                  require_leak=False):
+    """Collect a full labelled dataset from attack and workload instances.
+
+    ``require_leak=True`` re-checks each attack's channel and drops runs
+    that failed to leak (useful when fuzzed variants produce duds).
+    """
+    dataset = Dataset(sample_period=sample_period)
+    for attack in attacks:
+        records, result, machine = collect_source(
+            attack, label=1, config=config, sample_period=sample_period)
+        if require_leak:
+            from repro.attacks.base import bits_balanced_accuracy
+            recovered = attack.recover(machine, result)
+            if bits_balanced_accuracy(attack.secret_bits, recovered) < 0.75:
+                continue
+        dataset.extend(records)
+    for workload in workloads:
+        records, _, _ = collect_source(workload, label=0, config=config,
+                                       sample_period=sample_period)
+        dataset.extend(records)
+    return dataset

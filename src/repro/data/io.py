@@ -1,0 +1,60 @@
+"""Dataset persistence: trace corpora are expensive to collect (they are
+full simulations), so they can be saved and reloaded as ``.npz`` bundles
+with a JSON sidecar of labels and metadata."""
+
+import json
+
+import numpy as np
+
+from repro.data.dataset import Dataset, SampleRecord
+
+
+def save_dataset(dataset, path):
+    """Write a dataset to ``path`` (.npz) plus ``path + '.meta.json'``."""
+    deltas = np.array([r.deltas for r in dataset.records], dtype=np.int64)
+    np.savez_compressed(path, deltas=deltas)
+    meta = {
+        "sample_period": dataset.sample_period,
+        "records": [
+            {
+                "label": r.label,
+                "category": r.category,
+                "phase": r.phase,
+                "source": r.source,
+                "commit_index": r.commit_index,
+            }
+            for r in dataset.records
+        ],
+    }
+    with open(_meta_path(path), "w") as f:
+        json.dump(meta, f)
+
+
+def load_dataset(path):
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(_npz_path(path)) as data:
+        deltas = data["deltas"]
+    with open(_meta_path(path)) as f:
+        meta = json.load(f)
+    if len(meta["records"]) != len(deltas):
+        raise ValueError("metadata and matrix row counts differ")
+    dataset = Dataset(sample_period=meta["sample_period"])
+    for row, rec in zip(deltas, meta["records"]):
+        dataset.records.append(SampleRecord(
+            deltas=row.tolist(),
+            label=rec["label"],
+            category=rec["category"],
+            phase=rec["phase"],
+            source=rec["source"],
+            commit_index=rec["commit_index"],
+        ))
+    return dataset
+
+
+def _npz_path(path):
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def _meta_path(path):
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".meta.json"

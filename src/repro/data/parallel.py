@@ -1,0 +1,41 @@
+"""Parallel trace collection.
+
+Corpus construction runs one independent simulation per attack/workload
+instance, which parallelizes perfectly across processes.  A full corpus
+(22 attacks x seeds + the benign suite) drops from tens of seconds to a
+few on a multicore host.
+"""
+
+import multiprocessing
+import os
+
+from repro.data.dataset import Dataset, collect_source
+
+
+def _collect_one(task):
+    source, label, config, sample_period = task
+    records, _, _ = collect_source(source, label=label, config=config,
+                                   sample_period=sample_period)
+    return records
+
+
+def build_dataset_parallel(attacks, workloads, config=None,
+                           sample_period=100, processes=None):
+    """Parallel equivalent of :func:`repro.data.build_dataset`.
+
+    Record order matches the sequential builder (all attacks in order,
+    then all workloads), so the resulting dataset is interchangeable.
+    """
+    tasks = [(a, 1, config, sample_period) for a in attacks]
+    tasks += [(w, 0, config, sample_period) for w in workloads]
+    if processes is None:
+        processes = max(1, min(len(tasks), (os.cpu_count() or 2)))
+    dataset = Dataset(sample_period=sample_period)
+    if processes == 1 or len(tasks) <= 1:
+        for task in tasks:
+            dataset.extend(_collect_one(task))
+        return dataset
+    with multiprocessing.Pool(processes) as pool:
+        for records in pool.map(_collect_one, tasks):
+            dataset.extend(records)
+    return dataset

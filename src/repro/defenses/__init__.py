@@ -1,0 +1,22 @@
+"""Mitigation policies: always-on and detector-gated (adaptive) defenses.
+
+The *mechanisms* (fencing issue rules, the InvisiSpec speculative-buffer
+path) live inside the simulated core (:mod:`repro.sim.cpu`), switched by
+:class:`repro.sim.config.DefenseMode`.  This package provides the policy
+layer the paper evaluates: the catalogue of defense configurations from
+Figure 16 and the secure-mode controller that turns a mitigation on for a
+window of instructions whenever the detector raises a flag.
+"""
+
+from repro.defenses.policies import (
+    DEFENSE_CONFIGS, DefensePolicy, measure_overhead, run_workload,
+)
+from repro.defenses.controller import SecureModeController
+
+__all__ = [
+    "DEFENSE_CONFIGS",
+    "DefensePolicy",
+    "SecureModeController",
+    "measure_overhead",
+    "run_workload",
+]

@@ -1,0 +1,60 @@
+"""The secure-mode controller: detector-gated adaptive mitigation.
+
+This is the paper's end-to-end mechanism ("we turn on mitigation at every
+true flag by our detector and we execute [N] instructions in secure mode"):
+the detector classifies every HPC sampling window; on a positive flag the
+core switches to the configured mitigation for ``secure_window`` committed
+instructions, re-armed by further flags, then drops back to full
+performance.
+"""
+
+from repro.sim.config import DefenseMode
+
+
+class SecureModeController:
+    """Wire into :class:`repro.sim.Machine` as its ``detector_hook``.
+
+    Parameters
+    ----------
+    detector_fn:
+        Callable ``(sample) -> bool`` deciding whether a sampling window
+        looks malicious (the trained EVAX detector's predict).
+    secure_mode:
+        The :class:`DefenseMode` to enable on a flag.
+    secure_window:
+        Committed instructions to stay in secure mode after the last flag
+        (paper evaluates 10k / 100k / 1M).
+    """
+
+    def __init__(self, detector_fn, secure_mode, secure_window=10_000):
+        self.detector_fn = detector_fn
+        self.secure_mode = secure_mode
+        self.secure_window = secure_window
+        self.active = False
+        self.secure_until = 0
+        self.flags = 0
+        self.windows_secure = 0
+        self.windows_total = 0
+
+    def __call__(self, machine, sample):
+        self.windows_total += 1
+        if self.active:
+            self.windows_secure += 1
+            if sample.commit_index >= self.secure_until:
+                self.active = False
+                machine.set_defense(DefenseMode.NONE)
+        flagged = bool(self.detector_fn(sample))
+        if flagged:
+            self.flags += 1
+            self.secure_until = sample.commit_index + self.secure_window
+            if not self.active:
+                self.active = True
+                machine.set_defense(self.secure_mode)
+        return flagged
+
+    @property
+    def secure_fraction(self):
+        """Fraction of sampling windows spent in secure mode."""
+        if not self.windows_total:
+            return 0.0
+        return self.windows_secure / self.windows_total

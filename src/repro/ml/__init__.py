@@ -1,0 +1,53 @@
+"""From-scratch neural-network substrate used by the EVAX pipeline.
+
+The paper implemented its models with Keras (AM-GAN) and the FANN C library
+(final perceptron detector).  This package provides the equivalent machinery
+in pure numpy: dense layers with backpropagation, SGD/Adam optimizers,
+binary-cross-entropy and mean-squared-error losses, classification metrics
+(ROC/AUC, confusion counts), and cross-validation splitters including the
+leave-one-attack-out splitter the paper's zero-day evaluation uses.
+"""
+
+from repro.ml.initializers import he_init, xavier_init, zeros_init
+from repro.ml.layers import Dense, ACTIVATIONS
+from repro.ml.losses import (BinaryCrossEntropy, CategoricalCrossEntropy,
+                             MeanSquaredError)
+from repro.ml.network import MLP
+from repro.ml.optim import SGD, Adam
+from repro.ml.metrics import (
+    accuracy,
+    auc,
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+    roc_curve,
+    true_positive_rate,
+    false_positive_rate,
+)
+from repro.ml.crossval import kfold_indices, leave_one_group_out
+
+__all__ = [
+    "he_init",
+    "xavier_init",
+    "zeros_init",
+    "Dense",
+    "ACTIVATIONS",
+    "BinaryCrossEntropy",
+    "CategoricalCrossEntropy",
+    "MeanSquaredError",
+    "MLP",
+    "SGD",
+    "Adam",
+    "accuracy",
+    "auc",
+    "confusion_counts",
+    "f1_score",
+    "precision",
+    "recall",
+    "roc_curve",
+    "true_positive_rate",
+    "false_positive_rate",
+    "kfold_indices",
+    "leave_one_group_out",
+]

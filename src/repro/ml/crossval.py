@@ -1,0 +1,34 @@
+"""Cross-validation splitters.
+
+The paper's zero-day evaluation uses leave-one-attack-out folds: at each
+fold all samples of one attack category are removed from the training set
+and used only for testing (Section VII, "Cross Validation Setting").
+"""
+
+import numpy as np
+
+
+def kfold_indices(n, k, seed=0):
+    """Yield ``(train_idx, test_idx)`` pairs for k-fold CV over ``n`` items."""
+    if not 2 <= k <= n:
+        raise ValueError("need 2 <= k <= n")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+def leave_one_group_out(groups):
+    """Yield ``(held_out_group, train_idx, test_idx)`` per distinct group.
+
+    ``groups`` is a sequence of hashable group labels, one per sample; the
+    test fold is exactly the samples of the held-out group.
+    """
+    groups = np.asarray(groups)
+    for g in sorted(set(groups.tolist()), key=str):
+        test = np.flatnonzero(groups == g)
+        train = np.flatnonzero(groups != g)
+        yield g, train, test

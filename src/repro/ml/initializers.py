@@ -1,0 +1,21 @@
+"""Weight initialization schemes for dense layers."""
+
+import numpy as np
+
+
+def xavier_init(rng, fan_in, fan_out):
+    """Glorot/Xavier uniform initialization, suited to tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_init(rng, fan_in, fan_out):
+    """He normal initialization, suited to ReLU-family layers."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(rng, fan_in, fan_out):
+    """All-zero initialization (used for bias vectors and perceptrons)."""
+    del rng
+    return np.zeros((fan_in, fan_out))

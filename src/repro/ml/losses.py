@@ -1,0 +1,43 @@
+"""Loss functions with analytic gradients w.r.t. predictions."""
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class BinaryCrossEntropy:
+    """BCE over sigmoid outputs in (0, 1)."""
+
+    def value(self, pred, target):
+        p = np.clip(pred, _EPS, 1.0 - _EPS)
+        return float(-np.mean(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)))
+
+    def gradient(self, pred, target):
+        p = np.clip(pred, _EPS, 1.0 - _EPS)
+        return (p - target) / (p * (1.0 - p)) / pred.shape[0]
+
+
+class MeanSquaredError:
+    """Plain mean squared error."""
+
+    def value(self, pred, target):
+        return float(np.mean((pred - target) ** 2))
+
+    def gradient(self, pred, target):
+        return 2.0 * (pred - target) / pred.size
+
+
+class CategoricalCrossEntropy:
+    """Cross-entropy over softmax outputs and one-hot targets.
+
+    Must be used with a ``softmax`` output layer: its ``gradient`` is the
+    *joint* softmax+CE gradient (pred - target), which the softmax layer
+    passes through unchanged.
+    """
+
+    def value(self, pred, target):
+        p = np.clip(pred, _EPS, 1.0)
+        return float(-np.mean(np.sum(target * np.log(p), axis=-1)))
+
+    def gradient(self, pred, target):
+        return (pred - target) / pred.shape[0]

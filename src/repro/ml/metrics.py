@@ -1,0 +1,86 @@
+"""Binary-classification metrics: confusion counts, rates, ROC and AUC."""
+
+import numpy as np
+
+
+def confusion_counts(labels, preds):
+    """Return (tp, fp, tn, fn) for 0/1 ``labels`` vs 0/1 ``preds``."""
+    labels = np.asarray(labels).astype(bool)
+    preds = np.asarray(preds).astype(bool)
+    if labels.shape != preds.shape:
+        raise ValueError("labels and preds must have the same shape")
+    tp = int(np.sum(labels & preds))
+    fp = int(np.sum(~labels & preds))
+    tn = int(np.sum(~labels & ~preds))
+    fn = int(np.sum(labels & ~preds))
+    return tp, fp, tn, fn
+
+
+def accuracy(labels, preds):
+    """Fraction of predictions matching the labels."""
+    tp, fp, tn, fn = confusion_counts(labels, preds)
+    total = tp + fp + tn + fn
+    return (tp + tn) / total if total else 0.0
+
+
+def precision(labels, preds):
+    """TP / (TP + FP); 0 when nothing was predicted positive."""
+    tp, fp, _, _ = confusion_counts(labels, preds)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall(labels, preds):
+    """TP / (TP + FN); 0 when there are no positives."""
+    tp, _, _, fn = confusion_counts(labels, preds)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def true_positive_rate(labels, preds):
+    """Alias of recall: TP / (TP + FN)."""
+    return recall(labels, preds)
+
+
+def false_positive_rate(labels, preds):
+    """FP / (FP + TN); 0 when there are no negatives."""
+    _, fp, tn, _ = confusion_counts(labels, preds)
+    return fp / (fp + tn) if fp + tn else 0.0
+
+
+def f1_score(labels, preds):
+    """Harmonic mean of precision and recall."""
+    p = precision(labels, preds)
+    r = recall(labels, preds)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def roc_curve(labels, scores):
+    """ROC points swept over all score thresholds.
+
+    Returns ``(fpr, tpr)`` arrays ordered by increasing FPR, always anchored
+    at (0,0) and (1,1).
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    order = np.argsort(-scores, kind="stable")
+    labels = labels[order]
+    scores = scores[order]
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    tps = np.cumsum(labels)
+    fps = np.cumsum(~labels)
+    # keep only the last point of each tied-score run
+    distinct = np.r_[scores[1:] != scores[:-1], True]
+    tps, fps = tps[distinct], fps[distinct]
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps, dtype=float)
+    return np.r_[0.0, fpr], np.r_[0.0, tpr]
+
+
+def auc(labels, scores):
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr = roc_curve(labels, scores)
+    widths = fpr[1:] - fpr[:-1]
+    heights = (tpr[1:] + tpr[:-1]) / 2.0
+    return float(np.sum(widths * heights))

@@ -1,0 +1,98 @@
+"""A multilayer perceptron built from :class:`repro.ml.layers.Dense`."""
+
+import numpy as np
+
+from repro.ml.layers import Dense
+from repro.ml.losses import BinaryCrossEntropy
+from repro.ml.optim import Adam
+
+
+class MLP:
+    """Sequential stack of dense layers.
+
+    Parameters
+    ----------
+    layer_dims:
+        List of widths, e.g. ``[145, 64, 1]``.
+    activations:
+        One activation name per layer (``len(layer_dims) - 1`` entries).
+    seed:
+        Seed for weight initialization.
+    loss:
+        Loss object with ``value``/``gradient``; defaults to BCE.
+    optimizer:
+        Optimizer with ``step(params, grads)``; defaults to Adam.
+    """
+
+    def __init__(self, layer_dims, activations, seed=0, loss=None, optimizer=None):
+        if len(activations) != len(layer_dims) - 1:
+            raise ValueError("need one activation per layer")
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            Dense(layer_dims[i], layer_dims[i + 1], activations[i], rng)
+            for i in range(len(activations))
+        ]
+        self.loss = loss if loss is not None else BinaryCrossEntropy()
+        self.optimizer = optimizer if optimizer is not None else Adam()
+
+    def forward(self, x, train=False):
+        """Run a batch through all layers; returns the network output."""
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def backward(self, grad_out):
+        """Backpropagate an output gradient; returns the input gradient."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train_batch(self, x, target):
+        """One optimizer step on a batch; returns the pre-step loss value."""
+        target = np.asarray(target, dtype=float)
+        if target.ndim == 1:
+            target = target[:, None]
+        pred = self.forward(x, train=True)
+        loss_value = self.loss.value(pred, target)
+        self.backward(self.loss.gradient(pred, target))
+        self.optimizer.step(self.parameters, self.gradients)
+        return loss_value
+
+    def train_batch_with_grad(self, x, grad_out):
+        """One optimizer step driven by an externally supplied output
+        gradient (used for the GAN generator, whose loss is evaluated
+        through the discriminator).  Returns the input gradient."""
+        self.forward(x, train=True)
+        grad_in = self.backward(grad_out)
+        self.optimizer.step(self.parameters, self.gradients)
+        return grad_in
+
+    def predict(self, x):
+        """Forward pass without caching; returns the raw outputs."""
+        return self.forward(x, train=False)
+
+    def predict_label(self, x, threshold=0.5):
+        """Binary labels from the first output column."""
+        return (self.predict(x)[:, 0] >= threshold).astype(int)
+
+    @property
+    def parameters(self):
+        return [p for layer in self.layers for p in layer.parameters]
+
+    @property
+    def gradients(self):
+        return [g for layer in self.layers for g in layer.gradients]
+
+    @property
+    def num_parameters(self):
+        return sum(p.size for p in self.parameters)
+
+    def clone_architecture(self, seed=0):
+        """A freshly initialized network with the same shape."""
+        dims = [self.layers[0].in_dim] + [l.out_dim for l in self.layers]
+        acts = [l.activation for l in self.layers]
+        return MLP(dims, acts, seed=seed, loss=type(self.loss)(), optimizer=type(self.optimizer)())

@@ -1,0 +1,53 @@
+"""Gradient-descent optimizers operating on (parameter, gradient) pairs."""
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr=0.01, momentum=0.0):
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = {}
+
+    def step(self, params, grads):
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if self.momentum:
+                v = self._velocity.get(i)
+                if v is None:
+                    v = np.zeros_like(p)
+                v = self.momentum * v - self.lr * g
+                self._velocity[i] = v
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, lr=0.001, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {}
+        self._v = {}
+        self._t = 0
+
+    def step(self, params, grads):
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (p, g) in enumerate(zip(params, grads)):
+            m = self._m.get(i)
+            if m is None:
+                m = np.zeros_like(p)
+                self._v[i] = np.zeros_like(p)
+            v = self._v[i]
+            m = b1 * m + (1.0 - b1) * g
+            v = b2 * v + (1.0 - b2) * g * g
+            self._m[i], self._v[i] = m, v
+            m_hat = m / (1.0 - b1 ** self._t)
+            v_hat = v / (1.0 - b2 ** self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,203 @@
+"""Background actors: co-resident processes modeled at event granularity.
+
+Cross-process attacks (Prime+Probe victims, SMotherSpectre port contention,
+RDRND covert senders, Leaky-Buddies bus hammering, DRAMA co-tenants) need a
+second execution context sharing microarchitectural state.  Rather than a
+full SMT pipeline, a background actor injects *events* into the shared
+structures (caches, DRAM, execution ports, RNG, branch predictor) every
+``period`` cycles.  The contention and state changes it causes are real —
+the attacker program on the main pipeline observes them through timing, and
+every event increments the same HPCs the main pipeline uses.
+"""
+
+
+class BackgroundActor:
+    """Base class; subclasses override :meth:`tick`."""
+
+    #: Cycles between tick() invocations.
+    period = 50
+
+    def tick(self, machine, cycle):
+        """Inject this actor's events for the current window."""
+        raise NotImplementedError
+
+
+class CacheToucherActor(BackgroundActor):
+    """Accesses a fixed working set through the data hierarchy — a generic
+    victim whose footprint a cache attacker observes (or benign noise)."""
+
+    def __init__(self, addresses, period=50):
+        self.addresses = list(addresses)
+        self.period = period
+        self._next = 0
+
+    def tick(self, machine, cycle):
+        if not self.addresses:
+            return
+        addr = self.addresses[self._next % len(self.addresses)]
+        self._next += 1
+        machine.hierarchy.access_data(addr, is_write=False, cycle=cycle)
+
+
+class SecretDependentToucher(BackgroundActor):
+    """A victim that touches ``addr_one`` when the current secret bit is 1
+    and ``addr_zero`` otherwise — the transmitter side of Flush+Reload,
+    Flush+Flush and Prime+Probe experiments.
+    """
+
+    def __init__(self, secret_bits, addr_one, addr_zero, bit_period=400,
+                 period=40):
+        self.secret_bits = list(secret_bits)
+        self.addr_one = addr_one
+        self.addr_zero = addr_zero
+        self.bit_period = bit_period
+        self.period = period
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        addr = self.addr_one if self.current_bit(cycle) else self.addr_zero
+        machine.hierarchy.access_data(addr, is_write=False, cycle=cycle)
+
+
+class PortHogActor(BackgroundActor):
+    """Occupies execution ports in a secret-dependent pattern — the victim
+    side of SMotherSpectre-style port-contention channels."""
+
+    def __init__(self, secret_bits, port, bit_period=400, period=1, count=2):
+        self.secret_bits = list(secret_bits)
+        self.port = port
+        self.bit_period = bit_period
+        self.period = period
+        self.count = count
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        if self.current_bit(cycle):
+            machine.cpu.ports.steal(self.port, self.count)
+
+
+class RngDrainActor(BackgroundActor):
+    """Drains the shared RDRAND entropy buffer when the secret bit is 1 —
+    the sender side of the RDRND covert channel."""
+
+    def __init__(self, secret_bits, bit_period=600, period=20, amount=4):
+        self.secret_bits = list(secret_bits)
+        self.bit_period = bit_period
+        self.period = period
+        self.amount = amount
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        if self.current_bit(cycle):
+            machine.rng.drain(cycle, self.amount)
+
+
+class BusHammerActor(BackgroundActor):
+    """Saturates the memory bus / DRAM from another component (the CPU-side
+    view of the Leaky Buddies integrated-GPU channel)."""
+
+    def __init__(self, secret_bits, base_addr, stride=4096, bit_period=800,
+                 period=10, burst=2):
+        self.secret_bits = list(secret_bits)
+        self.base_addr = base_addr
+        self.stride = stride
+        self.bit_period = bit_period
+        self.period = period
+        self.burst = burst
+        self._next = 0
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        if not self.current_bit(cycle):
+            return
+        for _ in range(self.burst):
+            addr = self.base_addr + (self._next % 64) * self.stride
+            self._next += 1
+            machine.dram.access(addr, is_write=False, cycle=cycle)
+            machine.counters.bump("membus.pktCount")
+            machine.counters.bump("membus.dataThroughBus", 64)
+
+
+class RowToucherActor(BackgroundActor):
+    """Opens a secret-dependent DRAM row (the DRAMA transmitter): when the
+    current bit is 1 it activates ``row_one``'s row, else ``row_zero``'s."""
+
+    def __init__(self, secret_bits, addr_one, addr_zero, bit_period=2000,
+                 period=60):
+        self.secret_bits = list(secret_bits)
+        self.addr_one = addr_one
+        self.addr_zero = addr_zero
+        self.bit_period = bit_period
+        self.period = period
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        addr = self.addr_one if self.current_bit(cycle) else self.addr_zero
+        machine.dram.access(addr, is_write=False, cycle=cycle)
+
+
+class KernelToucherActor(BackgroundActor):
+    """Caches a kernel line when the secret bit is 1 — models the mapped/
+    unmapped kernel-page distinction FlushConflict probes for KASLR."""
+
+    def __init__(self, secret_bits, kernel_addr, bit_period=2000, period=50):
+        self.secret_bits = list(secret_bits)
+        self.kernel_addr = kernel_addr
+        self.bit_period = bit_period
+        self.period = period
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        if self.current_bit(cycle):
+            machine.hierarchy.access_data(self.kernel_addr, is_write=False,
+                                          cycle=cycle)
+
+
+class BranchTrainerActor(BackgroundActor):
+    """Updates shared branch-predictor state in a secret-dependent way —
+    the victim side of BranchScope-style directional-predictor attacks."""
+
+    #: global-history values the victim's branch executes under; includes
+    #: the histories a spin-loop-based prober arrives with
+    histories = (0x000, 0xFFF, 0xFFE, 0xAAA, 0x555)
+
+    def __init__(self, secret_bits, pc, bit_period=400, period=25):
+        self.secret_bits = list(secret_bits)
+        self.pc = pc
+        self.bit_period = bit_period
+        self.period = period
+
+    def current_bit(self, cycle):
+        index = (cycle // self.bit_period) % len(self.secret_bits)
+        return self.secret_bits[index]
+
+    def tick(self, machine, cycle):
+        taken = bool(self.current_bit(cycle))
+        predictor = machine.cpu.branch_predictor
+        # the victim's branch executes under varying global histories, so
+        # it trains several gshare entries (not just one) plus the local
+        # table -- whichever component the attacker's lookup lands on
+        # reflects the current secret bit
+        saved = predictor.history
+        for history in self.histories:
+            predictor.history = history
+            predictor.update(self.pc, taken)
+        predictor.history = saved

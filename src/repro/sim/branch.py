@@ -1,0 +1,120 @@
+"""Branch prediction: tournament predictor, BTB and return address stack.
+
+The tournament predictor combines a local 2-bit-counter table indexed by PC
+with a gshare global-history table, arbitrated by a choice table — the
+structure Spectre-PHT mistrains.  The BTB caches indirect/taken targets
+(Spectre-BTB mistrains it) and the RAS predicts returns (Spectre-RSB
+desynchronizes it from the in-memory return address).
+"""
+
+
+def _saturate(counter, taken, bits=2):
+    """Update a saturating counter."""
+    top = (1 << bits) - 1
+    if taken:
+        return min(counter + 1, top)
+    return max(counter - 1, 0)
+
+
+class TournamentPredictor:
+    """Local + gshare tournament direction predictor."""
+
+    def __init__(self, local_size=2048, global_size=8192, choice_size=8192,
+                 counters=None):
+        self.local_size = local_size
+        self.global_size = global_size
+        self.choice_size = choice_size
+        self.local_table = [1] * local_size          # weakly not-taken
+        self.global_table = [1] * global_size
+        # weakly prefer the local (PC-indexed) component: histories seen at
+        # prediction time may not match training-time histories, and the
+        # chooser only migrates to gshare where gshare earns it
+        self.choice_table = [1] * choice_size
+        self.history = 0
+        self.counters = counters
+
+    def _indices(self, pc):
+        li = pc % self.local_size
+        gi = (pc ^ self.history) % self.global_size
+        ci = pc % self.choice_size
+        return li, gi, ci
+
+    def predict(self, pc):
+        """Predicted direction for the conditional branch at ``pc``."""
+        li, gi, ci = self._indices(pc)
+        if self.counters is not None:
+            self.counters.bump("branchPred.lookups")
+            self.counters.bump("branchPred.condPredicted")
+        if self.choice_table[ci] >= 2:
+            return self.global_table[gi] >= 2
+        return self.local_table[li] >= 2
+
+    def update(self, pc, taken):
+        """Train both component tables and the chooser on the outcome."""
+        li, gi, ci = self._indices(pc)
+        local_correct = (self.local_table[li] >= 2) == taken
+        global_correct = (self.global_table[gi] >= 2) == taken
+        if local_correct != global_correct:
+            self.choice_table[ci] = _saturate(self.choice_table[ci], global_correct)
+        self.local_table[li] = _saturate(self.local_table[li], taken)
+        self.global_table[gi] = _saturate(self.global_table[gi], taken)
+        self.history = ((self.history << 1) | int(taken)) & 0xFFF
+
+
+class BTB:
+    """Direct-mapped branch target buffer with tags."""
+
+    def __init__(self, entries=4096, counters=None):
+        self.entries = entries
+        self.targets = [None] * entries
+        self.tags = [None] * entries
+        self.counters = counters
+
+    def lookup(self, pc):
+        """Predicted target for ``pc`` or None on a BTB miss."""
+        idx = pc % self.entries
+        if self.counters is not None:
+            self.counters.bump("branchPred.BTBLookups")
+        if self.tags[idx] == pc:
+            if self.counters is not None:
+                self.counters.bump("branchPred.BTBHits")
+            return self.targets[idx]
+        if self.counters is not None:
+            self.counters.bump("branchPred.BTBMisses")
+        return None
+
+    def update(self, pc, target):
+        idx = pc % self.entries
+        self.tags[idx] = pc
+        self.targets[idx] = target
+
+
+class RAS:
+    """Circular return address stack."""
+
+    def __init__(self, entries=16, counters=None):
+        self.entries = entries
+        self.stack = [0] * entries
+        self.top = 0
+        self.count = 0
+        self.counters = counters
+
+    def push(self, return_pc):
+        self.stack[self.top] = return_pc
+        self.top = (self.top + 1) % self.entries
+        self.count = min(self.count + 1, self.entries)
+
+    def pop(self):
+        """Predicted return target (None when empty)."""
+        if self.counters is not None:
+            self.counters.bump("branchPred.RASUsed")
+        if self.count == 0:
+            return None
+        self.top = (self.top - 1) % self.entries
+        self.count -= 1
+        return self.stack[self.top]
+
+    def state(self):
+        """Checkpointable state (for squash recovery, not modeled by
+        default — real RSB attacks rely on the stale state we keep)."""
+        return (self.top, self.count, tuple(self.stack))

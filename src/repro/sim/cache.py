@@ -1,0 +1,247 @@
+"""Set-associative caches with LRU replacement, MSHR and write-buffer
+accounting, plus the two-level hierarchy glue.
+
+Cache *state* (which lines are present) is first-class here because the
+attacks measure it: Flush+Reload times a reload after a flush, Prime+Probe
+observes evictions from a primed set, and InvisiSpec's security property is
+exactly that speculative loads do not change this state.
+"""
+
+from repro.sim.isa import LINE_BYTES
+
+
+class Cache:
+    """One level of set-associative cache with true LRU.
+
+    ``prefix`` is the counter namespace, e.g. ``"dcache"``.
+    """
+
+    def __init__(self, size, assoc, line_bytes, latency, counters, prefix,
+                 mshrs=20, write_buffers=8):
+        self.num_sets = size // (assoc * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache too small for its associativity")
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.counters = counters
+        self.prefix = prefix
+        self.mshrs = mshrs
+        self.write_buffers = write_buffers
+        # per-set: list of line addrs in LRU order (last = most recent)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty = set()
+        self._inflight_misses = 0
+
+    def _set_index(self, line_addr):
+        return line_addr % self.num_sets
+
+    def bump(self, stat, amount=1):
+        self.counters.bump(f"{self.prefix}.{stat}", amount)
+
+    def contains(self, line_addr):
+        """Presence check with no LRU side effect (used by flush timing and
+        InvisiSpec invisible accesses)."""
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def lookup(self, line_addr, update_lru=True):
+        """Tag lookup; moves the line to MRU position on hit."""
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            if update_lru:
+                ways.remove(line_addr)
+                ways.append(line_addr)
+            return True
+        return False
+
+    def fill(self, line_addr, dirty=False):
+        """Insert a line; returns ``(evicted_line, was_dirty)`` or None."""
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            ways.remove(line_addr)
+            ways.append(line_addr)
+            if dirty:
+                self._dirty.add(line_addr)
+            return None
+        evicted = None
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            was_dirty = victim in self._dirty
+            self._dirty.discard(victim)
+            self.bump("replacements")
+            if was_dirty:
+                self.bump("writebacks")
+            else:
+                self.bump("cleanEvicts")
+            evicted = (victim, was_dirty)
+        ways.append(line_addr)
+        if dirty:
+            self._dirty.add(line_addr)
+        return evicted
+
+    def invalidate(self, line_addr):
+        """Remove a line; returns ``(was_present, was_dirty)``."""
+        ways = self._sets[self._set_index(line_addr)]
+        if line_addr in ways:
+            ways.remove(line_addr)
+            was_dirty = line_addr in self._dirty
+            self._dirty.discard(line_addr)
+            return True, was_dirty
+        return False, False
+
+    def mark_dirty(self, line_addr):
+        if self.contains(line_addr):
+            self._dirty.add(line_addr)
+
+    def set_occupancy(self, set_index):
+        """Number of valid ways in a set (Prime+Probe observable)."""
+        return len(self._sets[set_index % self.num_sets])
+
+
+class CacheHierarchy:
+    """L1I + L1D + shared L2 in front of DRAM.
+
+    ``access_data`` is the single entry point for demand data accesses and
+    returns the latency in cycles.  With ``invisible=True`` (InvisiSpec
+    speculative access) the walk observes presence without updating LRU or
+    filling any level.
+    """
+
+    def __init__(self, config, counters, dram):
+        self.config = config
+        self.counters = counters
+        self.dram = dram
+        self.l1i = Cache(config.l1i_size, config.l1i_assoc, config.line_bytes,
+                         config.l1i_latency, counters, "icache")
+        self.l1d = Cache(config.l1d_size, config.l1d_assoc, config.line_bytes,
+                         config.l1d_latency, counters, "dcache",
+                         mshrs=config.l1d_mshrs,
+                         write_buffers=config.l1d_write_buffers)
+        self.l2 = Cache(config.l2_size, config.l2_assoc, config.line_bytes,
+                        config.l2_latency, counters, "l2",
+                        mshrs=config.l2_mshrs,
+                        write_buffers=config.l2_write_buffers)
+        #: completion times of outstanding L1D misses (the MSHR occupancy)
+        self._l1_miss_completions = []
+
+    @staticmethod
+    def line_of(addr):
+        return addr // LINE_BYTES
+
+    # -- demand path -----------------------------------------------------------
+
+    def access_data(self, addr, is_write, cycle, invisible=False):
+        """Access the data hierarchy; returns latency in cycles."""
+        line = self.line_of(addr)
+        c = self.counters
+        c.bump("dcache.accesses")
+        kind = "WriteReq" if is_write else "ReadReq"
+        if invisible:
+            return self._invisible_access(line, cycle)
+        if self.l1d.lookup(line):
+            c.bump("dcache.hits")
+            c.bump(f"dcache.{kind}_hits")
+            if is_write:
+                self.l1d.mark_dirty(line)
+            return self.config.l1d_latency
+        # L1 miss
+        c.bump("dcache.misses")
+        c.bump(f"dcache.{kind}_misses")
+        c.bump("dcache.mshrMisses")
+        latency = self.config.l1d_latency
+        # MSHR occupancy: a full miss-handling file delays the new miss
+        self._l1_miss_completions = [t for t in self._l1_miss_completions
+                                     if t > cycle]
+        if len(self._l1_miss_completions) >= self.l1d.mshrs:
+            c.bump("dcache.mshrFullEvents")
+            latency += 4
+        c.bump("l2.accesses")
+        if self.l2.lookup(line):
+            c.bump("l2.hits")
+            c.bump("l2.ReadSharedReq_hits")
+            latency += self.config.l2_latency
+        else:
+            c.bump("l2.misses")
+            c.bump("l2.ReadSharedReq_misses")
+            c.bump("l2.mshrMisses")
+            c.bump("membus.transDist_ReadSharedReq")
+            c.bump("membus.pktCount")
+            c.bump("membus.dataThroughBus", self.config.line_bytes)
+            latency += self.config.l2_latency
+            latency += self.dram.access(addr, is_write=False, cycle=cycle)
+            self._fill(self.l2, line)
+        self._fill(self.l1d, line, dirty=is_write)
+        self._l1_miss_completions.append(cycle + latency)
+        if not is_write:
+            c.bump("dcache.ReadReq_mshr_miss_latency", latency)
+            c.bump("dcache.demandAvgMissLatency", latency)
+        return latency
+
+    def _fill(self, cache, line, dirty=False):
+        evicted = cache.fill(line, dirty=dirty)
+        if evicted is not None and evicted[1] and cache is self.l1d:
+            # dirty L1 victim goes down to L2
+            self.l2.fill(evicted[0], dirty=True)
+
+    def _invisible_access(self, line, cycle):
+        """InvisiSpec speculative access: observe latency, change nothing."""
+        c = self.counters
+        c.bump("specbuf.fills")
+        if self.l1d.contains(line):
+            return self.config.l1d_latency
+        if self.l2.contains(line):
+            return self.config.l1d_latency + self.config.l2_latency
+        dram_latency = self.dram.peek_latency(line * self.config.line_bytes)
+        return self.config.l1d_latency + self.config.l2_latency + dram_latency
+
+    # -- instruction path --------------------------------------------------------
+
+    def access_inst(self, pc, cycle):
+        """Instruction fetch for the line containing ``pc``; returns latency
+        (0 extra on an L1I hit)."""
+        line = pc // 8  # 8 instructions per I-cache "line"
+        c = self.counters
+        c.bump("icache.accesses")
+        if self.l1i.lookup(line):
+            c.bump("icache.hits")
+            return 0
+        c.bump("icache.misses")
+        latency = self.config.l2_latency
+        if not self.l2.lookup(line + (1 << 40)):   # disjoint tag space from data
+            latency += self.dram.peek_latency(pc)
+            self.l2.fill(line + (1 << 40))
+        self.l1i.fill(line)
+        return latency
+
+    # -- maintenance ops -----------------------------------------------------------
+
+    def flush_line(self, addr, cycle):
+        """CLFLUSH: evict from L1D and L2, write back if dirty.
+
+        Returns latency — measurably higher when the line was present
+        (the Flush+Flush signal) and higher still when dirty.
+        """
+        line = self.line_of(addr)
+        c = self.counters
+        c.bump("dcache.flushes")
+        c.bump("membus.transDist_FlushReq")
+        present1, dirty1 = self.l1d.invalidate(line)
+        c.bump("l2.flushes")
+        present2, dirty2 = self.l2.invalidate(line)
+        latency = 4
+        if present1 or present2:
+            c.bump("dcache.flushHits")
+            latency += 14
+        if dirty1 or dirty2:
+            latency += self.dram.access(addr, is_write=True, cycle=cycle)
+        return latency
+
+    def prefetch(self, addr, cycle):
+        """Software prefetch into L1D (normal fill path, no result)."""
+        self.counters.bump("dcache.prefetches")
+        return self.access_data(addr, is_write=False, cycle=cycle)
+
+    def data_line_present(self, addr):
+        """Presence anywhere in the data hierarchy (no side effects)."""
+        line = self.line_of(addr)
+        return self.l1d.contains(line) or self.l2.contains(line)

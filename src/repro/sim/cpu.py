@@ -1,0 +1,694 @@
+"""The out-of-order pipeline: fetch, dispatch, issue, complete, commit.
+
+The model is Tomasulo-with-ROB: entries carry their operand links
+(architectural value or producing ROB entry), results are computed at issue
+and become architecturally visible at ``done_cycle``, and commit retires
+in program order from the ROB head.  The security-relevant behaviours are
+faithful:
+
+* **Deferred faults** — a user-mode load of a kernel address executes
+  (returning the real data when the core is Meltdown-vulnerable) and only
+  traps when it reaches the ROB head; younger dependent ops execute
+  transiently in the meantime, bounded by the ROB size.
+* **Wrong-path execution** — conditional/indirect/return mispredictions are
+  discovered when the branch resolves; until then wrong-path loads issue
+  and perturb real cache state.
+* **Store-to-load forwarding & memory-dependence speculation** — loads may
+  bypass older unresolved stores (Spectre-STL), and assist-page loads
+  transiently receive stale store-queue data (LVI / MDS) before faulting.
+* **Defenses** — fencing modes delay issue; InvisiSpec modes service
+  shadowed loads invisibly and expose them at commit.
+"""
+
+from collections import deque
+
+from repro.sim.config import DefenseMode
+from repro.sim.isa import (
+    Op, WORD_BYTES, is_assist_address, is_kernel_address,
+)
+from repro.sim.rob import EntryState, FaultKind, RobEntry
+from repro.sim.units import ExecPorts, OP_LATENCY
+
+_SQUASH_REDIRECT_PENALTY = 3
+
+#: Branch kinds that can actually mispredict (direct JMP/CALL cannot).
+_SHADOWING_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.JMPI, Op.RET})
+
+
+class O3Core:
+    """The out-of-order core, advanced one cycle at a time by the Machine."""
+
+    def __init__(self, machine):
+        self.m = machine
+        self.config = machine.config
+        self.counters = machine.counters
+        self.ports = ExecPorts(self.config, self.counters)
+        self.branch_predictor = machine.branch_predictor
+        self.btb = machine.btb
+        self.ras = machine.ras
+
+        self.arch_regs = [0] * 16
+        self.rename_map = {}           # arch reg -> producing seq
+        self.rob = deque()             # program order, left = oldest
+        self.entries_by_seq = {}
+        self.waiting = []              # DISPATCHED, program order
+        self.executing = []            # EXECUTING
+        self.store_entries = []        # in-flight stores, program order
+        self.unresolved_branches = []  # mispredictable branches not DONE
+        self.fences = []               # in-flight FENCE entries
+        self.lfences = []              # in-flight LFENCE entries
+
+        self.fetch_buffer = deque()
+        self.fetch_pc = 0
+        self.fetch_stall_until = 0
+        self.commit_stall_until = 0
+        self.trap_handler = None
+        self.halted = False
+        self.halt_reason = None
+
+        self.next_seq = 0
+        self.committed = 0
+        self.cycle = 0
+        self._halt_fetched = False
+
+    # ------------------------------------------------------------------ helpers
+
+    def _sources_ready(self, entry):
+        for source in entry.sources.values():
+            if source[0] == "rob":
+                producer = self.entries_by_seq.get(source[1])
+                # a committed producer's value is in the architectural file
+                if producer is not None and producer.state is not EntryState.DONE:
+                    return False
+        return True
+
+    def _operand(self, entry, reg):
+        kind, payload = entry.sources[reg]
+        if kind == "val":
+            return payload
+        producer = self.entries_by_seq.get(payload)
+        if producer is None:
+            return self.arch_regs[reg]
+        return producer.result
+
+    def _has_older_unresolved_branch(self, seq):
+        return any(b.seq < seq for b in self.unresolved_branches)
+
+    def _has_older_incomplete(self, entry):
+        for other in self.rob:
+            if other.seq >= entry.seq:
+                return False
+            if other.state is not EntryState.DONE:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ cycle
+
+    def step(self, cycle):
+        """Advance the core one cycle."""
+        self.cycle = cycle
+        self.ports.new_cycle()
+        self.counters.bump("cpu.numCycles")
+        committed_before = self.committed
+        self._commit(cycle)
+        if self.committed == committed_before:
+            self.counters.bump("cpu.idleCycles")
+        if self.halted:
+            return
+        self._complete(cycle)
+        self._issue(cycle)
+        self._dispatch(cycle)
+        self._fetch(cycle)
+        if not self.rob and not self.fetch_buffer and \
+                self.m.program.fetch(self.fetch_pc) is None:
+            self.halted = True
+            self.halt_reason = "end-of-program"
+
+    # ------------------------------------------------------------------ commit
+
+    def _commit(self, cycle):
+        if self.commit_stall_until > cycle:
+            return
+        retired = 0
+        while retired < self.config.commit_width and self.rob:
+            head = self.rob[0]
+            if head.state is not EntryState.DONE:
+                break
+            if head.fault is not FaultKind.NONE:
+                self._trap(head, cycle)
+                return
+            if head.needs_expose:
+                # InvisiSpec exposure: make the load architecturally visible
+                head.needs_expose = False
+                self.counters.bump("specbuf.exposes")
+                self.counters.bump("specbuf.validationStalls")
+                self.m.hierarchy.access_data(head.addr, is_write=False,
+                                             cycle=cycle)
+                self.commit_stall_until = cycle + \
+                    self.config.invisispec_expose_latency
+                return
+            self._retire(head, cycle)
+            retired += 1
+            if self.halted:
+                return
+
+    def _retire(self, entry, cycle):
+        op = entry.inst.op
+        c = self.counters
+        if entry.is_store and entry.addr is not None:
+            self.m.memory.store(entry.addr, entry.store_value)
+            self.m.hierarchy.access_data(entry.addr, is_write=True, cycle=cycle)
+            c.bump("commit.stores")
+            c.bump("commit.memRefs")
+        if entry.is_load:
+            c.bump("commit.loads")
+            c.bump("commit.memRefs")
+        if entry.inst.rd is not None and entry.result is not None:
+            self.arch_regs[entry.inst.rd] = entry.result
+        if entry.is_branch:
+            c.bump("commit.branches")
+        if op is Op.MARK:
+            self.m.record_phase(entry.inst.imm, self.committed)
+        elif op is Op.TRY:
+            self.trap_handler = entry.inst.target
+        elif op is Op.FENCE or op is Op.LFENCE:
+            c.bump("commit.fences")
+            c.bump("commit.membars")
+        elif op is Op.HALT:
+            self.halted = True
+            self.halt_reason = "halt"
+        self._remove_entry(entry)
+        self.rob.popleft()
+        self.committed += 1
+        c.bump("commit.committedInsts")
+        c.bump("cpu.committedOps")
+        c.bump("rob.writes")
+        self.m.on_commit(self.committed)
+
+    def _trap(self, entry, cycle):
+        c = self.counters
+        c.bump("commit.traps")
+        c.bump("squash.faultSquashes")
+        squashed = self._squash_younger(entry.seq - 1, cycle)
+        c.bump("commit.commitSquashedInsts", squashed)
+        self.commit_stall_until = cycle + self.config.trap_latency
+        if self.trap_handler is not None:
+            self._redirect(self.trap_handler, cycle + self.config.trap_latency)
+        else:
+            self.halted = True
+            self.halt_reason = f"fault:{entry.fault.value}"
+        self.committed += 1  # the trap consumes the faulting op
+        self.m.on_commit(self.committed)
+
+    # ------------------------------------------------------------------ complete
+
+    def _complete(self, cycle):
+        finished = sorted((e for e in self.executing if e.done_cycle <= cycle),
+                          key=lambda e: e.seq)
+        for entry in finished:
+            if entry.seq not in self.entries_by_seq:
+                continue  # squashed earlier this cycle
+            entry.state = EntryState.DONE
+            try:
+                self.executing.remove(entry)
+            except ValueError:
+                pass
+            if entry.is_branch:
+                self._resolve_branch(entry, cycle)
+
+    def _resolve_branch(self, entry, cycle):
+        c = self.counters
+        op = entry.inst.op
+        if entry in self.unresolved_branches:
+            self.unresolved_branches.remove(entry)
+        c.bump("iew.execBranches")
+        if entry.is_cond_branch:
+            self.branch_predictor.update(entry.pc, entry.actual_taken)
+        if op is Op.JMPI:
+            self.btb.update(entry.pc, entry.actual_target)
+        mispredicted = entry.predicted_target != entry.actual_target
+        if not mispredicted:
+            return
+        c.bump("iew.branchMispredicts")
+        c.bump("commit.branchMispredicts")
+        if entry.is_cond_branch:
+            c.bump("branchPred.condIncorrect")
+            if entry.predicted_taken:
+                c.bump("iew.predictedTakenIncorrect")
+        elif op is Op.JMPI:
+            c.bump("branchPred.indirectMispredicted")
+        elif op is Op.RET:
+            c.bump("branchPred.RASIncorrect")
+        c.bump("squash.branchSquashes")
+        self._squash_younger(entry.seq, cycle)
+        self._redirect(entry.actual_target, cycle)
+
+    # ------------------------------------------------------------------ squash
+
+    def _squash_younger(self, than_seq, cycle):
+        """Remove every ROB entry with seq > than_seq; returns the count."""
+        c = self.counters
+        squashed = 0
+        while self.rob and self.rob[-1].seq > than_seq:
+            entry = self.rob.pop()
+            squashed += 1
+            c.bump("iq.squashedInstsExamined")
+            if entry.state is not EntryState.DISPATCHED:
+                c.bump("iew.execSquashedInsts")
+                c.bump("iq.squashedInstsIssued")
+                if entry.is_load:
+                    c.bump("lsq.squashedLoads")
+                    if entry.fault is not FaultKind.NONE:
+                        c.bump("iq.squashedNonSpecLD")
+                    if entry.invisible:
+                        c.bump("specbuf.squashes")
+                if entry.is_store:
+                    c.bump("lsq.squashedStores")
+            if entry.inst.rd is not None:
+                c.bump("rename.undoneMaps")
+            self._remove_entry(entry)
+        c.bump("decode.squashedInsts", squashed)
+        c.bump("rename.squashedInsts", squashed)
+        c.bump("commit.squashedInsts", squashed)
+        c.bump("squash.squashedFetchedInsts", len(self.fetch_buffer))
+        self.fetch_buffer.clear()
+        self._rebuild_rename_map()
+        return squashed
+
+    def _remove_entry(self, entry):
+        self.entries_by_seq.pop(entry.seq, None)
+        for bucket in (self.waiting, self.executing, self.store_entries,
+                       self.unresolved_branches, self.fences, self.lfences):
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                pass
+        if self.rename_map.get(entry.inst.rd) == entry.seq:
+            del self.rename_map[entry.inst.rd]
+
+    def _rebuild_rename_map(self):
+        self.rename_map = {}
+        for entry in self.rob:
+            if entry.inst.rd is not None:
+                self.rename_map[entry.inst.rd] = entry.seq
+
+    def _redirect(self, target_pc, effective_cycle):
+        self.fetch_pc = target_pc
+        self.fetch_buffer.clear()
+        self._halt_fetched = False
+        self.fetch_stall_until = max(self.fetch_stall_until,
+                                     effective_cycle + _SQUASH_REDIRECT_PENALTY)
+
+    # ------------------------------------------------------------------ issue
+
+    def _issue(self, cycle):
+        issued = 0
+        defense = self.config.defense
+        for entry in list(self.waiting):
+            if issued >= self.config.issue_width:
+                break
+            if entry.seq not in self.entries_by_seq:
+                continue  # squashed by a violation earlier in this scan
+            if not self._sources_ready(entry):
+                continue
+            if not self._issue_allowed(entry, defense):
+                continue
+            if not self.ports.try_issue(entry.inst.op):
+                self.counters.bump("iq.conflicts")
+                if entry.is_load:
+                    self.counters.bump("lsq.cacheBlocked")
+                continue
+            self._execute(entry, cycle)
+            issued += 1
+        if issued:
+            self.counters.bump("iq.instsIssued", issued)
+            self.counters.bump("iq.intInstQueueReads", issued)
+
+    def _issue_allowed(self, entry, defense):
+        seq = entry.seq
+        # FENCE serializes everything younger until it commits.
+        if any(f.seq < seq for f in self.fences):
+            return False
+        # LFENCE holds younger loads.
+        if entry.is_load and any(f.seq < seq for f in self.lfences):
+            return False
+        if defense is DefenseMode.FENCE_SPECTRE:
+            if self._has_older_unresolved_branch(seq):
+                return False
+        elif defense is DefenseMode.FENCE_FUTURISTIC:
+            if entry.is_load and self._has_older_incomplete(entry):
+                return False
+        if entry.is_load:
+            return self._load_may_issue(entry)
+        return True
+
+    def _load_may_issue(self, entry):
+        """Memory-dependence check for loads against older stores."""
+        for store in self.store_entries:
+            if store.seq >= entry.seq:
+                break
+            if store.state is EntryState.DISPATCHED:
+                # older store with unknown address
+                if self.config.stl_speculation:
+                    continue  # speculate no-alias (Spectre-STL window)
+                self.counters.bump("lsq.blockedLoads")
+                return False
+        return True
+
+    # ------------------------------------------------------------------ execute
+
+    def _execute(self, entry, cycle):
+        entry.state = EntryState.EXECUTING
+        entry.issue_cycle = cycle
+        entry.under_shadow = self._has_older_unresolved_branch(entry.seq)
+        self.waiting.remove(entry)
+        self.executing.append(entry)
+        op = entry.inst.op
+        if op is Op.LOAD or op is Op.RET:
+            latency = self._execute_load(entry, cycle)
+        elif entry.is_store:
+            latency = self._execute_store(entry, cycle)
+        elif op is Op.CLFLUSH:
+            base = self._operand(entry, entry.inst.rs1)
+            entry.addr = base + entry.inst.imm
+            latency = self.m.hierarchy.flush_line(entry.addr, cycle)
+        elif op is Op.PREFETCH:
+            base = self._operand(entry, entry.inst.rs1)
+            self.m.hierarchy.prefetch(base + entry.inst.imm, cycle)
+            latency = 1
+        elif op is Op.RDRAND:
+            value, latency = self.m.rng.read(cycle)
+            entry.result = value
+        elif op is Op.RDTSC:
+            entry.result = cycle
+            self.counters.bump("cpu.rdtscReads")
+            latency = 1
+        elif entry.is_branch:
+            latency = self._execute_branch(entry, cycle)
+        else:
+            latency = self._execute_alu(entry)
+        entry.done_cycle = cycle + max(latency, 1)
+
+    def _execute_alu(self, entry):
+        inst = entry.inst
+        op = inst.op
+        v1 = self._operand(entry, inst.rs1) if inst.rs1 is not None else 0
+        v2 = self._operand(entry, inst.rs2) if inst.rs2 is not None else inst.imm
+        if op is Op.ADD:
+            entry.result = v1 + v2
+        elif op is Op.SUB:
+            entry.result = v1 - v2
+        elif op is Op.AND:
+            entry.result = v1 & v2
+        elif op is Op.OR:
+            entry.result = v1 | v2
+        elif op is Op.XOR:
+            entry.result = v1 ^ v2
+        elif op is Op.SHL:
+            entry.result = v1 << (inst.imm & 63)
+        elif op is Op.SHR:
+            entry.result = v1 >> (inst.imm & 63)
+        elif op is Op.MUL:
+            entry.result = v1 * v2
+        elif op is Op.DIV:
+            entry.result = v1 // v2 if v2 else 0
+        elif op is Op.MOVI:
+            entry.result = inst.imm
+        elif op is Op.MOV:
+            entry.result = v1
+        return OP_LATENCY.get(op, 1)
+
+    def _execute_branch(self, entry, cycle):
+        inst = entry.inst
+        op = inst.op
+        if entry.is_cond_branch:
+            v1 = self._operand(entry, inst.rs1)
+            v2 = self._operand(entry, inst.rs2) if inst.rs2 is not None else inst.imm
+            if op is Op.BEQ:
+                taken = v1 == v2
+            elif op is Op.BNE:
+                taken = v1 != v2
+            else:
+                taken = v1 < v2
+            entry.actual_taken = taken
+            entry.actual_target = inst.target if taken else entry.pc + 1
+        elif op is Op.JMP:
+            entry.actual_taken = True
+            entry.actual_target = inst.target
+        elif op is Op.JMPI:
+            entry.actual_taken = True
+            entry.actual_target = self._operand(entry, inst.rs1)
+            self.counters.bump("branchPred.indirectLookups")
+        elif op is Op.CALL:
+            # handled as a store in _execute_store; not reached
+            entry.actual_target = inst.target
+        return 1
+
+    def _execute_store(self, entry, cycle):
+        inst = entry.inst
+        c = self.counters
+        if inst.op is Op.CALL:
+            sp = self._operand(entry, 15)
+            new_sp = sp - WORD_BYTES
+            entry.result = new_sp
+            entry.addr = new_sp
+            entry.store_value = entry.pc + 1
+            entry.actual_taken = True
+            entry.actual_target = inst.target
+            latency = 1
+        else:
+            base = self._operand(entry, inst.rs1)
+            entry.addr = base + inst.imm
+            entry.store_value = self._operand(entry, inst.rs2)
+            latency = 1
+            if inst.op is Op.STOREU:
+                c.bump("lsq.unalignedStores")
+                latency = 2
+        c.bump("iew.execStoreInsts")
+        self.m.dtlb.access(entry.addr, is_write=True)
+        self._check_order_violation(entry, cycle)
+        return latency
+
+    def _check_order_violation(self, store, cycle):
+        """A store whose address just resolved may expose a younger load
+        that speculatively read stale memory (Spectre-STL discovery)."""
+        word = store.addr - (store.addr % WORD_BYTES)
+        for entry in self.rob:
+            if entry.seq <= store.seq or not entry.is_load:
+                continue
+            if entry.state is EntryState.DISPATCHED or entry.addr is None:
+                continue
+            if entry.forwarded_from is not None and entry.forwarded_from >= store.seq:
+                continue  # load already saw this store (or a younger one)
+            got_stale = entry.read_memory or entry.forwarded_from is not None
+            if entry.addr - (entry.addr % WORD_BYTES) == word and got_stale:
+                c = self.counters
+                c.bump("iew.memOrderViolationEvents")
+                c.bump("lsq.memOrderViolation")
+                c.bump("squash.memOrderSquashes")
+                c.bump("lsq.rescheduledLoads")
+                self._squash_younger(entry.seq - 1, cycle)
+                self._redirect(entry.pc, cycle)
+                return
+
+    def _execute_load(self, entry, cycle):
+        inst = entry.inst
+        c = self.counters
+        c.bump("iew.execLoadInsts")
+        if inst.op is Op.RET:
+            sp = self._operand(entry, 15)
+            entry.addr = sp
+            entry.result = sp + WORD_BYTES
+        else:
+            base = self._operand(entry, inst.rs1)
+            entry.addr = base + inst.imm
+        latency = self.m.dtlb.access(entry.addr, is_write=False)
+        value, mem_latency = self._load_value(entry, cycle)
+        latency += mem_latency
+        if inst.op is Op.RET:
+            entry.actual_taken = True
+            entry.actual_target = value
+        else:
+            entry.result = value
+        return latency
+
+    def _load_value(self, entry, cycle):
+        """Resolve a load's value and memory latency, including the
+        transient fault paths."""
+        c = self.counters
+        addr = entry.addr
+        # Privileged access: defer the check, return real data transiently.
+        if is_kernel_address(addr) and self.m.user_mode:
+            entry.fault = FaultKind.PRIV
+            value = self.m.memory.load(addr) if self.config.meltdown_vulnerable else 0
+            latency = self.m.hierarchy.access_data(
+                addr, is_write=False, cycle=cycle,
+                invisible=self._invisible(entry))
+            return value, latency
+        # Assist page: transiently forward stale buffered data (LVI/MDS).
+        if is_assist_address(addr):
+            entry.fault = FaultKind.ASSIST
+            c.bump("lsq.ignoredResponses")
+            value = 0
+            if self.store_entries:
+                youngest = None
+                for store in self.store_entries:
+                    if store.seq < entry.seq and store.store_value is not None:
+                        youngest = store
+                if youngest is not None:
+                    value = youngest.store_value
+                    c.bump("lsq.assistForwards")
+                    c.bump("lsq.specLoadsHitWriteQueue")
+                    c.bump("wrqueue.bytesRead", WORD_BYTES)
+            return value, self.config.l1d_latency
+        # Store-to-load forwarding from the youngest older matching store.
+        word = addr - (addr % WORD_BYTES)
+        match = None
+        for store in self.store_entries:
+            if store.seq >= entry.seq:
+                break
+            if store.addr is not None and \
+                    store.addr - (store.addr % WORD_BYTES) == word:
+                match = store
+        if match is not None:
+            entry.forwarded_from = match.seq
+            c.bump("lsq.forwLoads")
+            return match.store_value, 1
+        entry.read_memory = True
+        value = self.m.memory.load(addr)
+        latency = self.m.hierarchy.access_data(
+            addr, is_write=False, cycle=cycle,
+            invisible=self._invisible(entry))
+        if self.m.prefetcher is not None and not entry.invisible:
+            self.m.prefetcher.observe(entry.pc, addr, cycle)
+        return value, latency
+
+    def _invisible(self, entry):
+        """Should this load use the InvisiSpec invisible path?"""
+        defense = self.config.defense
+        if defense is DefenseMode.INVISISPEC_FUTURISTIC:
+            entry.invisible = True
+        elif defense is DefenseMode.INVISISPEC_SPECTRE and entry.under_shadow:
+            entry.invisible = True
+        else:
+            return False
+        entry.needs_expose = True
+        return True
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _dispatch(self, cycle):
+        c = self.counters
+        dispatched = 0
+        while self.fetch_buffer and dispatched < self.config.fetch_width:
+            if len(self.rob) >= self.config.rob_entries:
+                c.bump("rob.fullEvents")
+                c.bump("rename.blockCycles")
+                break
+            if len(self.waiting) >= self.config.iq_entries:
+                c.bump("iq.fullEvents")
+                c.bump("rename.blockCycles")
+                break
+            pc, inst, ptaken, ptarget = self.fetch_buffer.popleft()
+            entry = RobEntry(self.next_seq, pc, inst)
+            self.next_seq += 1
+            entry.predicted_taken = ptaken
+            entry.predicted_target = ptarget
+            for reg in inst.source_regs():
+                producer = self.rename_map.get(reg)
+                if producer is not None and producer in self.entries_by_seq:
+                    entry.sources[reg] = ("rob", producer)
+                else:
+                    entry.sources[reg] = ("val", self.arch_regs[reg])
+            if inst.rd is not None:
+                self.rename_map[inst.rd] = entry.seq
+                c.bump("rename.committedMaps")
+            self.rob.append(entry)
+            self.entries_by_seq[entry.seq] = entry
+            self.waiting.append(entry)
+            if entry.is_store:
+                self.store_entries.append(entry)
+            if inst.op in _SHADOWING_OPS:
+                self.unresolved_branches.append(entry)
+            if inst.op is Op.FENCE:
+                self.fences.append(entry)
+                c.bump("rename.serializingInsts")
+            elif inst.op is Op.LFENCE:
+                self.lfences.append(entry)
+                c.bump("rename.serializingInsts")
+            if inst.op in (Op.LOAD, Op.STORE, Op.STOREU) and \
+                    self._has_older_unresolved_branch(entry.seq):
+                c.bump("iq.specInstsAdded")
+            dispatched += 1
+            c.bump("decode.insts")
+            c.bump("rename.renamedInsts")
+            c.bump("iq.instsAdded")
+            c.bump("rob.reads")
+
+    # ------------------------------------------------------------------ fetch
+
+    def _fetch(self, cycle):
+        c = self.counters
+        if self._halt_fetched:
+            return
+        if self.fetch_stall_until > cycle:
+            c.bump("fetch.squashCycles")
+            c.bump("fetch.pendingQuiesceStallCycles")
+            return
+        if len(self.fetch_buffer) >= 2 * self.config.fetch_width:
+            c.bump("fetch.blockedCycles")
+            c.bump("fetch.pendingQuiesceStallCycles")
+            return
+        c.bump("fetch.cycles")
+        fetched = 0
+        while fetched < self.config.fetch_width:
+            inst = self.m.program.fetch(self.fetch_pc)
+            if inst is None:
+                break
+            itlb_latency = self.m.itlb.access(self.fetch_pc * 4)
+            icache_latency = self.m.hierarchy.access_inst(self.fetch_pc, cycle)
+            stall = itlb_latency + icache_latency
+            if stall:
+                self.fetch_stall_until = cycle + stall
+                c.bump("fetch.icacheStallCycles", icache_latency)
+                break
+            pc = self.fetch_pc
+            ptaken, ptarget = self._predict(pc, inst)
+            self.fetch_buffer.append((pc, inst, ptaken, ptarget))
+            c.bump("fetch.insts")
+            fetched += 1
+            if inst.op is Op.HALT:
+                self._halt_fetched = True
+                break
+            self.fetch_pc = ptarget if ptarget is not None else pc + 1
+            if ptarget is not None and ptarget != pc + 1:
+                break  # taken branch ends the fetch group
+
+    def _predict(self, pc, inst):
+        """Fetch-time prediction; returns (predicted_taken, next_pc)."""
+        c = self.counters
+        op = inst.op
+        if inst.op in (Op.BEQ, Op.BNE, Op.BLT):
+            c.bump("fetch.branches")
+            taken = self.branch_predictor.predict(pc)
+            if taken:
+                c.bump("fetch.predictedTaken")
+                return True, inst.target
+            return False, pc + 1
+        if op is Op.JMP:
+            return True, inst.target
+        if op is Op.CALL:
+            self.ras.push(pc + 1)
+            return True, inst.target
+        if op is Op.JMPI:
+            target = self.btb.lookup(pc)
+            if target is not None:
+                c.bump("branchPred.indirectHits")
+                return True, target
+            return False, pc + 1
+        if op is Op.RET:
+            target = self.ras.pop()
+            if target is None:
+                return False, pc + 1
+            return True, target
+        return None, pc + 1

@@ -1,0 +1,128 @@
+"""DRAM model: banks, row buffers, write queue, refresh and Rowhammer.
+
+Modeled after Ramulator's role in the paper's setup plus the dedicated
+memory-corruption module the authors added: per-row activation counts since
+the last refresh, a bit-flip threshold, and a neighbour map so that
+hammering a row corrupts its physical neighbours in main memory.  Row-buffer
+hits and conflicts have different latencies, which is the DRAMA side
+channel; reads serviced by the write queue increment ``dram.bytesReadWrQ``
+(one of the features the paper highlights for TRRespass detection).
+"""
+
+
+class DRAM:
+    """Single-channel, multi-bank DRAM with open-row policy."""
+
+    def __init__(self, config, counters, memory):
+        self.config = config
+        self.counters = counters
+        self.memory = memory
+        self.num_banks = config.dram_banks
+        self.row_bytes = config.dram_row_bytes
+        self.open_rows = [None] * self.num_banks
+        #: (bank, row) -> activations since last refresh
+        self.activations_since_refresh = {}
+        self._last_refresh_cycle = 0
+        self._write_queue = []  # list of line addrs with pending writes
+        self._write_queue_cap = 16
+        #: addresses whose bits were flipped (for attack verification)
+        self.flipped_addresses = []
+
+    # -- geometry ---------------------------------------------------------------
+
+    def bank_row(self, addr):
+        """Map a byte address to its (bank, row)."""
+        row_global = addr // self.row_bytes
+        bank = row_global % self.num_banks
+        row = row_global // self.num_banks
+        return bank, row
+
+    def row_base_address(self, bank, row):
+        """Lowest byte address of (bank, row) — inverse of :meth:`bank_row`."""
+        return (row * self.num_banks + bank) * self.row_bytes
+
+    # -- timing -------------------------------------------------------------------
+
+    def peek_latency(self, addr):
+        """Latency this access *would* see, without changing any state
+        (used by InvisiSpec invisible accesses)."""
+        bank, row = self.bank_row(addr)
+        if self.open_rows[bank] == row:
+            return self.config.dram_row_hit_latency
+        return self.config.dram_row_miss_latency
+
+    def access(self, addr, is_write, cycle):
+        """Service a demand access; returns latency and updates row/refresh
+        and Rowhammer state."""
+        self._maybe_refresh(cycle)
+        c = self.counters
+        line = addr // 64
+        if is_write:
+            c.bump("dram.writeReqs")
+            c.bump("membus.transDist_WriteReq")
+            if line not in self._write_queue:
+                self._write_queue.append(line)
+                c.bump("wrqueue.occupancy")
+                if len(self._write_queue) > self._write_queue_cap:
+                    self._write_queue.pop(0)
+                    c.bump("wrqueue.drains")
+            # writes are posted: cheap from the CPU's perspective
+            return 6
+        c.bump("dram.readReqs")
+        if line in self._write_queue:
+            # read serviced by the write queue — no bank access at all
+            c.bump("dram.bytesReadWrQ", 64)
+            c.bump("wrqueue.bytesRead", 64)
+            return 8
+        bank, row = self.bank_row(addr)
+        if self.open_rows[bank] == row:
+            c.bump("dram.rowHits")
+            c.bump("dram.bytesPerActivate", 64)
+            return self.config.dram_row_hit_latency
+        # row conflict: precharge + activate
+        if self.open_rows[bank] is not None:
+            c.bump("dram.precharges")
+        self.open_rows[bank] = row
+        c.bump("dram.rowMisses")
+        c.bump("dram.activations")
+        c.bump("dram.actRate")
+        self._record_activation(bank, row)
+        return self.config.dram_row_miss_latency
+
+    # -- refresh & rowhammer ----------------------------------------------------------
+
+    def _maybe_refresh(self, cycle):
+        if cycle - self._last_refresh_cycle >= self.config.dram_refresh_interval:
+            self._last_refresh_cycle = cycle
+            self.activations_since_refresh.clear()
+            self.counters.bump("dram.refreshes")
+            self.counters.bump("dram.selfRefreshEnergy", 100)
+
+    def _record_activation(self, bank, row):
+        if not self.config.rowhammer_enabled:
+            return
+        key = (bank, row)
+        count = self.activations_since_refresh.get(key, 0) + 1
+        self.activations_since_refresh[key] = count
+        if count == self.config.rowhammer_threshold:
+            self._flip_neighbours(bank, row)
+
+    def _flip_neighbours(self, bank, row):
+        """Corrupt one bit in each physically adjacent row.
+
+        The flipped bit position depends on the aggressor row (flips are
+        cell-specific in real DRAM), so double-sided hammering corrupts
+        two distinct victim bits rather than cancelling itself out.
+        """
+        for victim_row in (row - 1, row + 1):
+            if victim_row < 0:
+                continue
+            victim_addr = self.row_base_address(bank, victim_row)
+            self.memory.flip_bit(victim_addr, bit=row % 8)
+            self.flipped_addresses.append(victim_addr)
+            self.counters.bump("dram.bitflips")
+
+    # -- observability -------------------------------------------------------------
+
+    def activation_count(self, addr):
+        return self.activations_since_refresh.get(self.bank_row(addr), 0)

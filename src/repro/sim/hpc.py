@@ -1,0 +1,135 @@
+"""Hardware performance counters.
+
+Every microarchitectural structure in the simulator increments counters in
+a shared :class:`CounterBank`.  Counter names follow gem5's stat naming
+(``lsq.forwLoads``, ``iq.squashedNonSpecLD``, ``dcache.cleanEvicts``...)
+so that the features named in the paper (Table I, Figures 9-11) map
+directly onto this bank.  The sampler snapshots the bank every N committed
+instructions and emits per-window deltas.
+"""
+
+
+#: The canonical counter namespace.  Structures may only increment names
+#: listed here — this catches typos at simulation time and gives the data
+#: layer a stable schema.  (The paper collects 1160 gem5 stats; this model
+#: exposes the ~170 that its mechanisms produce, a superset of every counter
+#: the paper names explicitly.)
+COUNTER_NAMES = (
+    # fetch
+    "fetch.cycles", "fetch.insts", "fetch.squashCycles", "fetch.blockedCycles",
+    "fetch.pendingQuiesceStallCycles", "fetch.icacheStallCycles",
+    "fetch.branches", "fetch.predictedTaken",
+    # decode / rename
+    "decode.insts", "decode.squashedInsts",
+    "rename.renamedInsts", "rename.squashedInsts", "rename.serializingInsts",
+    "rename.committedMaps", "rename.undoneMaps", "rename.blockCycles",
+    # instruction queue / scheduler
+    "iq.instsAdded", "iq.instsIssued", "iq.squashedInstsIssued",
+    "iq.squashedInstsExamined", "iq.squashedNonSpecLD",
+    "iq.conflicts", "iq.fullEvents", "iq.intInstQueueReads",
+    "iq.specInstsAdded",
+    # execute / IEW
+    "iew.execLoadInsts", "iew.execStoreInsts", "iew.execBranches",
+    "iew.execSquashedInsts", "iew.branchMispredicts",
+    "iew.memOrderViolationEvents", "iew.predictedTakenIncorrect",
+    "iew.portContentionCycles", "iew.intAluAccesses", "iew.mulDivAccesses",
+    # load/store queue
+    "lsq.forwLoads", "lsq.squashedLoads", "lsq.squashedStores",
+    "lsq.ignoredResponses", "lsq.rescheduledLoads", "lsq.blockedLoads",
+    "lsq.memOrderViolation", "lsq.cacheBlocked",
+    "lsq.specLoadsHitWriteQueue", "lsq.unalignedStores",
+    "lsq.assistForwards",
+    # reorder buffer / commit
+    "rob.reads", "rob.writes", "rob.fullEvents",
+    "commit.committedInsts", "commit.squashedInsts", "commit.branches",
+    "commit.memRefs", "commit.loads", "commit.stores", "commit.traps",
+    "commit.fences", "commit.membars", "commit.branchMispredicts",
+    "commit.commitSquashedInsts",
+    # branch prediction
+    "branchPred.lookups", "branchPred.condPredicted", "branchPred.condIncorrect",
+    "branchPred.BTBLookups", "branchPred.BTBHits", "branchPred.BTBMisses",
+    "branchPred.RASUsed", "branchPred.RASIncorrect",
+    "branchPred.indirectLookups", "branchPred.indirectHits",
+    "branchPred.indirectMispredicted",
+    # L1 instruction cache
+    "icache.accesses", "icache.hits", "icache.misses", "icache.replacements",
+    # L1 data cache
+    "dcache.accesses", "dcache.hits", "dcache.misses", "dcache.mshrMisses",
+    "dcache.mshrFullEvents", "dcache.replacements", "dcache.cleanEvicts",
+    "dcache.writebacks", "dcache.flushes", "dcache.flushHits",
+    "dcache.ReadReq_hits", "dcache.ReadReq_misses",
+    "dcache.ReadReq_mshr_miss_latency",
+    "dcache.WriteReq_hits", "dcache.WriteReq_misses",
+    "dcache.prefetches", "dcache.demandAvgMissLatency",
+    # L2
+    "l2.accesses", "l2.hits", "l2.misses", "l2.mshrMisses",
+    "l2.replacements", "l2.cleanEvicts", "l2.writebacks", "l2.flushes",
+    "l2.ReadSharedReq_hits", "l2.ReadSharedReq_misses",
+    # TLBs
+    "dtlb.rdAccesses", "dtlb.rdMisses", "dtlb.wrAccesses", "dtlb.wrMisses",
+    "dtlb.walkCycles", "itlb.accesses", "itlb.misses",
+    # memory bus
+    "membus.transDist_ReadSharedReq", "membus.transDist_WriteReq",
+    "membus.transDist_FlushReq", "membus.pktCount", "membus.dataThroughBus",
+    # DRAM
+    "dram.readReqs", "dram.writeReqs", "dram.activations", "dram.precharges",
+    "dram.rowHits", "dram.rowMisses", "dram.refreshes",
+    "dram.bytesPerActivate", "dram.bytesReadWrQ", "dram.selfRefreshEnergy",
+    "dram.bitflips", "dram.actRate",
+    # write/request queues
+    "wrqueue.bytesRead", "wrqueue.occupancy", "wrqueue.drains",
+    # hardware RNG unit
+    "rng.reads", "rng.underflows", "rng.refills", "rng.contentionCycles",
+    # speculative buffer (InvisiSpec)
+    "specbuf.fills", "specbuf.hits", "specbuf.exposes", "specbuf.squashes",
+    "specbuf.validationStalls",
+    # squash plumbing
+    "squash.branchSquashes", "squash.faultSquashes", "squash.memOrderSquashes",
+    "squash.squashedFetchedInsts",
+    # misc core
+    "cpu.numCycles", "cpu.idleCycles", "cpu.committedOps", "cpu.rdtscReads",
+)
+
+_COUNTER_SET = frozenset(COUNTER_NAMES)
+_COUNTER_INDEX = {name: i for i, name in enumerate(COUNTER_NAMES)}
+
+
+class CounterBank:
+    """A flat bank of named monotonically-increasing event counters."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values = [0] * len(COUNTER_NAMES)
+
+    def bump(self, name, amount=1):
+        """Increment ``name`` by ``amount`` (must be a known counter)."""
+        try:
+            self.values[_COUNTER_INDEX[name]] += amount
+        except KeyError:
+            raise KeyError(f"unknown counter {name!r}") from None
+
+    def get(self, name):
+        return self.values[_COUNTER_INDEX[name]]
+
+    def snapshot(self):
+        """A copy of all counter values, ordered as COUNTER_NAMES."""
+        return list(self.values)
+
+    def as_dict(self):
+        return dict(zip(COUNTER_NAMES, self.values))
+
+    @staticmethod
+    def names():
+        return COUNTER_NAMES
+
+    @staticmethod
+    def index_of(name):
+        return _COUNTER_INDEX[name]
+
+    @staticmethod
+    def has(name):
+        return name in _COUNTER_SET
+
+    def __len__(self):
+        return len(self.values)

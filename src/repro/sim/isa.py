@@ -1,0 +1,143 @@
+"""Micro-op ISA of the simulated out-of-order core.
+
+The core executes a small RISC-like micro-op set sufficient to express
+every attack and workload in the paper: ALU ops (with slow multiply/divide
+useful for delaying branch resolution), loads/stores (including unaligned
+stores, which exercise the store-to-load forwarding fast path that MDS-type
+attacks abuse), conditional branches, indirect jumps (BTB), call/return
+(RAS), cache-line flush, fences, cycle-counter and hardware-RNG reads, and
+bookkeeping ops (phase markers, trap-handler registration).
+
+Memory is word-granular (8-byte words, 64-byte cache lines).  Addresses at
+or above :data:`KERNEL_BASE` are privileged: a user-mode load to them
+executes transiently (returning the real data when the machine is
+configured Meltdown-vulnerable) but faults when it reaches the reorder
+buffer head.  Addresses with :data:`ASSIST_BIT` set model pages whose
+accesses require a microcode assist; an assisted load transiently receives
+stale data from the store queue / write queue (the LVI / MDS fault path)
+before being squashed.
+"""
+
+import enum
+from dataclasses import dataclass
+
+#: Number of architectural integer registers.  r15 is the stack pointer by
+#: software convention (CALL/RET use in-memory return addresses through it).
+NUM_REGS = 16
+
+#: Loads/stores at or above this address are privileged.
+KERNEL_BASE = 0x8000_0000
+
+#: Address bit marking "assist" pages (accesses need a microcode assist and
+#: transiently forward stale buffered data before faulting).
+ASSIST_BIT = 0x4000_0000
+
+#: Bytes per machine word and per cache line.
+WORD_BYTES = 8
+LINE_BYTES = 64
+
+
+class Op(enum.Enum):
+    """Micro-operation kinds."""
+
+    # ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MUL = "mul"          # 4-cycle latency
+    DIV = "div"          # 16-cycle latency; used to delay branch resolution
+    MOVI = "movi"        # rd <- imm
+    MOV = "mov"          # rd <- rs1
+    # Memory
+    LOAD = "load"        # rd <- mem[rs1 + imm]
+    STORE = "store"      # mem[rs1 + imm] <- rs2
+    STOREU = "storeu"    # unaligned store (stresses forwarding fast path)
+    PREFETCH = "prefetch"
+    CLFLUSH = "clflush"  # evict the line of rs1 + imm from all caches
+    # Control
+    BEQ = "beq"          # if rs1 == rs2 goto target
+    BNE = "bne"
+    BLT = "blt"
+    JMP = "jmp"          # unconditional direct
+    JMPI = "jmpi"        # indirect: target = value(rs1); uses the BTB
+    CALL = "call"        # push return address (memory + RAS), jump
+    RET = "ret"          # pop return address from memory, predict via RAS
+    # Special
+    FENCE = "fence"      # full serialization: younger ops wait for commit
+    LFENCE = "lfence"    # loads younger than it wait for it to commit
+    RDTSC = "rdtsc"      # rd <- current cycle
+    RDRAND = "rdrand"    # rd <- hardware RNG (shared-unit contention timing)
+    MARK = "mark"        # record an attack-phase boundary (commits as a nop)
+    TRY = "try"          # register target as the trap handler
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Ops that read memory.
+LOAD_OPS = frozenset({Op.LOAD})
+#: Ops that write memory.
+STORE_OPS = frozenset({Op.STORE, Op.STOREU})
+#: Ops resolved by the branch unit.
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.JMP, Op.JMPI, Op.CALL, Op.RET})
+#: Conditional direct branches (predicted by the tournament predictor).
+COND_BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT})
+#: Serializing ops.
+SERIALIZING_OPS = frozenset({Op.FENCE, Op.LFENCE, Op.TRY})
+
+
+@dataclass
+class Instruction:
+    """One micro-op.
+
+    ``target`` holds a label name until :meth:`Program.finalize` resolves it
+    to an instruction index.
+    """
+
+    op: Op
+    rd: int = None
+    rs1: int = None
+    rs2: int = None
+    imm: int = 0
+    target: object = None  # label str before finalize, int PC after
+
+    def source_regs(self):
+        """Architectural registers this op reads."""
+        regs = []
+        if self.rs1 is not None:
+            regs.append(self.rs1)
+        if self.rs2 is not None:
+            regs.append(self.rs2)
+        return regs
+
+    def __repr__(self):
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append(f"r{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"r{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"r{self.rs2}")
+        if self.imm:
+            parts.append(f"#{self.imm}")
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        return f"<{' '.join(str(p) for p in parts)}>"
+
+
+def is_kernel_address(addr):
+    """True when ``addr`` is in the privileged range."""
+    return addr >= KERNEL_BASE
+
+
+def is_assist_address(addr):
+    """True when ``addr`` lies on an assist page (LVI/MDS fault path)."""
+    return bool(addr & ASSIST_BIT) and not is_kernel_address(addr)
+
+
+def line_of(addr):
+    """Cache line index of a byte address."""
+    return addr // LINE_BYTES

@@ -1,0 +1,166 @@
+"""Time-shared execution of two programs on one core.
+
+The background-actor model injects a co-resident party's *events*; this
+module goes further and runs a second *program*, time-multiplexed on the
+same core with full context switches — the OS-scheduler view of a
+cross-process attack.  Both contexts share every microarchitectural
+structure (caches, TLBs, branch predictor, BTB, RAS, DRAM, RNG, ports),
+and that shared state persisting across context switches is precisely the
+attack surface: a victim's secret-dependent cache/predictor footprint
+survives into the attacker's next time slice.
+
+A context switch drains the pipeline (no new fetch; in-flight work
+commits), saves the architectural context (registers, PC, trap handler),
+and resumes the other program.  Switch cost is the drain plus a fixed
+kernel overhead.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.config import SimConfig
+from repro.sim.machine import Machine
+
+
+@dataclass
+class Context:
+    """Saved architectural state of one time-shared program."""
+
+    program: object
+    regs: List[int] = field(default_factory=lambda: [0] * 16)
+    fetch_pc: int = 0
+    trap_handler: Optional[int] = None
+    halted: bool = False
+    halt_reason: Optional[str] = None
+    committed: int = 0
+
+
+class TimeSharedMachine:
+    """Two programs round-robin on one shared core.
+
+    Parameters
+    ----------
+    program_a, program_b:
+        The two programs (by convention, attacker and victim).
+    slice_cycles:
+        Nominal cycles per time slice (the drain may add a few).
+    switch_overhead:
+        Fixed extra cycles charged per context switch (kernel work).
+    """
+
+    def __init__(self, program_a, program_b, config=None, slice_cycles=3000,
+                 switch_overhead=50, sample_period=1000, actors=None,
+                 detector_hook=None):
+        self.machine = Machine(program_a,
+                               config if config is not None else SimConfig(),
+                               sample_period=sample_period, actors=actors,
+                               detector_hook=detector_hook)
+        self.slice_cycles = slice_cycles
+        self.switch_overhead = switch_overhead
+        self.contexts = [Context(program=program_a),
+                         Context(program=program_b)]
+        for reg, value in program_a.initial_regs.items():
+            self.contexts[0].regs[reg] = value
+        for reg, value in program_b.initial_regs.items():
+            self.contexts[1].regs[reg] = value
+        for addr, value in program_b.initial_memory.items():
+            self.machine.memory.store(addr, value)
+        # warm program B's instruction path too (A's was warmed by Machine)
+        for pc in range(0, len(program_b), 8):
+            self.machine.hierarchy.access_inst(pc, 0)
+        self.machine.counters.values = [0] * len(self.machine.counters.values)
+        self.current = 0
+        self._load_context(0)
+        self.switches = 0
+
+    # -- context plumbing ---------------------------------------------------------
+
+    def _save_context(self, index):
+        cpu = self.machine.cpu
+        ctx = self.contexts[index]
+        ctx.regs = list(cpu.arch_regs)
+        ctx.fetch_pc = cpu.fetch_pc
+        ctx.trap_handler = cpu.trap_handler
+        ctx.halted = cpu.halted
+        ctx.halt_reason = cpu.halt_reason
+        ctx.committed = cpu.committed
+
+    def _load_context(self, index):
+        cpu = self.machine.cpu
+        ctx = self.contexts[index]
+        self.machine.program = ctx.program
+        cpu.arch_regs = list(ctx.regs)
+        cpu.fetch_pc = ctx.fetch_pc
+        cpu.trap_handler = ctx.trap_handler
+        cpu.halted = ctx.halted
+        cpu.halt_reason = ctx.halt_reason
+        cpu.committed = ctx.committed
+        cpu.fetch_buffer.clear()
+        cpu._halt_fetched = False
+        cpu.fetch_stall_until = self.machine.cycle + 1
+        self.current = index
+
+    def _drain(self, max_cycles):
+        """Stop fetching and let in-flight work retire."""
+        cpu = self.machine.cpu
+        cpu._halt_fetched = True    # inhibit further fetch
+        while (cpu.rob or cpu.fetch_buffer) and not cpu.halted \
+                and self.machine.cycle < max_cycles:
+            cpu.fetch_buffer.clear()
+            cpu.step(self.machine.cycle)
+            self.machine.cycle += 1
+
+    def _switch(self, max_cycles):
+        self._drain(max_cycles)
+        self._save_context(self.current)
+        nxt = 1 - self.current
+        if self.contexts[nxt].halted:
+            # other side done: keep running this context
+            self.machine.cpu._halt_fetched = False
+            return False
+        self._load_context(nxt)
+        self.machine.cycle += self.switch_overhead
+        self.switches += 1
+        return True
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_cycles=1_000_000):
+        """Run both programs to completion (or ``max_cycles``)."""
+        machine = self.machine
+        cpu = machine.cpu
+        slice_end = machine.cycle + self.slice_cycles
+        while machine.cycle < max_cycles:
+            if cpu.halted:
+                self._save_context(self.current)
+                other = 1 - self.current
+                if self.contexts[other].halted:
+                    break
+                self._load_context(other)
+                slice_end = machine.cycle + self.slice_cycles
+                continue
+            if machine.cycle >= slice_end:
+                self._switch(max_cycles)
+                slice_end = machine.cycle + self.slice_cycles
+                continue
+            cpu.step(machine.cycle)
+            if not machine.actors_suspended:
+                for actor in machine.actors:
+                    if machine.cycle % actor.period == 0:
+                        actor.tick(machine, machine.cycle)
+            machine.cycle += 1
+        self._save_context(self.current)
+        machine.sampler.flush(cpu.committed, machine.cycle)
+        return self.contexts
+
+    @property
+    def memory(self):
+        return self.machine.memory
+
+    @property
+    def hierarchy(self):
+        return self.machine.hierarchy
+
+    @property
+    def counters(self):
+        return self.machine.counters

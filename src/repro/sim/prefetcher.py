@@ -1,0 +1,44 @@
+"""Hardware stride prefetcher (optional extension).
+
+Disabled by default — the paper's Table II configuration has no prefetcher
+and the attack corpus was validated without one.  When enabled it watches
+the demand-load address stream per PC, detects constant strides, and
+issues next-line fills through the normal hierarchy path.  Its counters
+(``dcache.prefetches`` plus hits on prefetched lines) add benign-side
+feature texture, and running attacks against a prefetching core is an
+interesting robustness exercise: prefetches can blur Flush+Reload probes.
+"""
+
+
+class StridePrefetcher:
+    """PC-indexed stride detector with a small reference table."""
+
+    def __init__(self, hierarchy, table_entries=32, degree=1):
+        self.hierarchy = hierarchy
+        self.table_entries = table_entries
+        self.degree = degree
+        #: pc -> (last_addr, stride, confidence)
+        self._table = {}
+        self.issued = 0
+
+    def observe(self, pc, addr, cycle):
+        """Feed one demand load; may issue prefetches."""
+        last = self._table.get(pc)
+        if last is None:
+            if len(self._table) >= self.table_entries:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = (addr, 0, 0)
+            return
+        last_addr, stride, confidence = last
+        new_stride = addr - last_addr
+        if new_stride == stride and stride != 0:
+            confidence = min(confidence + 1, 3)
+        else:
+            confidence = 0
+        self._table[pc] = (addr, new_stride, confidence)
+        if confidence >= 2:
+            for k in range(1, self.degree + 1):
+                target = addr + new_stride * k
+                if target >= 0:
+                    self.hierarchy.prefetch(target, cycle)
+                    self.issued += 1

@@ -1,0 +1,74 @@
+"""Reorder-buffer entry and in-flight instruction state."""
+
+import enum
+
+from repro.sim.isa import (
+    Op, BRANCH_OPS, COND_BRANCH_OPS, LOAD_OPS, STORE_OPS,
+)
+
+
+class EntryState(enum.Enum):
+    """Lifecycle of an in-flight ROB entry."""
+
+    DISPATCHED = "dispatched"   # in the ROB/IQ, waiting for operands/port
+    EXECUTING = "executing"     # issued; result arrives at done_cycle
+    DONE = "done"               # result available, awaiting commit
+
+
+class FaultKind(enum.Enum):
+    """Deferred-fault kinds resolved when the entry reaches the head."""
+
+    NONE = "none"
+    PRIV = "priv"       # user-mode access to a kernel address (Meltdown)
+    ASSIST = "assist"   # microcode-assist page (LVI / MDS forwarding path)
+
+
+class RobEntry:
+    """One in-flight micro-op.
+
+    ``sources`` maps each source register to either ``("val", value)`` when
+    the operand was read from the architectural file at dispatch, or
+    ``("rob", seq)`` when it is produced by an older in-flight entry.
+    """
+
+    __slots__ = (
+        "seq", "pc", "inst", "state", "sources", "result", "done_cycle",
+        "fault", "addr", "store_value", "is_load", "is_store", "is_branch",
+        "is_cond_branch", "predicted_taken", "predicted_target",
+        "actual_taken", "actual_target", "forwarded_from", "read_memory",
+        "invisible", "needs_expose", "issue_cycle", "under_shadow",
+    )
+
+    def __init__(self, seq, pc, inst):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.state = EntryState.DISPATCHED
+        self.sources = {}
+        self.result = None
+        self.done_cycle = None
+        self.issue_cycle = None
+        self.fault = FaultKind.NONE
+        self.addr = None            # effective address once computed
+        self.store_value = None     # value an in-flight store will write
+        self.is_load = inst.op in LOAD_OPS or inst.op is Op.RET
+        self.is_store = inst.op in STORE_OPS or inst.op is Op.CALL
+        self.is_branch = inst.op in BRANCH_OPS
+        self.is_cond_branch = inst.op in COND_BRANCH_OPS
+        self.predicted_taken = None
+        self.predicted_target = None
+        self.actual_taken = None
+        self.actual_target = None
+        self.forwarded_from = None  # seq of the store that forwarded to this load
+        self.read_memory = False    # load value came from memory, not forwarding
+        self.invisible = False      # issued as an InvisiSpec speculative access
+        self.needs_expose = False
+        self.under_shadow = False   # issued under an unresolved branch
+
+    @property
+    def resolved(self):
+        return self.state is EntryState.DONE
+
+    def __repr__(self):
+        return (f"<RobEntry #{self.seq} pc={self.pc} {self.inst.op.value} "
+                f"{self.state.value}>")

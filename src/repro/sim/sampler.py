@@ -1,0 +1,84 @@
+"""Periodic HPC sampling.
+
+The paper samples all event counters every 100 / 1,000 / 10,000 / 100,000
+committed instructions and records per-window statistics, normalized over
+the maximum seen value of each counter.  The sampler snapshots the counter
+bank at each window boundary and emits *deltas*; normalization happens in
+the data layer.  MARK micro-ops record attack-phase boundaries (the paper's
+"check-pointed" phases used to exclude recovery/transmission windows).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class Sample:
+    """One sampling window of counter deltas."""
+
+    window_index: int
+    commit_index: int        # committed-instruction count at window end
+    cycle: int
+    deltas: List[int]        # per-counter deltas, ordered as COUNTER_NAMES
+    phase: int = 0           # attack phase active during this window
+
+
+@dataclass
+class PhaseMark:
+    """A MARK micro-op's committed (commit_index, phase) checkpoint."""
+
+    commit_index: int
+    phase: int
+
+
+class Sampler:
+    """Collects counter-delta windows every ``period`` committed insts."""
+
+    def __init__(self, counters, period=1000):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.counters = counters
+        self.period = period
+        self.samples: List[Sample] = []
+        self.phase_marks: List[PhaseMark] = []
+        self._current_phase = 0
+        self._last_snapshot = counters.snapshot()
+        self._next_boundary = period
+        self._window_index = 0
+
+    def record_phase(self, phase, commit_index):
+        self._current_phase = phase
+        self.phase_marks.append(PhaseMark(commit_index, phase))
+
+    def on_commit(self, committed, cycle):
+        if committed < self._next_boundary:
+            return
+        snap = self.counters.snapshot()
+        deltas = [now - before for now, before
+                  in zip(snap, self._last_snapshot)]
+        self.samples.append(Sample(
+            window_index=self._window_index,
+            commit_index=committed,
+            cycle=cycle,
+            deltas=deltas,
+            phase=self._current_phase,
+        ))
+        self._last_snapshot = snap
+        self._window_index += 1
+        self._next_boundary = committed + self.period
+
+    def flush(self, committed, cycle):
+        """Emit a final partial window at end of run."""
+        snap = self.counters.snapshot()
+        deltas = [now - before for now, before
+                  in zip(snap, self._last_snapshot)]
+        if any(deltas):
+            self.samples.append(Sample(
+                window_index=self._window_index,
+                commit_index=committed,
+                cycle=cycle,
+                deltas=deltas,
+                phase=self._current_phase,
+            ))
+            self._last_snapshot = snap
+            self._window_index += 1

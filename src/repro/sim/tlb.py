@@ -1,0 +1,49 @@
+"""Translation lookaside buffers (LRU, page-granular)."""
+
+
+class TLB:
+    """Fully-associative LRU TLB over page numbers.
+
+    ``prefix`` selects the counter namespace (``dtlb`` or ``itlb``); the
+    data TLB distinguishes read and write accesses (``dtlb.rdMisses`` is one
+    of the features in the paper's engineered security HPCs, Table I).
+    """
+
+    def __init__(self, entries, page_bytes, miss_latency, counters, prefix):
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.miss_latency = miss_latency
+        self.counters = counters
+        self.prefix = prefix
+        self._pages = []  # LRU order, last = most recent
+
+    def page_of(self, addr):
+        return addr // self.page_bytes
+
+    def access(self, addr, is_write=False):
+        """Translate; returns extra latency (0 on a TLB hit)."""
+        page = self.page_of(addr)
+        c = self.counters
+        if self.prefix == "dtlb":
+            c.bump("dtlb.wrAccesses" if is_write else "dtlb.rdAccesses")
+        else:
+            c.bump("itlb.accesses")
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            return 0
+        if self.prefix == "dtlb":
+            c.bump("dtlb.wrMisses" if is_write else "dtlb.rdMisses")
+            c.bump("dtlb.walkCycles", self.miss_latency)
+        else:
+            c.bump("itlb.misses")
+        self._pages.append(page)
+        if len(self._pages) > self.entries:
+            self._pages.pop(0)
+        return self.miss_latency
+
+    def contains(self, addr):
+        return self.page_of(addr) in self._pages
+
+    def flush(self):
+        self._pages.clear()

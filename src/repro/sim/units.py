@@ -1,0 +1,125 @@
+"""Execution ports, operation latencies, and the shared hardware RNG unit."""
+
+from repro.sim.isa import Op
+
+
+#: Execution latency (cycles) per op kind, excluding memory time.
+OP_LATENCY = {
+    Op.ADD: 1, Op.SUB: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1,
+    Op.SHL: 1, Op.SHR: 1, Op.MOV: 1, Op.MOVI: 1,
+    Op.MUL: 4, Op.DIV: 16,
+    Op.BEQ: 1, Op.BNE: 1, Op.BLT: 1, Op.JMP: 1, Op.JMPI: 1,
+    Op.CALL: 1, Op.RET: 1,
+    Op.FENCE: 1, Op.LFENCE: 1, Op.TRY: 1, Op.MARK: 1, Op.NOP: 1,
+    Op.HALT: 1, Op.RDTSC: 1, Op.PREFETCH: 1,
+    # LOAD/STORE/CLFLUSH/RDRAND latencies are computed dynamically.
+}
+
+#: Port class per op kind.
+PORT_INT = "int"
+PORT_MULDIV = "muldiv"
+PORT_MEM = "mem"
+
+_PORT_OF = {
+    Op.MUL: PORT_MULDIV, Op.DIV: PORT_MULDIV, Op.RDRAND: PORT_MULDIV,
+    Op.LOAD: PORT_MEM, Op.STORE: PORT_MEM, Op.STOREU: PORT_MEM,
+    Op.CLFLUSH: PORT_MEM, Op.PREFETCH: PORT_MEM,
+}
+
+
+def port_of(op):
+    """Execution port class an op issues to."""
+    return _PORT_OF.get(op, PORT_INT)
+
+
+class ExecPorts:
+    """Per-cycle issue-port bookkeeping.
+
+    Background actors (e.g. the SMotherSpectre victim) can *steal* ports
+    for the next cycle, creating the port-contention timing channel.
+    """
+
+    def __init__(self, config, counters):
+        self.capacity = {
+            PORT_INT: config.int_alu_units,
+            PORT_MULDIV: config.mul_div_units,
+            PORT_MEM: config.mem_ports,
+        }
+        self.counters = counters
+        self._used = {PORT_INT: 0, PORT_MULDIV: 0, PORT_MEM: 0}
+        self._stolen = {PORT_INT: 0, PORT_MULDIV: 0, PORT_MEM: 0}
+
+    def new_cycle(self):
+        """Reset per-cycle usage; stolen ports apply to the new cycle."""
+        for k in self._used:
+            self._used[k] = self._stolen[k]
+            self._stolen[k] = 0
+
+    def steal(self, port, count=1):
+        """Reserve ``count`` ports of a class for the next cycle."""
+        self._stolen[port] = min(self._stolen[port] + count, self.capacity[port])
+
+    def try_issue(self, op):
+        """Claim a port for ``op`` this cycle; False when saturated."""
+        port = port_of(op)
+        if self._used[port] >= self.capacity[port]:
+            self.counters.bump("iew.portContentionCycles")
+            return False
+        self._used[port] += 1
+        if port == PORT_INT:
+            self.counters.bump("iew.intAluAccesses")
+        elif port == PORT_MULDIV:
+            self.counters.bump("iew.mulDivAccesses")
+        return True
+
+    def pressure(self, port):
+        """Current-cycle occupancy of a port class."""
+        return self._used[port]
+
+
+class RngUnit:
+    """Shared hardware RNG (RDRAND) with a finite entropy buffer.
+
+    Reads are fast while buffered entropy remains and slow when the buffer
+    has underflowed and must refill — the timing difference is the RDRND
+    covert channel.  A background sender modulates the buffer level.
+    """
+
+    def __init__(self, config, counters):
+        self.config = config
+        self.counters = counters
+        self.level = config.rng_buffer_entries
+        self._last_refill = 0
+
+    def _refill(self, cycle):
+        elapsed = cycle - self._last_refill
+        if elapsed >= self.config.rng_refill_cycles:
+            gained = elapsed // self.config.rng_refill_cycles
+            refilled = min(self.level + gained,
+                           self.config.rng_buffer_entries) - self.level
+            if refilled > 0:
+                self.counters.bump("rng.refills", refilled)
+            self.level += refilled
+            self._last_refill = cycle
+
+    def read(self, cycle):
+        """Consume one entropy word; returns (value, latency)."""
+        self._refill(cycle)
+        self.counters.bump("rng.reads")
+        # deterministic "random" value: mixed cycle bits
+        value = (cycle * 2654435761) & 0xFFFF
+        if self.level > 0:
+            self.level -= 1
+            return value, self.config.rng_fast_latency
+        self.counters.bump("rng.underflows")
+        self.counters.bump("rng.contentionCycles", self.config.rng_slow_latency)
+        return value, self.config.rng_slow_latency
+
+    def drain(self, cycle, amount):
+        """Background sender consumes ``amount`` entropy words."""
+        self._refill(cycle)
+        consumed = min(self.level, amount)
+        self.level -= consumed
+        if consumed:
+            self.counters.bump("rng.reads", consumed)
+        return consumed

@@ -1,0 +1,15 @@
+"""Benign SPEC-like workload kernels for FP measurement and IPC studies."""
+
+from repro.workloads.spec import (
+    WORKLOAD_BUILDERS, Workload, all_workloads,
+    build_astar, build_callgraph, build_compress, build_crypto,
+    build_eventsim, build_genematch, build_matmul, build_phased,
+    build_pointer_chase, build_sort, build_stream,
+)
+
+__all__ = [
+    "WORKLOAD_BUILDERS", "Workload", "all_workloads",
+    "build_stream", "build_pointer_chase", "build_matmul", "build_sort",
+    "build_astar", "build_compress", "build_genematch", "build_eventsim",
+    "build_crypto", "build_phased", "build_callgraph",
+]

@@ -1,0 +1,739 @@
+"""Benign SPEC-CPU-like kernels.
+
+The paper runs SPEC CPU2006 applications (compression, optimization
+scheduling, network simulation, AI, discrete-event simulation, gene
+sequence analysis, A*, ...).  These synthetic kernels stress the same mix
+of pipeline behaviours — sequential streaming, pointer chasing, dense
+multiply compute, branchy sorting/searching, queue-driven simulation — and
+serve as the benign corpus for false-positive measurement and as the
+workloads for the overhead experiments (Figures 14 and 16).
+"""
+
+import random
+
+from repro.sim import Program, ProgramBuilder
+
+_HEAP = 0x100000
+
+
+class Workload:
+    """A named benign program generator (mirrors the Attack interface)."""
+
+    def __init__(self, name, builder, scale=1, seed=0):
+        self.name = name
+        self.category = "benign"
+        self._builder = builder
+        self.scale = scale
+        self.seed = seed
+
+    def build(self):
+        return self._builder(scale=self.scale, seed=self.seed), []
+
+
+def build_stream(scale=1, seed=0):
+    """Sequential streaming: read an array, accumulate, write back."""
+    n = 220 * scale
+    b = ProgramBuilder("stream")
+    rng = random.Random(seed)
+    for i in range(64):
+        b.data(_HEAP + 8 * i, rng.randrange(1000))
+    b.reg(15, 0x8000)
+    b.movi(1, _HEAP)
+    b.movi(2, 0)          # accumulator
+    b.movi(3, 0)          # index
+    b.movi(4, n)
+    b.label("loop")
+    b.andi(5, 3, 63)
+    b.shl(5, 5, 3)
+    b.add(5, 5, 1)
+    b.load(6, 5, 0)
+    b.add(2, 2, 6)
+    b.store(5, 2, 0x2000)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "loop")
+    b.store(1, 2, 0x4000)
+    b.halt()
+    return b.build()
+
+
+def build_pointer_chase(scale=1, seed=0):
+    """Linked-list traversal: dependent loads over a shuffled ring."""
+    nodes = 96
+    b = ProgramBuilder("pointer-chase")
+    rng = random.Random(seed + 1)
+    order = list(range(1, nodes)) + [0]
+    rng.shuffle(order)
+    # node i -> address of node order[i]; spread nodes over many lines
+    addrs = [_HEAP + 0x10000 + 104 * i for i in range(nodes)]
+    ring = {}
+    cur = 0
+    for _ in range(nodes):
+        nxt = order[cur]
+        ring[addrs[cur]] = addrs[nxt]
+        cur = nxt
+    for a, v in ring.items():
+        b.data(a, v)
+    b.reg(15, 0x8000)
+    b.movi(1, addrs[0])
+    b.movi(3, 0)
+    b.movi(4, 40 * scale)
+    b.label("loop")
+    b.load(1, 1, 0)       # chase
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "loop")
+    b.store(15, 1, 0x100)
+    b.halt()
+    return b.build()
+
+
+def build_matmul(scale=1, seed=0):
+    """Dense multiply-accumulate: the compute-bound AI-ish kernel."""
+    b = ProgramBuilder("matmul")
+    rng = random.Random(seed + 2)
+    dim = 8
+    for i in range(dim * dim):
+        b.data(_HEAP + 0x20000 + 8 * i, rng.randrange(64))
+        b.data(_HEAP + 0x21000 + 8 * i, rng.randrange(64))
+    b.reg(15, 0x8000)
+    b.movi(1, _HEAP + 0x20000)
+    b.movi(2, _HEAP + 0x21000)
+    b.movi(3, 0)                      # flat output index
+    b.movi(4, dim * dim * scale)
+    b.label("outer")
+    b.andi(5, 3, 63)
+    b.shl(6, 5, 3)
+    b.add(6, 6, 1)
+    b.load(7, 6, 0)
+    b.shl(6, 5, 3)
+    b.add(6, 6, 2)
+    b.load(8, 6, 0)
+    b.mul(9, 7, 8)
+    b.mul(10, 9, 7)
+    b.add(11, 10, 9)
+    b.shl(6, 5, 3)
+    b.store(6, 11, _HEAP + 0x22000)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "outer")
+    b.halt()
+    return b.build()
+
+
+def build_sort(scale=1, seed=0):
+    """Insertion-sort-like branchy compares with data-dependent branches."""
+    n = 28
+    b = ProgramBuilder("sort")
+    rng = random.Random(seed + 3)
+    base = _HEAP + 0x30000
+    for i in range(n):
+        b.data(base + 8 * i, rng.randrange(1 << 16))
+    b.reg(15, 0x8000)
+    b.movi(9, 0)
+    b.movi(10, scale)
+    b.label("pass_loop")
+    b.movi(1, 0)
+    b.movi(2, n - 1)
+    b.label("sweep")
+    b.shl(3, 1, 3)
+    b.addi(3, 3, base)
+    b.load(4, 3, 0)
+    b.load(5, 3, 8)
+    b.blt(4, 5, "inorder")
+    b.store(3, 5, 0)
+    b.store(3, 4, 8)
+    b.label("inorder")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "sweep")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "pass_loop")
+    b.halt()
+    return b.build()
+
+
+def build_astar(scale=1, seed=0):
+    """Grid walk with data-dependent turns (the A*-style workload)."""
+    side = 32
+    b = ProgramBuilder("astar")
+    rng = random.Random(seed + 4)
+    base = _HEAP + 0x40000
+    for i in range(side * side // 4):
+        b.data(base + 8 * i, rng.randrange(4))
+    b.reg(15, 0x8000)
+    b.movi(1, 0)          # position
+    b.movi(3, 0)
+    b.movi(4, 160 * scale)
+    b.movi(7, 0)          # path cost
+    b.label("step")
+    b.andi(5, 1, 255)
+    b.shl(5, 5, 3)
+    b.addi(5, 5, base)
+    b.load(6, 5, 0)       # terrain cost / direction
+    b.add(7, 7, 6)
+    b.movi(8, 2)
+    b.blt(6, 8, "go_east")
+    b.addi(1, 1, 31)      # move south-ish
+    b.jmp("moved")
+    b.label("go_east")
+    b.addi(1, 1, 1)
+    b.label("moved")
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "step")
+    b.store(15, 7, 0x200)
+    b.halt()
+    return b.build()
+
+
+def build_compress(scale=1, seed=0):
+    """Run-length scanning: byte-wise compares, unpredictable branches."""
+    n = 120
+    b = ProgramBuilder("compress")
+    rng = random.Random(seed + 5)
+    base = _HEAP + 0x50000
+    value = 0
+    for i in range(n):
+        if rng.random() < 0.4:
+            value = rng.randrange(4)
+        b.data(base + 8 * i, value)
+    b.reg(15, 0x8000)
+    b.movi(1, 0)          # index
+    b.movi(2, n)
+    b.movi(3, 0)          # run count
+    b.movi(9, 0)
+    b.movi(10, 2 * scale)
+    b.label("restart")
+    b.movi(1, 0)
+    b.label("scan")
+    b.shl(4, 1, 3)
+    b.addi(4, 4, base)
+    b.load(5, 4, 0)
+    b.load(6, 4, 8)
+    b.bne(5, 6, "break_run")
+    b.addi(3, 3, 1)
+    b.label("break_run")
+    b.addi(1, 1, 1)
+    b.addi(7, 2, -1)
+    b.blt(1, 7, "scan")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "restart")
+    b.store(15, 3, 0x300)
+    b.halt()
+    return b.build()
+
+
+def build_genematch(scale=1, seed=0):
+    """Sequence alignment scoring: nested compare-accumulate loops."""
+    n = 48
+    b = ProgramBuilder("genematch")
+    rng = random.Random(seed + 6)
+    base_a = _HEAP + 0x60000
+    base_b = _HEAP + 0x61000
+    for i in range(n):
+        b.data(base_a + 8 * i, rng.randrange(4))
+        b.data(base_b + 8 * i, rng.randrange(4))
+    b.reg(15, 0x8000)
+    b.movi(7, 0)          # score
+    b.movi(9, 0)
+    b.movi(10, 3 * scale)
+    b.label("round")
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("cmp")
+    b.shl(3, 1, 3)
+    b.addi(4, 3, base_a)
+    b.addi(5, 3, base_b)
+    b.load(4, 4, 0)
+    b.load(5, 5, 0)
+    b.bne(4, 5, "mismatch")
+    b.addi(7, 7, 3)
+    b.jmp("next")
+    b.label("mismatch")
+    b.addi(7, 7, -1)
+    b.label("next")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "cmp")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "round")
+    b.store(15, 7, 0x400)
+    b.halt()
+    return b.build()
+
+
+def build_eventsim(scale=1, seed=0):
+    """Discrete-event-simulator-style queue churn: indirect function
+    dispatch (through a jump table) plus queue memory traffic."""
+    b = ProgramBuilder("eventsim")
+    rng = random.Random(seed + 7)
+    qbase = _HEAP + 0x70000
+    for i in range(32):
+        b.data(qbase + 8 * i, rng.randrange(3))
+    b.reg(15, 0x8000)
+    b.data_label(qbase + 0x1000, "h0")
+    b.data_label(qbase + 0x1008, "h1")
+    b.data_label(qbase + 0x1010, "h2")
+    b.movi(1, 0)
+    b.movi(2, 60 * scale)
+    b.movi(7, 0)
+    b.label("loop")
+    b.andi(3, 1, 31)
+    b.shl(3, 3, 3)
+    b.addi(3, 3, qbase)
+    b.load(4, 3, 0)            # event kind 0..2
+    b.shl(4, 4, 3)
+    b.addi(4, 4, qbase + 0x1000)
+    b.load(4, 4, 0)            # handler address
+    b.movi_label(0, "done_evt")
+    b.jmpi(4)
+    b.label("h0")
+    b.addi(7, 7, 1)
+    b.jmpi(0)
+    b.label("h1")
+    b.addi(7, 7, 2)
+    b.store(3, 7, 0x100)
+    b.jmpi(0)
+    b.label("h2")
+    b.mul(7, 7, 7)
+    b.andi(7, 7, 1023)
+    b.jmpi(0)
+    b.label("done_evt")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "loop")
+    b.halt()
+    return b.build()
+
+
+def build_crypto(scale=1, seed=0):
+    """ALU-bound xor/shift/multiply rounds (crypto-ish mixing)."""
+    b = ProgramBuilder("crypto")
+    b.reg(15, 0x8000)
+    b.movi(1, 0x12345)
+    b.movi(2, 0x6789B)
+    b.movi(3, 0)
+    b.movi(4, 90 * scale)
+    b.label("round")
+    b.xor(1, 1, 2)
+    b.shl(5, 1, 5)
+    b.shr(6, 1, 3)
+    b.xor(1, 5, 6)
+    b.mul(2, 2, 1)
+    b.andi(2, 2, (1 << 30) - 1)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "round")
+    b.store(15, 1, 0x500)
+    b.halt()
+    return b.build()
+
+
+def build_phased(scale=1, seed=0):
+    """Phase-alternating program: compute bursts then memory bursts,
+    mimicking multi-phase applications."""
+    b = ProgramBuilder("phased")
+    rng = random.Random(seed + 9)
+    base = _HEAP + 0x80000
+    for i in range(64):
+        b.data(base + 8 * i, rng.randrange(100))
+    b.reg(15, 0x8000)
+    b.movi(9, 0)
+    b.movi(10, 4 * scale)
+    b.label("phase_loop")
+    # compute phase
+    b.movi(1, 7)
+    b.movi(3, 0)
+    b.movi(4, 24)
+    b.label("compute")
+    b.mul(1, 1, 1)
+    b.andi(1, 1, 0xFFFF)
+    b.addi(1, 1, 3)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "compute")
+    # memory phase
+    b.movi(3, 0)
+    b.movi(4, 24)
+    b.label("memory")
+    b.andi(5, 3, 63)
+    b.shl(5, 5, 3)
+    b.addi(5, 5, base)
+    b.load(6, 5, 0)
+    b.add(1, 1, 6)
+    b.store(5, 1, 0x2000)
+    b.addi(3, 3, 1)
+    b.blt(3, 4, "memory")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "phase_loop")
+    b.halt()
+    return b.build()
+
+
+def build_callgraph(scale=1, seed=0):
+    """Deep call/return chains (RAS exercise) with small leaf work."""
+    b = ProgramBuilder("callgraph")
+    b.reg(15, 0x8000)
+    b.movi(1, 0)
+    b.movi(2, 40 * scale)
+    b.movi(7, 0)
+    b.label("loop")
+    b.call("f1")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "loop")
+    b.halt()
+    b.label("f1")
+    b.addi(7, 7, 1)
+    b.call("f2")
+    b.ret()
+    b.label("f2")
+    b.mul(8, 7, 7)
+    b.call("f3")
+    b.ret()
+    b.label("f3")
+    b.andi(8, 8, 255)
+    b.add(7, 7, 8)
+    b.ret()
+    return b.build()
+
+
+def build_fft(scale=1, seed=0):
+    """Butterfly-style strided compute: shifting strides + mul-heavy mixing
+    (the signal-processing workload class)."""
+    n = 32
+    b = ProgramBuilder("fft")
+    rng = random.Random(seed + 10)
+    base = _HEAP + 0x90000
+    for i in range(n):
+        b.data(base + 8 * i, rng.randrange(1 << 12))
+    b.reg(15, 0x8000)
+    b.movi(9, 0)
+    b.movi(10, 3 * scale)
+    b.label("pass_loop")
+    b.movi(7, 1)            # stride: 1, 2, 4, 8, 16
+    b.label("stage")
+    b.movi(1, 0)
+    b.movi(2, n // 2)
+    b.label("butterfly")
+    b.shl(3, 1, 3)
+    b.addi(3, 3, base)
+    b.load(4, 3, 0)
+    b.shl(5, 7, 3)
+    b.add(5, 5, 3)
+    b.load(6, 5, 0)
+    b.add(8, 4, 6)          # a + b
+    b.sub(6, 4, 6)          # a - b
+    b.mul(6, 6, 7)          # twiddle-ish
+    b.andi(6, 6, 0xFFFF)
+    b.store(3, 8, 0)
+    b.store(5, 6, 0)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "butterfly")
+    b.shl(7, 7, 1)
+    b.movi(2, 17)
+    b.blt(7, 2, "stage")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "pass_loop")
+    b.halt()
+    return b.build()
+
+
+def build_dijkstra(scale=1, seed=0):
+    """Shortest-path-style relaxation sweeps: indexed loads, compares and
+    conditional updates (the optimization/scheduling workload class)."""
+    nodes = 24
+    b = ProgramBuilder("dijkstra")
+    rng = random.Random(seed + 11)
+    dist = _HEAP + 0xA0000
+    weight = _HEAP + 0xA1000
+    for i in range(nodes):
+        b.data(dist + 8 * i, 10_000 if i else 0)
+        b.data(weight + 8 * i, rng.randrange(1, 60))
+    b.reg(15, 0x8000)
+    b.movi(9, 0)
+    b.movi(10, 4 * scale)
+    b.label("sweep")
+    b.movi(1, 0)
+    b.movi(2, nodes - 1)
+    b.label("relax")
+    b.shl(3, 1, 3)
+    b.addi(4, 3, dist)
+    b.load(5, 4, 0)           # dist[i]
+    b.addi(6, 3, weight)
+    b.load(6, 6, 0)           # w(i, i+1)
+    b.add(5, 5, 6)            # candidate
+    b.load(7, 4, 8)           # dist[i+1]
+    b.blt(7, 5, "no_update")
+    b.store(4, 5, 8)
+    b.label("no_update")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "relax")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "sweep")
+    b.halt()
+    return b.build()
+
+
+def build_hashjoin(scale=1, seed=0):
+    """Hash-table probe joins: hashed indexed accesses over a wide table
+    (the database workload class — irregular but repeating addresses)."""
+    buckets = 64
+    b = ProgramBuilder("hashjoin")
+    rng = random.Random(seed + 12)
+    table = _HEAP + 0xB0000
+    keys = _HEAP + 0xB8000
+    for i in range(buckets):
+        b.data(table + 8 * i, rng.randrange(1 << 10))
+    nkeys = 40
+    for i in range(nkeys):
+        b.data(keys + 8 * i, rng.randrange(1 << 16))
+    b.reg(15, 0x8000)
+    b.movi(7, 0)              # matches
+    b.movi(9, 0)
+    b.movi(10, 3 * scale)
+    b.label("round")
+    b.movi(1, 0)
+    b.movi(2, nkeys)
+    b.label("probe")
+    b.shl(3, 1, 3)
+    b.addi(3, 3, keys)
+    b.load(4, 3, 0)           # key
+    b.mul(5, 4, 4)            # hash: key^2 mod buckets
+    b.andi(5, 5, buckets - 1)
+    b.shl(5, 5, 3)
+    b.addi(5, 5, table)
+    b.load(6, 5, 0)           # bucket value
+    b.andi(4, 4, 1023)
+    b.bne(6, 4, "miss")
+    b.addi(7, 7, 1)
+    b.label("miss")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "probe")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "round")
+    b.store(15, 7, 0x600)
+    b.halt()
+    return b.build()
+
+
+def build_stencil(scale=1, seed=0):
+    """1-D three-point stencil sweeps (the scientific-computing class:
+    neighbouring loads, regular strides, store-back)."""
+    n = 48
+    b = ProgramBuilder("stencil")
+    rng = random.Random(seed + 13)
+    grid = _HEAP + 0xC0000
+    for i in range(n):
+        b.data(grid + 8 * i, rng.randrange(256))
+    b.reg(15, 0x8000)
+    b.movi(9, 0)
+    b.movi(10, 4 * scale)
+    b.label("sweep")
+    b.movi(1, 1)
+    b.movi(2, n - 1)
+    b.label("cell")
+    b.shl(3, 1, 3)
+    b.addi(3, 3, grid)
+    b.load(4, 3, -8)
+    b.load(5, 3, 0)
+    b.load(6, 3, 8)
+    b.add(4, 4, 6)
+    b.add(4, 4, 5)
+    b.shr(4, 4, 1)            # (l + c + r) / 2 smoothing-ish
+    b.andi(4, 4, 1023)
+    b.store(3, 4, 0)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "cell")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "sweep")
+    b.halt()
+    return b.build()
+
+
+def build_bfs(scale=1, seed=0):
+    """Queue-driven breadth-first traversal: a work queue in memory with
+    data-dependent enqueue (the graph-analytics class)."""
+    nodes = 40
+    b = ProgramBuilder("bfs")
+    rng = random.Random(seed + 14)
+    adj = _HEAP + 0xD0000        # adj[i] = a pseudo neighbour of i
+    queue = _HEAP + 0xD8000
+    for i in range(nodes):
+        b.data(adj + 8 * i, rng.randrange(nodes))
+    b.reg(15, 0x8000)
+    b.movi(1, queue)
+    b.movi(2, 0)
+    b.store(1, 2, 0)          # queue[0] = node 0
+    b.movi(3, 0)              # head
+    b.movi(4, 1)              # tail
+    b.movi(10, 30 * scale)    # visit budget
+    b.movi(9, 0)
+    b.label("visit")
+    b.shl(5, 3, 3)
+    b.add(5, 5, 1)
+    b.load(6, 5, 0)           # node = queue[head]
+    b.shl(7, 6, 3)
+    b.addi(7, 7, adj)
+    b.load(7, 7, 0)           # neighbour
+    b.shl(8, 4, 3)
+    b.add(8, 8, 1)
+    b.store(8, 7, 0)          # enqueue neighbour
+    b.addi(4, 4, 1)
+    b.andi(4, 4, 63)          # ring queue
+    b.addi(3, 3, 1)
+    b.andi(3, 3, 63)
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "visit")
+    b.halt()
+    return b.build()
+
+
+def build_lrusim(scale=1, seed=0):
+    """A software LRU-cache simulator simulating itself: lookup loops with
+    shift-register recency updates (the systems-software class)."""
+    ways = 8
+    b = ProgramBuilder("lrusim")
+    rng = random.Random(seed + 15)
+    tags = _HEAP + 0xE0000
+    refs = _HEAP + 0xE8000
+    nrefs = 36
+    for i in range(ways):
+        b.data(tags + 8 * i, i)
+    for i in range(nrefs):
+        b.data(refs + 8 * i, rng.randrange(12))
+    b.reg(15, 0x8000)
+    b.movi(7, 0)              # hit count
+    b.movi(9, 0)
+    b.movi(10, 3 * scale)
+    b.label("round")
+    b.movi(1, 0)
+    b.movi(2, nrefs)
+    b.label("ref")
+    b.shl(3, 1, 3)
+    b.addi(3, 3, refs)
+    b.load(4, 3, 0)           # referenced tag
+    b.movi(5, 0)              # way index
+    b.movi(11, ways)
+    b.label("lookup")
+    b.shl(6, 5, 3)
+    b.addi(6, 6, tags)
+    b.load(8, 6, 0)
+    b.beq(8, 4, "hit")
+    b.addi(5, 5, 1)
+    b.blt(5, 11, "lookup")
+    # miss: install in way 0 (victim)
+    b.movi(6, tags)
+    b.store(6, 4, 0)
+    b.jmp("next_ref")
+    b.label("hit")
+    b.addi(7, 7, 1)
+    b.label("next_ref")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "ref")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "round")
+    b.store(15, 7, 0x700)
+    b.halt()
+    return b.build()
+
+
+def build_markov(scale=1, seed=0):
+    """Markov-chain text-ish generation: table-driven state transitions
+    with multiplicative congruential pseudo-randomness (the simulation
+    workload class)."""
+    states = 16
+    b = ProgramBuilder("markov")
+    rng = random.Random(seed + 16)
+    table = _HEAP + 0xF0000
+    for i in range(states * 2):
+        b.data(table + 8 * i, rng.randrange(states))
+    b.reg(15, 0x8000)
+    b.movi(1, 1)              # prng state
+    b.movi(2, 0)              # chain state
+    b.movi(9, 0)
+    b.movi(10, 60 * scale)
+    b.label("step")
+    b.movi(3, 1103515245)
+    b.mul(1, 1, 3)
+    b.addi(1, 1, 12345)
+    b.andi(1, 1, (1 << 30) - 1)
+    b.shr(4, 1, 16)
+    b.andi(4, 4, 1)           # random branch direction
+    b.shl(5, 2, 4)            # state * 16
+    b.shr(5, 5, 3)            # = state * 2 (word index)
+    b.add(5, 5, 4)
+    b.shl(5, 5, 3)
+    b.addi(5, 5, table)
+    b.load(2, 5, 0)           # next state
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "step")
+    b.store(15, 2, 0x800)
+    b.halt()
+    return b.build()
+
+
+def build_strgrep(scale=1, seed=0):
+    """Substring scanning: nested compare loops with early exits (the
+    text-processing class, like the Ethernet/network parsing workloads)."""
+    hay = 64
+    b = ProgramBuilder("strgrep")
+    rng = random.Random(seed + 17)
+    text = _HEAP + 0x100000
+    needle = _HEAP + 0x108000
+    for i in range(hay):
+        b.data(text + 8 * i, rng.randrange(4))
+    for i in range(3):
+        b.data(needle + 8 * i, rng.randrange(4))
+    b.reg(15, 0x8000)
+    b.movi(7, 0)              # match count
+    b.movi(9, 0)
+    b.movi(10, 2 * scale)
+    b.label("round")
+    b.movi(1, 0)
+    b.movi(2, hay - 3)
+    b.label("pos")
+    b.movi(5, 0)              # needle index
+    b.movi(11, 3)
+    b.label("cmp")
+    b.add(3, 1, 5)
+    b.shl(3, 3, 3)
+    b.addi(3, 3, text)
+    b.load(4, 3, 0)
+    b.shl(6, 5, 3)
+    b.addi(6, 6, needle)
+    b.load(8, 6, 0)
+    b.bne(4, 8, "mismatch")
+    b.addi(5, 5, 1)
+    b.blt(5, 11, "cmp")
+    b.addi(7, 7, 1)           # full match
+    b.label("mismatch")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "pos")
+    b.addi(9, 9, 1)
+    b.blt(9, 10, "round")
+    b.store(15, 7, 0x900)
+    b.halt()
+    return b.build()
+
+
+#: name -> builder for all benign kernels
+WORKLOAD_BUILDERS = {
+    "stream": build_stream,
+    "fft": build_fft,
+    "dijkstra": build_dijkstra,
+    "hashjoin": build_hashjoin,
+    "stencil": build_stencil,
+    "bfs": build_bfs,
+    "lrusim": build_lrusim,
+    "markov": build_markov,
+    "strgrep": build_strgrep,
+    "pointer-chase": build_pointer_chase,
+    "matmul": build_matmul,
+    "sort": build_sort,
+    "astar": build_astar,
+    "compress": build_compress,
+    "genematch": build_genematch,
+    "eventsim": build_eventsim,
+    "crypto": build_crypto,
+    "phased": build_phased,
+    "callgraph": build_callgraph,
+}
+
+
+def all_workloads(scale=1, seeds=(0,)):
+    """Instantiate every benign kernel for each seed."""
+    return [Workload(name, builder, scale=scale, seed=seed)
+            for name, builder in WORKLOAD_BUILDERS.items()
+            for seed in seeds]

@@ -1,0 +1,52 @@
+"""Every attack category must genuinely leak on the undefended core."""
+
+import pytest
+
+from repro.attacks import ALL_ATTACKS, ATTACKS_BY_NAME, CATEGORIES
+
+
+def test_corpus_covers_paper_categories():
+    expected = {
+        "spectre-pht", "spectre-btb", "spectre-rsb", "spectre-stl",
+        "meltdown", "medusa-cache", "medusa-unaligned", "medusa-shadow",
+        "lvi", "fallout", "rowhammer", "trrespass", "drama",
+        "flush-reload", "flush-flush", "prime-probe",
+        "smotherspectre", "branchscope", "microscope", "leaky-buddies",
+        "rdrnd", "flushconflict",
+    }
+    assert set(CATEGORIES) == expected
+    assert len(CATEGORIES) >= 19
+
+
+def test_attack_names_unique():
+    from repro.attacks import EXTENDED_ATTACKS
+    assert len(ATTACKS_BY_NAME) == len(ALL_ATTACKS) + len(EXTENDED_ATTACKS)
+
+
+@pytest.mark.parametrize("cls", ALL_ATTACKS, ids=lambda c: c.name)
+def test_attack_leaks_on_undefended_core(cls):
+    outcome = cls(seed=4).run()
+    assert outcome.leaked, (outcome.expected_bits, outcome.recovered_bits)
+    assert outcome.run.halt_reason in ("halt", "fault:priv", "fault:assist")
+
+
+@pytest.mark.parametrize("cls", ALL_ATTACKS, ids=lambda c: c.name)
+def test_attack_is_deterministic(cls):
+    a = cls(seed=5).run()
+    b = cls(seed=5).run()
+    assert a.recovered_bits == b.recovered_bits
+    assert a.run.cycles == b.run.cycles
+
+
+def test_different_seeds_give_different_secrets():
+    secrets = {tuple(cls(seed=s).secret_bits)
+               for cls in ALL_ATTACKS[:1] for s in range(1, 9)}
+    assert len(secrets) > 3
+
+
+def test_outcome_metrics():
+    out = ALL_ATTACKS[0](seed=3).run()
+    assert out.success_rate == 1.0
+    assert out.balanced_accuracy == 1.0
+    assert out.name == ALL_ATTACKS[0].name
+    assert len(out.run.samples) >= 1

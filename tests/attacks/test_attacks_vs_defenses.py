@@ -1,0 +1,49 @@
+"""Always-on mitigations must block the attack classes they cover
+(paper Section VIII-A threat models)."""
+
+import pytest
+
+from repro.attacks import (
+    Fallout, LVI, Meltdown, MedusaCacheIndexing, MedusaShadowRepMov,
+    MedusaUnaligned, SpectreBTB, SpectrePHT, SpectreRSB, SpectreSTL,
+)
+from repro.sim import SimConfig
+from repro.sim.config import DefenseMode
+
+SPECTRE_FAMILY = (SpectrePHT, SpectreBTB, SpectreRSB)
+FAULT_FAMILY = (Meltdown, LVI, Fallout, MedusaCacheIndexing,
+                MedusaUnaligned, MedusaShadowRepMov, SpectreSTL)
+
+
+@pytest.mark.parametrize("cls", SPECTRE_FAMILY, ids=lambda c: c.name)
+@pytest.mark.parametrize("mode", [DefenseMode.FENCE_SPECTRE,
+                                  DefenseMode.INVISISPEC_SPECTRE])
+def test_spectre_model_defenses_block_spectre(cls, mode):
+    out = cls(seed=4).run(config=SimConfig(defense=mode))
+    assert not out.leaked
+
+
+@pytest.mark.parametrize("cls", FAULT_FAMILY, ids=lambda c: c.name)
+@pytest.mark.parametrize("mode", [DefenseMode.FENCE_FUTURISTIC,
+                                  DefenseMode.INVISISPEC_FUTURISTIC])
+def test_futuristic_defenses_block_fault_attacks(cls, mode):
+    out = cls(seed=4).run(config=SimConfig(defense=mode))
+    assert not out.leaked
+
+
+@pytest.mark.parametrize("cls", (Meltdown, LVI), ids=lambda c: c.name)
+def test_spectre_model_fence_does_not_cover_fault_attacks(cls):
+    """The paper's motivation for the Futuristic model: Spectre-only
+    mitigations leave LVI/Meltdown-class attacks working."""
+    out = cls(seed=4).run(config=SimConfig(defense=DefenseMode.FENCE_SPECTRE))
+    assert out.leaked
+
+
+def test_meltdown_blocked_on_invulnerable_hardware():
+    out = Meltdown(seed=4).run(config=SimConfig(meltdown_vulnerable=False))
+    assert not out.leaked
+
+
+def test_stl_blocked_without_memory_speculation():
+    out = SpectreSTL(seed=4).run(config=SimConfig(stl_speculation=False))
+    assert not out.leaked

@@ -1,0 +1,80 @@
+"""Evasion transformations and automatic attack generation."""
+
+import pytest
+
+from repro.attacks import (
+    EvasiveAttack, FlushReload, Meltdown, Osiris, SpectrePHT, Transynther,
+    TRRespassFuzzer,
+)
+
+
+class TestEvasion:
+    def test_evasive_attack_still_leaks(self):
+        out = EvasiveAttack(Meltdown(seed=3), nop_rate=0.4,
+                            prefetch_rate=0.15, seed=3).run()
+        assert out.leaked
+
+    def test_dilution_makes_programs_longer(self):
+        base_prog, _ = Meltdown(seed=3).build()
+        ev_prog, _ = EvasiveAttack(Meltdown(seed=3), nop_rate=0.5,
+                                   seed=3).build()
+        assert len(ev_prog) > len(base_prog) * 1.2
+
+    def test_zero_rates_reproduce_base_length(self):
+        base_prog, _ = SpectrePHT(seed=3).build()
+        ev_prog, _ = EvasiveAttack(SpectrePHT(seed=3), nop_rate=0.0,
+                                   prefetch_rate=0.0, seed=3).build()
+        assert len(ev_prog) == len(base_prog)
+
+    def test_category_preserved(self):
+        ev = EvasiveAttack(Meltdown(seed=3), seed=3)
+        assert ev.category == "meltdown"
+        assert ev.name.startswith("meltdown")
+
+    def test_camouflage_adds_actors(self):
+        _, actors = EvasiveAttack(FlushReload(seed=3), camouflage_actors=2,
+                                  seed=3).build()
+        assert len(actors) >= 3      # victim + 2 camouflage
+
+    def test_builder_emit_restored_after_build(self):
+        from repro.sim.program import ProgramBuilder
+        original = ProgramBuilder.emit
+        EvasiveAttack(Meltdown(seed=3), seed=3).build()
+        assert ProgramBuilder.emit is original
+
+    def test_deterministic_for_seed(self):
+        a, _ = EvasiveAttack(Meltdown(seed=3), nop_rate=0.4, seed=9).build()
+        b, _ = EvasiveAttack(Meltdown(seed=3), nop_rate=0.4, seed=9).build()
+        assert len(a) == len(b)
+        assert [i.op for i in a.instructions] == [i.op for i in b.instructions]
+
+
+class TestFuzzers:
+    @pytest.mark.parametrize("fuzzer_cls", [Transynther, TRRespassFuzzer,
+                                            Osiris])
+    def test_generates_requested_count(self, fuzzer_cls):
+        attacks = fuzzer_cls(seed=1).generate(5)
+        assert len(attacks) == 5
+        for a in attacks:
+            program, _ = a.build()
+            assert len(program) > 10
+
+    def test_deterministic_generation(self):
+        names_a = [a.name for a in Transynther(seed=2).generate(4)]
+        names_b = [a.name for a in Transynther(seed=2).generate(4)]
+        assert names_a == names_b
+
+    def test_different_seeds_differ(self):
+        names_a = [a.name for a in Transynther(seed=1).generate(6)]
+        names_b = [a.name for a in Transynther(seed=2).generate(6)]
+        assert names_a != names_b
+
+    def test_majority_of_fuzzed_attacks_leak(self):
+        attacks = Transynther(seed=3).generate(6)
+        leaked = sum(int(a.run().leaked) for a in attacks)
+        assert leaked >= 4
+
+    def test_trrespass_variants_vary_sides(self):
+        attacks = TRRespassFuzzer(seed=1).generate(8)
+        sides = {len(a.base.aggressor_rows) for a in attacks}
+        assert len(sides) >= 2

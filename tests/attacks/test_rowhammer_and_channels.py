@@ -1,0 +1,45 @@
+"""DRAM-attack specifics and channel mechanics."""
+
+from repro.attacks import DRAMA, Rowhammer, TRRespass
+from repro.sim import SimConfig
+
+
+def test_rowhammer_causes_bitflips():
+    out = Rowhammer(seed=1).run()
+    assert out.leaked
+    assert out.run.counters["dram.bitflips"] >= 1
+    assert out.run.counters["dram.activations"] > 400
+
+
+def test_rowhammer_fails_with_high_threshold():
+    """A resistant DRAM (very high flip threshold) defeats the hammer."""
+    out = Rowhammer(seed=1).run(config=SimConfig(rowhammer_threshold=100_000))
+    assert not out.leaked
+    assert out.run.counters["dram.bitflips"] == 0
+
+
+def test_rowhammer_fails_when_corruption_disabled():
+    out = Rowhammer(seed=1).run(config=SimConfig(rowhammer_enabled=False))
+    assert not out.leaked
+
+
+def test_trrespass_uses_more_aggressors():
+    rh = Rowhammer(seed=1)
+    trr = TRRespass(seed=1)
+    assert len(trr.aggressor_rows) > len(rh.aggressor_rows)
+    out = trr.run()
+    assert out.leaked
+
+
+def test_drama_needs_its_transmitter():
+    """Without the co-resident row-opening victim the channel reads
+    nothing meaningful."""
+    attack = DRAMA(seed=3)
+    program, actors = attack.build()
+    assert actors, "DRAMA requires a transmitter actor"
+    from repro.sim import Machine
+    machine = Machine(program, SimConfig(), actors=[])     # no victim
+    result = machine.run(max_cycles=attack.max_cycles())
+    recovered = attack.recover(machine, result)
+    from repro.attacks.base import bits_balanced_accuracy
+    assert bits_balanced_accuracy(attack.secret_bits, recovered) < 0.75

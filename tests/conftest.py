@@ -1,0 +1,37 @@
+"""Shared fixtures: small corpora and trained artifacts, built once."""
+
+import pytest
+
+from repro.attacks import (
+    ALL_ATTACKS, FlushReload, LVI, Meltdown, PrimeProbe, Rowhammer,
+    SpectrePHT, SpectreSTL,
+)
+from repro.core import vaccinate
+from repro.data import build_dataset
+from repro.workloads import all_workloads
+
+#: a fast, representative attack subset for pipeline-level tests
+FAST_ATTACKS = (SpectrePHT, SpectreSTL, Meltdown, LVI, FlushReload,
+                PrimeProbe, Rowhammer)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small labelled dataset over a representative corpus."""
+    attacks = [cls(seed=s) for cls in FAST_ATTACKS for s in (1, 2)]
+    workloads = all_workloads(scale=3, seeds=(0, 1))
+    return build_dataset(attacks, workloads, sample_period=250)
+
+
+@pytest.fixture(scope="session")
+def full_dataset():
+    """All 22 attack programs + workloads at the paper's 100-inst period."""
+    attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
+    workloads = all_workloads(scale=4, seeds=(0, 1))
+    return build_dataset(attacks, workloads, sample_period=100)
+
+
+@pytest.fixture(scope="session")
+def vaccinated(full_dataset):
+    """A full EVAX vaccination run (shared across integration tests)."""
+    return vaccinate(full_dataset, gan_iterations=600, seed=0)

@@ -1,0 +1,67 @@
+"""Adversarial-direction dilution model (core/adversarial)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ESSENTIAL_COUNTERS, MAX_FEASIBLE_STRENGTH, adversarial_augmentation,
+    dilute_toward_benign, essential_columns, evax_schema,
+)
+from repro.sim.hpc import CounterBank
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return evax_schema()
+
+
+def test_essential_counters_exist():
+    for name in ESSENTIAL_COUNTERS:
+        assert CounterBank.has(name), name
+
+
+def test_essential_columns_include_engineered(schema):
+    cols = essential_columns(schema)
+    names = [schema.names[i] for i in cols]
+    assert any(n.startswith("sec.") for n in names)
+    assert "commit.traps" in names
+
+
+def test_dilution_strength_zero_is_identity(schema):
+    rng = np.random.default_rng(0)
+    X = rng.random((10, schema.dim))
+    benign = rng.random(schema.dim) * 0.1
+    out = dilute_toward_benign(X, benign, 0.0, schema)
+    assert np.allclose(out, X)
+
+
+def test_dilution_moves_toward_benign(schema):
+    rng = np.random.default_rng(1)
+    X = rng.random((10, schema.dim)) * 0.5 + 0.5
+    benign = np.zeros(schema.dim)
+    out = dilute_toward_benign(X, benign, 0.5, schema)
+    non_essential = [i for i in range(schema.dim)
+                     if i not in set(essential_columns(schema))]
+    assert np.all(out[:, non_essential] < X[:, non_essential])
+
+
+def test_essential_floor_preserved(schema):
+    X = np.ones((4, schema.dim))
+    benign = np.zeros(schema.dim)
+    out = dilute_toward_benign(X, benign, 1.0, schema)
+    cols = essential_columns(schema)
+    assert np.all(out[:, cols] >= 0.3 - 1e-12)
+
+
+def test_augmentation_shape_and_determinism(schema):
+    rng = np.random.default_rng(2)
+    X = rng.random((12, schema.dim))
+    benign = np.zeros(schema.dim)
+    a = adversarial_augmentation(X, benign, schema, seed=5, copies=2)
+    b = adversarial_augmentation(X, benign, schema, seed=5, copies=2)
+    assert a.shape == (24, schema.dim)
+    assert np.allclose(a, b)
+
+
+def test_max_feasible_strength_in_unit_interval():
+    assert 0.0 < MAX_FEASIBLE_STRENGTH < 1.0

@@ -1,0 +1,105 @@
+"""AM-GAN mechanics: conditioning, asymmetry, training, generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AMGAN
+
+
+def _toy_corpus(seed=0, n=240):
+    """Two 'attack' classes with distinct feature co-activation patterns
+    plus a benign class."""
+    rng = np.random.default_rng(seed)
+    dim = 16
+    X, cats, targets = [], [], []
+    for _ in range(n // 3):
+        a = rng.random(dim) * 0.2
+        a[0:3] += 0.8
+        X.append(a)
+        cats.append("atk-a")
+        targets.append(1)
+        c = rng.random(dim) * 0.2
+        c[5:8] += 0.8
+        X.append(c)
+        cats.append("atk-b")
+        targets.append(1)
+        benign = rng.random(dim) * 0.3
+        X.append(benign)
+        cats.append("benign")
+        targets.append(0)
+    return np.clip(np.array(X), 0, 1), np.array(cats), np.array(targets)
+
+
+@pytest.fixture(scope="module")
+def trained_gan():
+    X, cats, targets = _toy_corpus()
+    gan = AMGAN(16, ["atk-a", "atk-b", "benign"],
+                generator_hidden=(32, 32), seed=0)
+    style_ref = {"atk-a": X[cats == "atk-a"][:60],
+                 "atk-b": X[cats == "atk-b"][:60]}
+    gan.train(X, cats, targets, iterations=400, style_reference=style_ref)
+    return gan, X, cats
+
+
+def test_asymmetric_architecture():
+    gan = AMGAN(16, ["a", "b"], generator_hidden=(32, 32, 32))
+    assert len(gan.generator.layers) == 4       # deep
+    assert len(gan.discriminator.layers) == 1   # the detector's shape
+
+
+def test_condition_vector_layout():
+    gan = AMGAN(8, ["a", "b"])
+    cond = gan.condition("b", 1)
+    assert cond.shape == (3,)
+    assert cond[1] == 1.0 and cond[0] == 0.0 and cond[2] == 1.0
+
+
+def test_unknown_category_rejected():
+    gan = AMGAN(8, ["a"])
+    with pytest.raises(ValueError):
+        gan.condition("zzz", 1)
+
+
+def test_generated_samples_shape_and_range(trained_gan):
+    gan, _, _ = trained_gan
+    g = gan.generate("atk-a", 1, 12)
+    assert g.shape == (12, 16)
+    assert g.min() >= 0.0 and g.max() <= 1.0
+
+
+def test_generator_respects_conditioning(trained_gan):
+    """Class-a generations should activate class-a's signature features
+    more than class-b's, and vice versa."""
+    gan, _, _ = trained_gan
+    ga = gan.generate("atk-a", 1, 64)
+    gb = gan.generate("atk-b", 1, 64)
+    assert ga[:, 0:3].mean() > gb[:, 0:3].mean()
+    assert gb[:, 5:8].mean() > ga[:, 5:8].mean()
+
+
+def test_style_history_recorded(trained_gan):
+    gan, _, _ = trained_gan
+    assert len(gan.style_history) >= 5
+    iterations = [i for i, _ in gan.style_history]
+    assert iterations == sorted(iterations)
+
+
+def test_style_loss_improves_with_training(trained_gan):
+    gan, _, _ = trained_gan
+    first = np.mean([v for _, v in gan.style_history[:3]])
+    last = np.mean([v for _, v in gan.style_history[-3:]])
+    assert last < first
+
+
+def test_discriminator_scores_in_unit_interval(trained_gan):
+    gan, X, cats = trained_gan
+    scores = gan.discriminator_score(X[:10], "atk-a", 1)
+    assert scores.shape == (10,)
+    assert (scores >= 0).all() and (scores <= 1).all()
+
+
+def test_training_requires_samples():
+    gan = AMGAN(4, ["a"])
+    with pytest.raises(ValueError):
+        gan.train(np.zeros((1, 4)), np.array(["a"]), np.array([1.0]),
+                  iterations=1)

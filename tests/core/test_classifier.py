@@ -1,0 +1,131 @@
+"""Attack-family classification and the targeted adaptive architecture."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import CATEGORIES
+from repro.core import evax_schema
+from repro.core.classifier import (
+    AttackClassifier, CATEGORY_FAMILIES, FAMILIES, FAMILY_RESPONSES,
+    TargetedController,
+)
+from repro.ml import CategoricalCrossEntropy, MLP
+from repro.sim.config import DefenseMode
+from repro.sim.sampler import Sample
+from repro.sim.hpc import COUNTER_NAMES
+
+
+def test_every_category_has_a_family():
+    for category in CATEGORIES + ("benign", "evict-time", "zombieload",
+                                  "foreshadow", "spoiler"):
+        assert CATEGORY_FAMILIES[category] in FAMILIES
+
+
+def test_family_responses_cover_all_families():
+    assert set(FAMILY_RESPONSES) == set(FAMILIES)
+    assert FAMILY_RESPONSES["fault"] is DefenseMode.FENCE_FUTURISTIC
+
+
+class TestSoftmaxSubstrate:
+    def test_softmax_outputs_distribution(self):
+        net = MLP([4, 3], ["softmax"], loss=CategoricalCrossEntropy())
+        out = net.predict(np.random.default_rng(0).normal(size=(5, 4)))
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert (out >= 0).all()
+
+    def test_learns_three_classes(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 4))
+        labels = np.argmax(X[:, :3], axis=1)
+        Y = np.eye(3)[labels]
+        net = MLP([4, 16, 3], ["tanh", "softmax"],
+                  loss=CategoricalCrossEntropy())
+        for _ in range(100):
+            for i in range(0, 300, 32):
+                net.train_batch(X[i:i + 32], Y[i:i + 32])
+        acc = (np.argmax(net.predict(X), axis=1) == labels).mean()
+        assert acc > 0.9
+
+
+class TestAttackClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self, small_dataset):
+        return AttackClassifier(evax_schema(), seed=0).fit(small_dataset,
+                                                           epochs=40)
+
+    def test_family_accuracy_high(self, trained, small_dataset):
+        assert trained.family_accuracy(small_dataset) > 0.85
+
+    def test_predicts_families_for_known_windows(self, trained,
+                                                 small_dataset):
+        for record in small_dataset.records[:20]:
+            family = trained.predict_family(record.deltas)
+            assert family in FAMILIES
+
+    def test_benign_windows_mostly_benign(self, trained, small_dataset):
+        benign = [r for r in small_dataset.records if r.label == 0][:50]
+        predicted = [trained.predict_family(r.deltas) for r in benign]
+        benign_rate = sum(p == "benign" for p in predicted) / len(predicted)
+        assert benign_rate > 0.8
+
+
+class FakeMachine:
+    def __init__(self):
+        self.defense = DefenseMode.NONE
+        self.actors_suspended = False
+        from repro.sim import SimConfig
+        self.config = SimConfig()
+
+    def set_defense(self, mode):
+        self.defense = mode
+
+
+class FixedClassifier:
+    def __init__(self, family):
+        self.family = family
+
+    def predict_family(self, deltas):
+        return self.family
+
+
+def _window(commit):
+    return Sample(0, commit, 0, [0] * len(COUNTER_NAMES))
+
+
+class TestTargetedController:
+    def test_contention_flag_quarantines(self):
+        m = FakeMachine()
+        ctrl = TargetedController(lambda s: True,
+                                  FixedClassifier("contention"),
+                                  secure_window=500)
+        ctrl(m, _window(100))
+        assert m.actors_suspended
+        assert m.defense is DefenseMode.NONE
+
+    def test_dram_flag_boosts_refresh(self):
+        m = FakeMachine()
+        normal = m.config.dram_refresh_interval
+        ctrl = TargetedController(lambda s: True, FixedClassifier("dram"),
+                                  secure_window=500)
+        ctrl(m, _window(100))
+        assert m.config.dram_refresh_interval < normal
+
+    def test_relaxes_after_window(self):
+        m = FakeMachine()
+        normal = m.config.dram_refresh_interval
+        flags = iter([True, False])
+        ctrl = TargetedController(lambda s: next(flags),
+                                  FixedClassifier("contention"),
+                                  secure_window=500)
+        ctrl(m, _window(100))
+        ctrl(m, _window(1000))
+        assert not m.actors_suspended
+        assert m.defense is DefenseMode.NONE
+        assert m.config.dram_refresh_interval == normal
+
+    def test_benign_classification_falls_back_to_fault(self):
+        m = FakeMachine()
+        ctrl = TargetedController(lambda s: True, FixedClassifier("benign"),
+                                  secure_window=500)
+        ctrl(m, _window(100))
+        assert m.defense is DefenseMode.FENCE_FUTURISTIC

@@ -1,0 +1,73 @@
+"""Leave-one-attack-out evaluation and the adaptive architecture."""
+
+import pytest
+
+from repro.attacks import Meltdown, SpectrePHT, default_secret_bits
+from repro.core import (
+    AdaptiveArchitecture, leave_one_attack_out, mean_generalization_error,
+    train_detector, evax_schema,
+)
+from repro.sim.config import DefenseMode
+from repro.workloads import all_workloads
+
+
+def _trainer(train_dataset):
+    return train_detector(train_dataset, evax_schema(), epochs=25)
+
+
+class TestLeaveOneAttackOut:
+    @pytest.fixture(scope="class")
+    def folds(self, small_dataset):
+        return leave_one_attack_out(small_dataset, _trainer,
+                                    categories=["meltdown", "spectre-pht"])
+
+    def test_each_category_scored(self, folds):
+        assert set(folds) == {"meltdown", "spectre-pht"}
+        for fold in folds.values():
+            assert fold.n_test_attack > 0
+            assert fold.n_test_benign > 0
+            assert 0.0 <= fold.tpr <= 1.0
+            assert 0.0 <= fold.error <= 1.0
+
+    def test_recovery_phase_excluded(self, small_dataset):
+        from repro.attacks.base import PHASE_RECOVER
+        folds = leave_one_attack_out(small_dataset, _trainer,
+                                     categories=["meltdown"],
+                                     exclude_recovery=True)
+        total = sum(1 for r in small_dataset.records
+                    if r.category == "meltdown"
+                    and r.phase != PHASE_RECOVER)
+        assert folds["meltdown"].n_test_attack == total
+
+    def test_mean_generalization_error(self, folds):
+        err = mean_generalization_error(folds)
+        assert 0.0 <= err <= 1.0
+        assert mean_generalization_error({}) == 0.0
+
+
+class TestAdaptiveArchitecture:
+    @pytest.fixture(scope="class")
+    def arch(self, vaccinated):
+        return AdaptiveArchitecture(vaccinated.detector,
+                                    secure_mode=DefenseMode.FENCE_FUTURISTIC,
+                                    secure_window=10_000,
+                                    sample_period=100)
+
+    def test_blocks_unseen_seed_attacks(self, arch):
+        for cls in (SpectrePHT, Meltdown):
+            attack = cls(secret_bits=default_secret_bits(9, n=10), seed=9)
+            run, leaked = arch.run_attack(attack)
+            assert run.flags > 0
+            assert not leaked, cls.name
+
+    def test_benign_overhead_negligible(self, arch):
+        workloads = all_workloads(scale=4, seeds=(3,))[:5]
+        overheads, _ = arch.overhead_on(workloads)
+        mean = sum(overheads.values()) / len(overheads)
+        assert mean < 0.05
+
+    def test_secure_fraction_reported(self, arch):
+        attack = SpectrePHT(seed=9)
+        run, _ = arch.run_attack(attack)
+        assert 0.0 <= run.secure_fraction <= 1.0
+        assert run.secure_fraction > 0.3       # attack keeps defenses on

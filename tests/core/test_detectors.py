@@ -1,0 +1,112 @@
+"""Hardware detectors: schemas, training, deployment interface, HW cost."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepDetector, HardwareDetector, evax_schema, perspectron_schema,
+)
+from repro.core.vaccination import train_detector, train_perspectron
+from repro.data import FeatureSchema
+
+
+def test_schema_sizes_match_paper():
+    assert perspectron_schema().dim == 106
+    assert evax_schema().dim == 145
+
+
+def test_perspectron_lacks_security_counters():
+    names = perspectron_schema().names
+    assert "lsq.assistForwards" not in names
+    assert "dram.bytesReadWrQ" not in names
+    assert not any(n.startswith("sec.") for n in names)
+
+
+def _toy_problem(schema, n=200, seed=0):
+    """Raw vectors where attack windows light up squash counters."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, schema.dim)) * 2.0
+    y = rng.integers(0, 2, n)
+    X[y == 1, :5] += 20.0
+    return X, y
+
+
+def test_detector_learns_toy_problem():
+    schema = perspectron_schema()
+    X, y = _toy_problem(schema)
+    det = HardwareDetector(schema).fit(X, y, epochs=25)
+    result = det.evaluate(X, y)
+    assert result["accuracy"] > 0.95
+    assert result["auc"] > 0.98
+
+
+def test_detector_threshold_trades_fp_for_fn():
+    schema = perspectron_schema()
+    X, y = _toy_problem(schema)
+    det = HardwareDetector(schema).fit(X, y, epochs=25)
+    det.threshold = 0.05
+    sensitive = det.evaluate(X, y)
+    det.threshold = 0.95
+    strict = det.evaluate(X, y)
+    assert sensitive["fn"] <= strict["fn"]
+    assert sensitive["fp"] >= strict["fp"]
+
+
+def test_classify_window_uses_raw_deltas():
+    from repro.sim.hpc import COUNTER_NAMES
+    schema = evax_schema()
+    X, y = _toy_problem(schema)
+    det = HardwareDetector(schema).fit(X, y, epochs=10)
+    deltas = [0] * len(COUNTER_NAMES)
+    assert det.classify_window(deltas) in (True, False)
+
+
+def test_hooks_are_callable():
+    schema = evax_schema()
+    X, y = _toy_problem(schema)
+    det = HardwareDetector(schema).fit(X, y, epochs=5)
+    hook = det.as_hook()
+    fn = det.detector_fn()
+    from repro.sim.sampler import Sample
+    from repro.sim.hpc import COUNTER_NAMES
+    s = Sample(0, 100, 50, [0] * len(COUNTER_NAMES))
+    assert hook(None, s) in (True, False)
+    assert fn(s) in (True, False)
+
+
+def test_hardware_cost_model():
+    det = HardwareDetector(evax_schema())
+    cost = det.hardware_cost()
+    assert cost["features"] == 145
+    assert cost["weight_storage_bits"] == 145 * 9
+    assert cost["adders"] == 1
+    assert cost["estimated_transistors"] <= 4000
+
+
+def test_quantized_weights_in_range():
+    schema = evax_schema()
+    X, y = _toy_problem(schema)
+    det = HardwareDetector(schema).fit(X, y, epochs=10)
+    q = det.quantized_weights(bits=9)
+    assert q.min() >= 0 and q.max() <= 511
+
+
+def test_deep_detector_depth():
+    det = DeepDetector(evax_schema(), depth=4, width=16)
+    assert len(det.net.layers) == 5
+    with pytest.raises(ValueError):
+        DeepDetector(evax_schema(), depth=0)
+
+
+def test_train_detector_on_dataset(small_dataset):
+    det = train_detector(small_dataset, evax_schema(), epochs=20)
+    raw = small_dataset.raw_matrix(det.schema)
+    result = det.evaluate(raw, small_dataset.labels())
+    assert result["accuracy"] > 0.9
+
+
+def test_perspectron_baseline_trains(small_dataset):
+    det = train_perspectron(small_dataset, epochs=20)
+    assert det.schema.dim == 106
+    raw = small_dataset.raw_matrix(det.schema)
+    assert det.evaluate(raw, small_dataset.labels())["accuracy"] > 0.8

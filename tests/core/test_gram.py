@@ -1,0 +1,61 @@
+"""Gram matrix and style loss (Section V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import feature_correlation, gram_matrix, style_loss
+
+
+def test_gram_is_symmetric_psd():
+    rng = np.random.default_rng(0)
+    X = rng.random((20, 6))
+    G = gram_matrix(X)
+    assert G.shape == (6, 6)
+    assert np.allclose(G, G.T)
+    eigenvalues = np.linalg.eigvalsh(G)
+    assert eigenvalues.min() > -1e-10
+
+
+def test_gram_diagonal_is_mean_square():
+    X = np.array([[1.0, 2.0], [3.0, 0.0]])
+    G = gram_matrix(X)
+    assert G[0, 0] == pytest.approx((1 + 9) / 2)
+    assert G[1, 1] == pytest.approx(4 / 2)
+    assert G[0, 1] == pytest.approx(2 / 2)
+
+
+def test_gram_requires_2d_nonempty():
+    with pytest.raises(ValueError):
+        gram_matrix(np.zeros(3))
+    with pytest.raises(ValueError):
+        gram_matrix(np.zeros((0, 3)))
+
+
+def test_style_loss_zero_for_identical_batches():
+    rng = np.random.default_rng(1)
+    X = rng.random((30, 8))
+    assert style_loss(X, X) == pytest.approx(0.0)
+
+
+def test_style_loss_small_for_same_distribution():
+    rng = np.random.default_rng(2)
+    base = rng.random((200, 8)) * np.array([1, 1, 0, 0, 1, 0, 0, 1])
+    gen = rng.random((200, 8)) * np.array([1, 1, 0, 0, 1, 0, 0, 1])
+    other = rng.random((200, 8)) * np.array([0, 0, 1, 1, 0, 1, 1, 0])
+    same = style_loss(base, gen)
+    diff = style_loss(base, other)
+    assert same < diff
+
+
+def test_style_loss_alpha_scales():
+    rng = np.random.default_rng(3)
+    a, b = rng.random((10, 4)), rng.random((10, 4))
+    assert style_loss(a, b, alpha=2.0) == pytest.approx(
+        style_loss(a, b, alpha=1.0) / 2)
+
+
+def test_feature_correlation_matches_gram_entry():
+    rng = np.random.default_rng(4)
+    X = rng.random((15, 5))
+    G = gram_matrix(X)
+    assert feature_correlation(X, 1, 3) == pytest.approx(G[1, 3])

@@ -1,0 +1,119 @@
+"""Interpretability tooling and vendor-patch serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DetectorPatch, HardwareDetector, attack_signature, detector_from_dict,
+    detector_to_dict, evax_schema, explain_window, gram_heatmap,
+    load_detector, perspectron_schema, save_detector, weight_report,
+)
+from repro.sim.hpc import COUNTER_NAMES
+
+
+@pytest.fixture(scope="module")
+def trained(small_dataset):
+    det = HardwareDetector(evax_schema(), seed=0, name="evax-test")
+    raw = small_dataset.raw_matrix(det.schema)
+    det.fit(raw, small_dataset.labels(), epochs=30)
+    return det
+
+
+class TestInterpret:
+    def test_weight_report_shapes(self, trained):
+        malicious, benign = weight_report(trained, top=6)
+        assert len(malicious) == 6 and len(benign) == 6
+        assert malicious[0][1] >= malicious[-1][1]
+        assert benign[0][1] <= benign[-1][1]
+        # the two ends of the hyperplane do not overlap
+        assert not ({n for n, _ in malicious} & {n for n, _ in benign})
+
+    def test_explain_window_flags_attack_features(self, trained,
+                                                  small_dataset):
+        attack = next(r for r in small_dataset.records if r.label == 1)
+        score, contributions = explain_window(trained, attack.deltas)
+        assert 0.0 <= score <= 1.0
+        assert contributions
+        assert all(value > 0 for _, value in contributions)
+        names = {n for n, _ in contributions}
+        assert names <= set(trained.schema.names)
+
+    def test_gram_heatmap_renders(self):
+        rng = np.random.default_rng(0)
+        windows = rng.random((20, 4))
+        art = gram_heatmap(windows, ["a", "b", "c", "d"])
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in lines)
+
+    def test_attack_signature_finds_mechanism_counters(self, small_dataset):
+        schema = evax_schema()
+        sig = attack_signature(small_dataset, "meltdown", schema)
+        names = [n for n, _ in sig]
+        assert any(n in ("commit.traps", "iq.squashedNonSpecLD",
+                         "squash.faultSquashes", "cpu.rdtscReads",
+                         "dcache.flushes") or n.startswith("sec.")
+                   for n in names)
+
+    def test_attack_signature_unknown_category(self, small_dataset):
+        with pytest.raises(ValueError):
+            attack_signature(small_dataset, "not-an-attack", evax_schema())
+
+
+class TestPatching:
+    def test_roundtrip_preserves_predictions(self, trained, small_dataset):
+        data = detector_to_dict(trained)
+        clone = detector_from_dict(data)
+        raw = small_dataset.raw_matrix(trained.schema)
+        assert np.allclose(clone.scores_raw(raw), trained.scores_raw(raw))
+        assert clone.schema.names == trained.schema.names
+
+    def test_save_load_file(self, trained, small_dataset, tmp_path):
+        path = tmp_path / "detector.json"
+        save_detector(trained, path)
+        loaded = load_detector(path)
+        raw = small_dataset.raw_matrix(trained.schema)
+        assert np.allclose(loaded.scores_raw(raw), trained.scores_raw(raw))
+
+    def test_patch_apply_and_version(self, trained):
+        patch = DetectorPatch.from_retrained(trained, version="2026.07")
+        patched = patch.apply()
+        assert patched.name.endswith("@2026.07")
+        assert patched.schema.dim == trained.schema.dim
+
+    def test_patch_reports_new_features(self, small_dataset):
+        deployed = HardwareDetector(perspectron_schema(), name="deployed")
+        updated = HardwareDetector(evax_schema(), name="updated")
+        patch = DetectorPatch.from_retrained(updated, version="v2")
+        new = patch.new_features_vs(deployed)
+        assert len(new) == 12       # the engineered security HPCs
+
+    def test_patch_json_roundtrip(self, trained):
+        patch = DetectorPatch.from_retrained(trained, version="v9")
+        again = DetectorPatch.from_json(patch.to_json())
+        assert again.version == "v9"
+        assert again.apply().schema.names == trained.schema.names
+
+    def test_deep_detector_roundtrip(self, small_dataset):
+        from repro.core import DeepDetector
+        det = DeepDetector(perspectron_schema(), depth=2, width=8, seed=1)
+        raw = small_dataset.raw_matrix(det.schema)
+        det.fit(raw, small_dataset.labels(), epochs=5)
+        clone = detector_from_dict(detector_to_dict(det))
+        assert np.allclose(clone.scores_raw(raw), det.scores_raw(raw))
+
+
+class TestClassifierPatching:
+    def test_classifier_roundtrip(self, small_dataset):
+        import numpy as np
+        from repro.core import evax_schema
+        from repro.core.classifier import AttackClassifier
+        from repro.core.patching import (
+            classifier_from_dict, classifier_to_dict,
+        )
+        clf = AttackClassifier(evax_schema(), seed=0).fit(small_dataset,
+                                                          epochs=10)
+        clone = classifier_from_dict(classifier_to_dict(clf))
+        for record in small_dataset.records[:15]:
+            assert clone.predict_family(record.deltas) == \
+                clf.predict_family(record.deltas)

@@ -1,0 +1,91 @@
+"""The end-to-end vaccination pipeline and feature engineering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BENIGN, combo_fire_rates, mine_security_hpcs, train_perspectron,
+    vaccinate,
+)
+from repro.data import FeatureSchema
+from repro.data.features import BASE_FEATURES
+
+
+@pytest.fixture(scope="module")
+def result(small_dataset):
+    return vaccinate(small_dataset, gan_iterations=250, seed=0)
+
+
+def test_pipeline_produces_widened_schema(result):
+    assert result.schema.dim == 133 + 12
+    assert len(result.engineered) == 12
+
+
+def test_engineered_features_reference_real_counters(result):
+    from repro.sim.hpc import CounterBank
+    for name, counters in result.engineered:
+        assert name.startswith("sec.auto_")
+        assert len(counters) == 2
+        for c in counters:
+            assert CounterBank.has(c)
+
+
+def test_engineered_combos_unique(result):
+    combos = [tuple(c) for _, c in result.engineered]
+    assert len(combos) == len(set(combos))
+
+
+def test_style_history_recorded_and_improving(result):
+    assert len(result.style_history) >= 5
+    first = np.mean([v for _, v in result.style_history[:2]])
+    last = np.mean([v for _, v in result.style_history[-2:]])
+    assert last <= first * 1.5      # no divergence; usually improves
+
+
+def test_generated_counts_cover_all_classes(result, small_dataset):
+    for cat in small_dataset.categories:
+        assert result.generated_counts.get(cat, 0) > 0
+    # benign gets extra generated coverage (the paper's benign corpus)
+    assert result.generated_counts[BENIGN] > \
+        result.generated_counts["meltdown"]
+
+
+def test_vaccinated_detector_fits_training_corpus(result, small_dataset):
+    raw = small_dataset.raw_matrix(result.schema)
+    y = small_dataset.labels()
+    metrics = result.detector.evaluate(raw, y)
+    assert metrics["accuracy"] > 0.95
+    assert metrics["auc"] > 0.98
+
+
+def test_vaccinated_beats_perspectron_on_fp(result, small_dataset):
+    y = small_dataset.labels()
+    evax = result.detector.evaluate(
+        small_dataset.raw_matrix(result.schema), y)
+    pers = train_perspectron(small_dataset, epochs=40)
+    pers_m = pers.evaluate(small_dataset.raw_matrix(pers.schema), y)
+    assert evax["fp_rate"] <= pers_m["fp_rate"] + 0.02
+    assert evax["auc"] >= pers_m["auc"] - 0.01
+
+
+def test_mine_security_hpcs_shapes(result):
+    base_schema = FeatureSchema(engineered=(), base=BASE_FEATURES)
+    combos = mine_security_hpcs(result.gan, base_schema, top_nodes=5,
+                                counters_per_node=3)
+    assert len(combos) == 5
+    assert all(len(c) == 3 for _, c in combos)
+
+
+def test_combo_fire_rates(result, small_dataset):
+    base_schema = FeatureSchema(engineered=(), base=BASE_FEATURES)
+    raw = small_dataset.raw_matrix(base_schema)
+    rates = combo_fire_rates(raw, base_schema, result.engineered)
+    assert set(rates) == {n for n, _ in result.engineered}
+    assert all(0.0 <= v <= 1.0 for v in rates.values())
+
+
+def test_pipeline_without_feature_engineering(small_dataset):
+    res = vaccinate(small_dataset, gan_iterations=60, engineer_features=False,
+                    seed=1, style_tracking=False)
+    assert res.schema.dim == 133
+    assert res.engineered == []

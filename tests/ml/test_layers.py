@@ -1,0 +1,126 @@
+"""Dense layers: forward values, analytic-vs-numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import ACTIVATIONS, Dense
+
+
+def test_unknown_activation_rejected():
+    with pytest.raises(ValueError):
+        Dense(2, 3, "gelu", np.random.default_rng(0))
+
+
+def test_forward_shape():
+    layer = Dense(4, 3, "relu", np.random.default_rng(0))
+    out = layer.forward(np.zeros((5, 4)))
+    assert out.shape == (5, 3)
+
+
+def test_linear_layer_is_affine():
+    layer = Dense(2, 1, "linear", np.random.default_rng(0))
+    layer.weights[:] = [[2.0], [3.0]]
+    layer.bias[:] = [1.0]
+    out = layer.forward(np.array([[1.0, 1.0], [0.0, 2.0]]))
+    assert np.allclose(out[:, 0], [6.0, 7.0])
+
+
+def test_relu_clamps_negative():
+    layer = Dense(1, 1, "relu", np.random.default_rng(0))
+    layer.weights[:] = [[1.0]]
+    layer.bias[:] = [0.0]
+    out = layer.forward(np.array([[-5.0], [3.0]]))
+    assert np.allclose(out[:, 0], [0.0, 3.0])
+
+
+def test_sigmoid_bounded_and_stable():
+    f, _ = ACTIVATIONS["sigmoid"]
+    x = np.array([-1000.0, -1.0, 0.0, 1.0, 1000.0])
+    y = f(x)
+    assert np.all((y >= 0) & (y <= 1))
+    assert y[2] == pytest.approx(0.5)
+    assert np.isfinite(y).all()
+
+
+# softmax is excluded: its layer gradient is a pass-through placeholder
+# for the joint softmax+cross-entropy gradient (see CategoricalCrossEntropy)
+@pytest.mark.parametrize("activation",
+                         [a for a in ACTIVATIONS if a != "softmax"])
+def test_gradients_match_numeric(activation):
+    rng = np.random.default_rng(1)
+    layer = Dense(3, 2, activation, rng)
+    x = rng.normal(size=(4, 3))
+    grad_out = rng.normal(size=(4, 2))
+
+    layer.forward(x, train=True)
+    grad_in = layer.backward(grad_out)
+
+    eps = 1e-6
+
+    def loss(weights, bias, inputs):
+        z = inputs @ weights + bias
+        y = ACTIVATIONS[activation][0](z)
+        return float(np.sum(y * grad_out))
+
+    # weight gradient check (a few entries)
+    for i, j in [(0, 0), (2, 1), (1, 0)]:
+        w_plus = layer.weights.copy()
+        w_plus[i, j] += eps
+        w_minus = layer.weights.copy()
+        w_minus[i, j] -= eps
+        numeric = (loss(w_plus, layer.bias, x) -
+                   loss(w_minus, layer.bias, x)) / (2 * eps)
+        assert layer.grad_weights[i, j] == pytest.approx(numeric, rel=1e-4,
+                                                         abs=1e-6)
+    # input gradient check
+    for i, j in [(0, 0), (3, 2)]:
+        x_plus = x.copy()
+        x_plus[i, j] += eps
+        x_minus = x.copy()
+        x_minus[i, j] -= eps
+        numeric = (loss(layer.weights, layer.bias, x_plus) -
+                   loss(layer.weights, layer.bias, x_minus)) / (2 * eps)
+        assert grad_in[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+def test_backward_before_forward_rejected():
+    layer = Dense(2, 2, "relu", np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 2)))
+
+
+def test_inference_forward_does_not_cache():
+    layer = Dense(2, 2, "relu", np.random.default_rng(0))
+    layer.forward(np.zeros((1, 2)), train=False)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 2)))
+
+
+def test_softmax_ce_joint_gradient_numeric():
+    """The joint softmax+cross-entropy gradient (pred - target)/n matches
+    a numeric derivative of CE(softmax(z)) w.r.t. z."""
+    import numpy as np
+    from repro.ml import MLP, CategoricalCrossEntropy
+    rng = np.random.default_rng(0)
+    net = MLP([3, 4], ["softmax"], loss=CategoricalCrossEntropy(), seed=0)
+    x = rng.normal(size=(2, 3))
+    target = np.eye(4)[[1, 3]]
+    layer = net.layers[0]
+    pred = net.forward(x, train=True)
+    grad_out = net.loss.gradient(pred, target)
+    net.backward(grad_out)
+    analytic = layer.grad_weights.copy()
+
+    eps = 1e-6
+
+    def loss_at(weights):
+        z = x @ weights + layer.bias
+        s = np.exp(z - z.max(axis=1, keepdims=True))
+        p = s / s.sum(axis=1, keepdims=True)
+        return float(-np.mean(np.sum(target * np.log(p + 1e-12), axis=1)))
+
+    for i, j in ((0, 0), (2, 3), (1, 2)):
+        wp = layer.weights.copy(); wp[i, j] += eps
+        wm = layer.weights.copy(); wm[i, j] -= eps
+        numeric = (loss_at(wp) - loss_at(wm)) / (2 * eps)
+        assert abs(analytic[i, j] - numeric) < 1e-5

@@ -1,0 +1,111 @@
+"""Classification metrics and cross-validation splitters."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy, auc, confusion_counts, f1_score, false_positive_rate,
+    kfold_indices, leave_one_group_out, precision, recall, roc_curve,
+    true_positive_rate,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels = [1, 1, 0, 0, 1]
+        preds = [1, 0, 0, 1, 1]
+        assert confusion_counts(labels, preds) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_counts([1, 0], [1])
+
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_precision_recall_f1(self):
+        labels = [1, 1, 0, 0]
+        preds = [1, 0, 1, 0]
+        assert precision(labels, preds) == 0.5
+        assert recall(labels, preds) == 0.5
+        assert f1_score(labels, preds) == 0.5
+
+    def test_rates(self):
+        labels = [1, 1, 0, 0]
+        preds = [1, 1, 1, 0]
+        assert true_positive_rate(labels, preds) == 1.0
+        assert false_positive_rate(labels, preds) == 0.5
+
+    def test_degenerate_empty_classes(self):
+        assert precision([0, 0], [0, 0]) == 0.0
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([0], [0]) == 0.0
+
+
+class TestROC:
+    def test_perfect_scores_auc_one(self):
+        labels = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        assert auc(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_zero(self):
+        labels = [1, 1, 0, 0]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        assert auc(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_anchored(self):
+        fpr, tpr = roc_curve([0, 1], [0.3, 0.7])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 500)
+        scores = rng.random(500)
+        fpr, tpr = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapsed(self):
+        labels = [0, 1, 0, 1]
+        scores = [0.5, 0.5, 0.5, 0.5]
+        fpr, tpr = roc_curve(labels, scores)
+        assert len(fpr) == 2          # anchor + one point
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        seen = []
+        for train, test in kfold_indices(20, 4, seed=0):
+            assert set(train) & set(test) == set()
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 6))
+
+    def test_deterministic_for_seed(self):
+        a = [t.tolist() for _, t in kfold_indices(10, 2, seed=7)]
+        b = [t.tolist() for _, t in kfold_indices(10, 2, seed=7)]
+        assert a == b
+
+
+class TestLeaveOneGroupOut:
+    def test_each_group_held_out_exactly_once(self):
+        groups = ["a", "b", "a", "c", "b"]
+        folds = list(leave_one_group_out(groups))
+        held = [g for g, _, _ in folds]
+        assert held == ["a", "b", "c"]
+        for g, train, test in folds:
+            assert all(groups[i] == g for i in test)
+            assert all(groups[i] != g for i in train)
+            assert len(train) + len(test) == len(groups)

@@ -1,0 +1,121 @@
+"""MLP training, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLP, Adam, BinaryCrossEntropy, MeanSquaredError, SGD
+
+
+def test_mlp_shape_validation():
+    with pytest.raises(ValueError):
+        MLP([2, 3, 1], ["relu"])
+
+
+def test_mlp_learns_linearly_separable():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(float)
+    net = MLP([2, 1], ["sigmoid"], seed=0, optimizer=Adam(lr=0.02))
+    for _ in range(60):
+        for i in range(0, 200, 32):
+            net.train_batch(X[i:i + 32], y[i:i + 32])
+    acc = (net.predict_label(X) == y).mean()
+    assert acc > 0.93
+
+
+def test_mlp_learns_xor_with_hidden_layer():
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+    y = np.array([0, 1, 1, 0], dtype=float)
+    net = MLP([2, 8, 1], ["tanh", "sigmoid"], seed=3)
+    for _ in range(1500):
+        net.train_batch(X, y)
+    assert (net.predict_label(X) == y).all()
+
+
+def test_loss_decreases_during_training():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(100, 4))
+    y = (X.sum(axis=1) > 0).astype(float)
+    net = MLP([4, 1], ["sigmoid"], seed=0)
+    first = net.train_batch(X, y)
+    for _ in range(60):
+        last = net.train_batch(X, y)
+    assert last < first
+
+
+def test_forward_accepts_single_vector():
+    net = MLP([3, 1], ["sigmoid"], seed=0)
+    out = net.predict(np.zeros(3))
+    assert out.shape == (1, 1)
+
+
+def test_clone_architecture_matches_but_differs_in_weights():
+    net = MLP([4, 6, 1], ["relu", "sigmoid"], seed=0)
+    clone = net.clone_architecture(seed=99)
+    assert [l.out_dim for l in clone.layers] == [6, 1]
+    assert clone.num_parameters == net.num_parameters
+    assert not np.allclose(clone.layers[0].weights, net.layers[0].weights)
+
+
+def test_num_parameters():
+    net = MLP([3, 2, 1], ["relu", "sigmoid"])
+    assert net.num_parameters == (3 * 2 + 2) + (2 * 1 + 1)
+
+
+class TestLosses:
+    def test_bce_perfect_prediction_near_zero(self):
+        loss = BinaryCrossEntropy()
+        pred = np.array([[0.999], [0.001]])
+        target = np.array([[1.0], [0.0]])
+        assert loss.value(pred, target) < 0.01
+
+    def test_bce_wrong_prediction_large(self):
+        loss = BinaryCrossEntropy()
+        pred = np.array([[0.01]])
+        target = np.array([[1.0]])
+        assert loss.value(pred, target) > 2.0
+
+    def test_bce_gradient_sign(self):
+        loss = BinaryCrossEntropy()
+        pred = np.array([[0.3]])
+        assert loss.gradient(pred, np.array([[1.0]]))[0, 0] < 0
+        assert loss.gradient(pred, np.array([[0.0]]))[0, 0] > 0
+
+    def test_mse_value_and_gradient(self):
+        loss = MeanSquaredError()
+        pred = np.array([[2.0], [0.0]])
+        target = np.array([[1.0], [0.0]])
+        assert loss.value(pred, target) == pytest.approx(0.5)
+        grad = loss.gradient(pred, target)
+        assert grad[0, 0] == pytest.approx(1.0)
+        assert grad[1, 0] == pytest.approx(0.0)
+
+
+class TestOptimizers:
+    def _minimize(self, optimizer, steps=300):
+        # minimize (w - 3)^2 via its gradient 2(w - 3)
+        w = np.array([0.0])
+        for _ in range(steps):
+            grad = 2 * (w - 3.0)
+            optimizer.step([w], [grad])
+        return w[0]
+
+    def test_sgd_converges(self):
+        assert self._minimize(SGD(lr=0.05)) == pytest.approx(3.0, abs=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        assert self._minimize(SGD(lr=0.02, momentum=0.9)) == \
+            pytest.approx(3.0, abs=1e-2)
+
+    def test_adam_converges(self):
+        assert self._minimize(Adam(lr=0.1), steps=500) == \
+            pytest.approx(3.0, abs=1e-2)
+
+    def test_adam_handles_multiple_params_independently(self):
+        opt = Adam(lr=0.1)
+        a = np.array([0.0])
+        c = np.array([10.0])
+        for _ in range(500):
+            opt.step([a, c], [2 * (a - 1.0), 2 * (c - 5.0)])
+        assert a[0] == pytest.approx(1.0, abs=1e-2)
+        assert c[0] == pytest.approx(5.0, abs=1e-2)

@@ -1,0 +1,84 @@
+"""Architectural semantics of ALU and move operations."""
+
+import pytest
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+
+
+def run_regs(build_body):
+    b = ProgramBuilder()
+    build_body(b)
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    r = m.run(max_cycles=50_000)
+    assert r.halt_reason == "halt"
+    return r.regs
+
+
+def test_movi_and_mov():
+    regs = run_regs(lambda b: (b.movi(1, 42), b.mov(2, 1)))
+    assert regs[1] == 42 and regs[2] == 42
+
+
+@pytest.mark.parametrize("op,a,c,expected", [
+    ("add", 7, 5, 12),
+    ("sub", 7, 5, 2),
+    ("and_", 0b1100, 0b1010, 0b1000),
+    ("or_", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("mul", 7, 6, 42),
+    ("div", 42, 5, 8),
+])
+def test_binary_ops(op, a, c, expected):
+    def body(b):
+        b.movi(1, a)
+        b.movi(2, c)
+        getattr(b, op)(3, 1, 2)
+    assert run_regs(body)[3] == expected
+
+
+def test_addi_with_negative_immediate():
+    regs = run_regs(lambda b: (b.movi(1, 10), b.addi(2, 1, -4)))
+    assert regs[2] == 6
+
+
+def test_shifts():
+    def body(b):
+        b.movi(1, 5)
+        b.shl(2, 1, 3)
+        b.shr(3, 2, 2)
+    regs = run_regs(body)
+    assert regs[2] == 40 and regs[3] == 10
+
+
+def test_arithmetic_shift_right_of_negative_gives_sign():
+    def body(b):
+        b.movi(1, 3)
+        b.movi(2, 10)
+        b.sub(3, 1, 2)      # -7
+        b.shr(4, 3, 63)
+        b.andi(4, 4, 1)
+    assert run_regs(body)[4] == 1
+
+
+def test_division_by_zero_yields_zero():
+    def body(b):
+        b.movi(1, 5)
+        b.movi(2, 0)
+        b.div(3, 1, 2)
+    assert run_regs(body)[3] == 0
+
+
+def test_andi_masks_counter():
+    def body(b):
+        b.movi(1, 0x12F)
+        b.andi(2, 1, 0xFF)
+    assert run_regs(body)[2] == 0x2F
+
+
+def test_dependent_chain_computes_in_order():
+    def body(b):
+        b.movi(1, 1)
+        for _ in range(10):
+            b.add(1, 1, 1)      # doubles each time
+    assert run_regs(body)[1] == 1024

@@ -1,0 +1,130 @@
+"""Branch prediction structures and misprediction behaviour."""
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.branch import BTB, RAS, TournamentPredictor
+
+
+class TestTournament:
+    def test_learns_always_taken(self):
+        p = TournamentPredictor()
+        for _ in range(8):
+            p.update(100, True)
+        assert p.predict(100) is True
+
+    def test_learns_always_not_taken(self):
+        p = TournamentPredictor()
+        for _ in range(8):
+            p.update(100, False)
+        assert p.predict(100) is False
+
+    def test_relearns_after_flip(self):
+        p = TournamentPredictor()
+        for _ in range(8):
+            p.update(100, True)
+        for _ in range(8):
+            p.update(100, False)
+        assert p.predict(100) is False
+
+    def test_distinct_pcs_independent(self):
+        p = TournamentPredictor()
+        for _ in range(8):
+            p.update(5, True)
+            p.update(6, False)
+        assert p.predict(5) is True
+        assert p.predict(6) is False
+
+
+class TestBTB:
+    def test_miss_returns_none(self):
+        assert BTB(entries=64).lookup(10) is None
+
+    def test_hit_after_update(self):
+        btb = BTB(entries=64)
+        btb.update(10, 99)
+        assert btb.lookup(10) == 99
+
+    def test_aliasing_pc_with_different_tag_misses(self):
+        btb = BTB(entries=64)
+        btb.update(10, 99)
+        assert btb.lookup(10 + 64) is None    # same index, different tag
+
+    def test_update_overwrites(self):
+        btb = BTB(entries=64)
+        btb.update(10, 99)
+        btb.update(10, 42)
+        assert btb.lookup(10) == 42
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = RAS(entries=4)
+        ras.push(1)
+        ras.push(2)
+        assert ras.pop() == 2
+        assert ras.pop() == 1
+
+    def test_empty_pop_returns_none(self):
+        assert RAS(entries=4).pop() is None
+
+    def test_overflow_wraps_and_loses_oldest(self):
+        ras = RAS(entries=2)
+        for v in (1, 2, 3):
+            ras.push(v)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None   # 1 was overwritten
+
+
+def test_mispredict_squashes_wrong_path_architecturally():
+    """A data-dependent branch mispredicts, but architectural state must
+    be exactly the taken-path state."""
+    b = ProgramBuilder()
+    b.data(0x5000, 1)
+    b.movi(1, 0x5000)
+    b.load(2, 1, 0)
+    b.movi(3, 1)
+    b.beq(2, 3, "taken")
+    b.movi(4, 111)            # wrong path
+    b.halt()
+    b.label("taken")
+    b.movi(5, 222)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[5] == 222
+    assert r.regs[4] == 0
+
+
+def test_trained_loop_has_few_mispredicts():
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.movi(2, 300)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    # only warm-up and exit mispredicts
+    assert r.counters["iew.branchMispredicts"] <= 8
+
+
+def test_wrong_path_load_perturbs_cache_state():
+    """The security-critical property: a squashed wrong-path load leaves
+    its line in the cache."""
+    probe = 0x40000
+    b = ProgramBuilder()
+    b.data(0x30000, 0x32000)
+    b.data(0x32000, 7)
+    b.movi(1, probe)
+    b.movi(6, 0x30000)
+    b.clflush(6, 0)
+    b.fence()
+    b.load(4, 6, 0)        # slow: r4 = 0x32000 arrives from DRAM
+    b.movi(5, 0x32000)
+    b.beq(4, 5, "away")    # actual taken, predicted fallthrough (cold)
+    b.load(7, 1, 0)        # wrong path: touches probe, then is squashed
+    b.label("away")
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    r = m.run()
+    assert m.hierarchy.data_line_present(probe)
+    assert r.regs[7] == 0  # the squashed load never became architectural

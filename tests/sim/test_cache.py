@@ -1,0 +1,144 @@
+"""Cache units and the two-level hierarchy."""
+
+from repro.sim import SimConfig
+from repro.sim.cache import Cache, CacheHierarchy
+from repro.sim.dram import DRAM
+from repro.sim.hpc import CounterBank
+from repro.sim.memory import MainMemory
+
+
+def make_cache(size=1024, assoc=2, line=64, latency=2):
+    return Cache(size, assoc, line, latency, CounterBank(), "dcache")
+
+
+def make_hierarchy(config=None):
+    cfg = config if config is not None else SimConfig()
+    counters = CounterBank()
+    mem = MainMemory()
+    dram = DRAM(cfg, counters, mem)
+    return CacheHierarchy(cfg, counters, dram), counters
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(5)
+        c.fill(5)
+        assert c.lookup(5)
+
+    def test_lru_eviction_order(self):
+        c = make_cache(size=2 * 64, assoc=2)   # one set, two ways
+        c.fill(0)
+        c.fill(1)
+        c.lookup(0)            # 0 becomes MRU
+        evicted = c.fill(2)
+        assert evicted == (1, False)
+        assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+    def test_dirty_eviction_reported(self):
+        c = make_cache(size=2 * 64, assoc=2)
+        c.fill(0, dirty=True)
+        c.fill(1)
+        evicted = c.fill(2)
+        assert evicted == (0, True)
+        assert c.counters.get("dcache.writebacks") == 1
+
+    def test_clean_evict_counter(self):
+        c = make_cache(size=2 * 64, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.fill(2)
+        assert c.counters.get("dcache.cleanEvicts") == 1
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(7, dirty=True)
+        present, dirty = c.invalidate(7)
+        assert present and dirty
+        assert not c.contains(7)
+        assert c.invalidate(7) == (False, False)
+
+    def test_contains_does_not_touch_lru(self):
+        c = make_cache(size=2 * 64, assoc=2)
+        c.fill(0)
+        c.fill(1)
+        c.contains(0)          # must NOT refresh 0
+        evicted = c.fill(2)
+        assert evicted[0] == 0
+
+    def test_set_occupancy(self):
+        c = make_cache(size=4 * 64, assoc=2)   # 2 sets
+        c.fill(0)
+        c.fill(2)              # same set as 0 (stride = num_sets)
+        assert c.set_occupancy(0) == 2
+        assert c.set_occupancy(1) == 0
+
+
+class TestHierarchy:
+    def test_first_access_misses_to_dram(self):
+        h, c = make_hierarchy()
+        latency = h.access_data(0x10000, False, cycle=0)
+        assert latency > 50
+        assert c.get("dcache.misses") == 1
+        assert c.get("l2.misses") == 1
+
+    def test_second_access_hits_l1(self):
+        h, c = make_hierarchy()
+        h.access_data(0x10000, False, cycle=0)
+        latency = h.access_data(0x10000, False, cycle=1)
+        assert latency == SimConfig().l1d_latency
+        assert c.get("dcache.hits") == 1
+
+    def test_l2_hit_after_l1_eviction_pressure(self):
+        cfg = SimConfig()
+        h, c = make_hierarchy(cfg)
+        h.access_data(0x10000, False, cycle=0)
+        # evict 0x10000 from L1 by filling its set (L1: 128 sets, 8 ways)
+        sets = cfg.l1d_size // (cfg.l1d_assoc * cfg.line_bytes)
+        for k in range(1, cfg.l1d_assoc + 1):
+            h.access_data(0x10000 + k * sets * cfg.line_bytes, False, cycle=k)
+        latency = h.access_data(0x10000, False, cycle=100)
+        assert latency == cfg.l1d_latency + cfg.l2_latency
+
+    def test_invisible_access_changes_no_state(self):
+        h, c = make_hierarchy()
+        latency = h.access_data(0x10000, False, cycle=0, invisible=True)
+        assert latency > 50
+        assert not h.data_line_present(0x10000)
+        assert c.get("specbuf.fills") == 1
+
+    def test_invisible_access_observes_cached_latency(self):
+        h, _ = make_hierarchy()
+        h.access_data(0x10000, False, cycle=0)
+        latency = h.access_data(0x10000, False, cycle=1, invisible=True)
+        assert latency == SimConfig().l1d_latency
+
+    def test_flush_removes_line_and_takes_longer_when_present(self):
+        h, _ = make_hierarchy()
+        t_absent = h.flush_line(0x10000, cycle=0)
+        h.access_data(0x10000, False, cycle=1)
+        t_present = h.flush_line(0x10000, cycle=2)
+        assert t_present > t_absent
+        assert not h.data_line_present(0x10000)
+
+    def test_write_marks_line_dirty_for_later_writeback(self):
+        cfg = SimConfig()
+        h, c = make_hierarchy(cfg)
+        h.access_data(0x10000, True, cycle=0)
+        sets = cfg.l1d_size // (cfg.l1d_assoc * cfg.line_bytes)
+        for k in range(1, cfg.l1d_assoc + 1):
+            h.access_data(0x10000 + k * sets * cfg.line_bytes, False, cycle=k)
+        assert c.get("dcache.writebacks") >= 1
+
+    def test_prefetch_fills_cache(self):
+        h, c = make_hierarchy()
+        h.prefetch(0x10000, cycle=0)
+        assert h.data_line_present(0x10000)
+        assert c.get("dcache.prefetches") == 1
+
+    def test_icache_warms(self):
+        h, c = make_hierarchy()
+        assert h.access_inst(0, cycle=0) > 0
+        assert h.access_inst(0, cycle=1) == 0
+        assert h.access_inst(7, cycle=2) == 0      # same line (8 insts/line)
+        assert h.access_inst(8, cycle=3) > 0

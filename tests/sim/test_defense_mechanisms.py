@@ -1,0 +1,154 @@
+"""Fencing and InvisiSpec mechanics inside the core."""
+
+import pytest
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.config import DefenseMode
+from repro.sim.isa import KERNEL_BASE
+
+
+def _spec_load_program():
+    """A mispredicted branch shadowing a load that would touch probe."""
+    probe = 0x20000
+    b = ProgramBuilder()
+    b.data(0x30000, 0x32000)
+    b.data(0x32000, 7)
+    b.movi(1, probe)
+    b.movi(6, 0x30000)
+    b.clflush(6, 0)
+    b.fence()
+    b.load(4, 6, 0)
+    b.movi(5, 0x32000)
+    b.beq(4, 5, "away")     # actual taken, predicted fallthrough
+    b.load(7, 1, 0)         # wrong-path probe touch
+    b.label("away")
+    b.halt()
+    return b.build(), probe
+
+
+@pytest.mark.parametrize("mode", [DefenseMode.FENCE_SPECTRE,
+                                  DefenseMode.FENCE_FUTURISTIC,
+                                  DefenseMode.INVISISPEC_SPECTRE,
+                                  DefenseMode.INVISISPEC_FUTURISTIC])
+def test_defenses_stop_wrong_path_cache_fill(mode):
+    program, probe = _spec_load_program()
+    m = Machine(program, SimConfig(defense=mode))
+    m.run()
+    assert not m.hierarchy.data_line_present(probe)
+
+
+def test_no_defense_leaves_wrong_path_fill():
+    program, probe = _spec_load_program()
+    m = Machine(program, SimConfig())
+    m.run()
+    assert m.hierarchy.data_line_present(probe)
+
+
+def _benign_loop(n=300):
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.movi(3, 0x9000)
+    b.label("top")
+    b.load(4, 3, 0)
+    b.addi(4, 4, 1)
+    b.store(3, 4, 0)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+def test_defense_overhead_ordering():
+    """Over the benign suite, fencing costs more than InvisiSpec and both
+    cost more than no defense (the paper's Figure 16 ordering)."""
+    from repro.workloads import all_workloads
+    cycles = {mode: 0 for mode in DefenseMode}
+    for w in all_workloads(scale=2):
+        program, actors = w.build()
+        for mode in DefenseMode:
+            m = Machine(program, SimConfig(defense=mode), actors=actors)
+            cycles[mode] += m.run(max_cycles=400_000).cycles
+    base = cycles[DefenseMode.NONE]
+    assert cycles[DefenseMode.FENCE_SPECTRE] > base * 1.05
+    assert cycles[DefenseMode.INVISISPEC_SPECTRE] > base
+    # fencing costs more than buffering within each threat model
+    assert cycles[DefenseMode.FENCE_SPECTRE] > \
+        cycles[DefenseMode.INVISISPEC_SPECTRE]
+    # the futuristic (all-loads) InvisiSpec model costs more than the
+    # branch-shadow-only one
+    assert cycles[DefenseMode.INVISISPEC_FUTURISTIC] > \
+        cycles[DefenseMode.INVISISPEC_SPECTRE]
+
+
+def test_defenses_preserve_architectural_results():
+    results = {}
+    for mode in DefenseMode:
+        m = Machine(_benign_loop(50), SimConfig(defense=mode))
+        r = m.run(max_cycles=500_000)
+        results[mode] = (r.regs[1], m.memory.load(0x9000))
+    values = set(results.values())
+    assert len(values) == 1, results
+    assert values.pop() == (50, 50)
+
+
+def test_invisispec_exposes_loads_at_commit():
+    program, _ = _spec_load_program()
+    m = Machine(program, SimConfig(defense=DefenseMode.INVISISPEC_FUTURISTIC))
+    r = m.run()
+    assert r.counters["specbuf.fills"] > 0
+    assert r.counters["specbuf.exposes"] > 0
+
+
+def test_invisispec_committed_loads_become_visible():
+    b = ProgramBuilder()
+    b.movi(1, 0x9000)
+    b.load(2, 1, 0)
+    b.fence()
+    b.halt()
+    m = Machine(b.build(), SimConfig(defense=DefenseMode.INVISISPEC_FUTURISTIC))
+    m.run()
+    # after commit+expose the line is architecturally cached
+    assert m.hierarchy.data_line_present(0x9000)
+
+
+def test_futuristic_fence_blocks_meltdown_probe_touch():
+    probe = 0x20000
+    b = ProgramBuilder()
+    b.data(KERNEL_BASE + 0x100, 1)
+    b.movi(1, probe)
+    b.movi(2, KERNEL_BASE + 0x100)
+    b.prefetch(2, 0)
+    b.fence()
+    b.try_("handler")
+    b.movi(4, 1_000_000)
+    b.movi(5, 3)
+    b.div(4, 4, 5)
+    b.div(4, 4, 5)
+    b.load(3, 2, 0)
+    b.shl(3, 3, 6)
+    b.add(3, 3, 1)
+    b.load(3, 3, 0)
+    b.label("dead")
+    b.jmp("dead")
+    b.label("handler")
+    b.halt()
+    m = Machine(b.build(), SimConfig(defense=DefenseMode.FENCE_FUTURISTIC))
+    m.run(max_cycles=500_000)
+    assert not m.hierarchy.data_line_present(probe + 64)
+
+
+def test_defense_switchable_mid_run():
+    """set_defense() takes effect on the live machine (the adaptive
+    architecture's mechanism)."""
+    program = _benign_loop(400)
+    m = Machine(program, SimConfig())
+    # run half the program, then enable fencing
+    for _ in range(200):
+        m.cpu.step(m.cycle)
+        m.cycle += 1
+    m.set_defense(DefenseMode.FENCE_SPECTRE)
+    assert m.config.defense is DefenseMode.FENCE_SPECTRE
+    r = m.run(max_cycles=500_000)
+    assert r.halt_reason == "halt"
+    assert r.regs[1] == 400

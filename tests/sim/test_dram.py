@@ -1,0 +1,107 @@
+"""DRAM timing, write queue, refresh, and Rowhammer corruption."""
+
+from repro.sim import SimConfig
+from repro.sim.dram import DRAM
+from repro.sim.hpc import CounterBank
+from repro.sim.memory import MainMemory
+
+
+def make_dram(**overrides):
+    cfg = SimConfig(**overrides)
+    counters = CounterBank()
+    mem = MainMemory()
+    return DRAM(cfg, counters, mem), counters, mem, cfg
+
+
+def test_bank_row_mapping_roundtrip():
+    dram, _, _, cfg = make_dram()
+    for addr in (0, 8192, 123456, 10_000_000):
+        bank, row = dram.bank_row(addr)
+        base = dram.row_base_address(bank, row)
+        assert dram.bank_row(base) == (bank, row)
+        assert base <= addr < base + cfg.dram_row_bytes * cfg.dram_banks
+
+
+def test_row_hit_faster_than_row_miss():
+    dram, _, _, cfg = make_dram()
+    t_open = dram.access(0x10000, False, cycle=0)
+    t_hit = dram.access(0x10040, False, cycle=1)      # same row
+    assert t_open == cfg.dram_row_miss_latency
+    assert t_hit == cfg.dram_row_hit_latency
+
+
+def test_row_conflict_reopens():
+    dram, c, _, cfg = make_dram()
+    dram.access(0x10000, False, cycle=0)
+    bank, row = dram.bank_row(0x10000)
+    other = dram.row_base_address(bank, row + 1)
+    t = dram.access(other, False, cycle=1)
+    assert t == cfg.dram_row_miss_latency
+    assert c.get("dram.precharges") == 1
+
+
+def test_peek_latency_has_no_side_effects():
+    dram, c, _, _ = make_dram()
+    before = dict(zip(range(len(c.values)), c.values))
+    dram.peek_latency(0x10000)
+    assert c.values == list(before.values())
+    assert dram.open_rows == [None] * dram.num_banks
+
+
+def test_reads_serviced_by_write_queue():
+    dram, c, _, _ = make_dram()
+    dram.access(0x20000, True, cycle=0)
+    t = dram.access(0x20000, False, cycle=1)
+    assert t == 8
+    assert c.get("dram.bytesReadWrQ") == 64
+    assert c.get("wrqueue.bytesRead") == 64
+
+
+def test_refresh_clears_activation_counts():
+    dram, c, _, cfg = make_dram()
+    dram.access(0x10000, False, cycle=0)
+    assert dram.activations_since_refresh
+    dram.access(0x10000, False, cycle=cfg.dram_refresh_interval + 1)
+    assert c.get("dram.refreshes") == 1
+    # counts were cleared at the refresh (the access after may re-add)
+    assert sum(dram.activations_since_refresh.values()) <= 1
+
+
+def test_rowhammer_flips_neighbours_at_threshold():
+    dram, c, mem, cfg = make_dram(rowhammer_threshold=10)
+    bank, row = 3, 20
+    aggressor = dram.row_base_address(bank, row)
+    victim_up = dram.row_base_address(bank, row - 1)
+    victim_down = dram.row_base_address(bank, row + 1)
+    other_bank = dram.row_base_address(bank + 1, 5)
+    for i in range(10):
+        dram.access(aggressor, False, cycle=2 * i)
+        dram.access(other_bank, False, cycle=2 * i + 1)  # keeps row churn?
+        # force a conflict so every access activates
+        dram.open_rows[bank] = None
+    assert c.get("dram.bitflips") == 2
+    assert mem.load(victim_up) != 0 or mem.load(victim_down) != 0
+    assert victim_up in dram.flipped_addresses
+    assert victim_down in dram.flipped_addresses
+
+
+def test_rowhammer_disabled_never_flips():
+    dram, c, _, _ = make_dram(rowhammer_enabled=False, rowhammer_threshold=2)
+    aggressor = dram.row_base_address(0, 5)
+    for i in range(10):
+        dram.access(aggressor, False, cycle=i)
+        dram.open_rows[0] = None
+    assert c.get("dram.bitflips") == 0
+
+
+def test_double_sided_flips_distinct_bits():
+    """Flips from the two aggressors must not cancel each other."""
+    dram, _, mem, _ = make_dram(rowhammer_threshold=5)
+    bank, victim = 2, 10
+    up = dram.row_base_address(bank, victim - 1)
+    down = dram.row_base_address(bank, victim + 1)
+    victim_addr = dram.row_base_address(bank, victim)
+    for i in range(5):
+        dram.access(up, False, cycle=2 * i)
+        dram.access(down, False, cycle=2 * i + 1)
+    assert mem.load(victim_addr) != 0

@@ -1,0 +1,123 @@
+"""Edge cases across the simulator surface."""
+
+import pytest
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.isa import KERNEL_BASE
+
+
+def test_empty_program_halts_immediately():
+    b = ProgramBuilder()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=100)
+    assert r.halt_reason == "end-of-program"
+    assert r.committed == 0
+
+
+def test_store_to_kernel_address_is_architectural():
+    """Stores carry no deferred privilege fault in this model (loads are
+    the Meltdown-relevant path); the store lands in memory."""
+    b = ProgramBuilder()
+    b.movi(1, KERNEL_BASE + 0x40)
+    b.movi(2, 7)
+    b.store(1, 2, 0)
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    r = m.run()
+    assert r.halt_reason == "halt"
+    assert m.memory.load(KERNEL_BASE + 0x40) == 7
+
+
+def test_nested_traps_reuse_handler():
+    b = ProgramBuilder()
+    b.movi(1, KERNEL_BASE)
+    b.movi(5, 0)
+    b.try_("handler")
+    b.label("again")
+    b.load(2, 1, 0)            # traps
+    b.halt()
+    b.label("handler")
+    b.addi(5, 5, 1)
+    b.movi(6, 3)
+    b.blt(5, 6, "again")
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=100_000)
+    assert r.regs[5] == 3
+    assert r.counters["commit.traps"] == 3
+
+
+def test_back_to_back_branches_resolve_in_order():
+    b = ProgramBuilder()
+    b.movi(1, 1)
+    b.movi(2, 2)
+    b.blt(1, 2, "a")           # taken
+    b.movi(3, 111)
+    b.label("a")
+    b.blt(2, 1, "b")           # not taken
+    b.movi(4, 222)
+    b.label("b")
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[3] == 0
+    assert r.regs[4] == 222
+
+
+def test_jmpi_to_zero_pc_loops_program_start():
+    b = ProgramBuilder()
+    b.movi(1, 0)               # target pc 0 => restart
+    b.movi(2, 0x9000)
+    b.load(3, 2, 0)
+    b.addi(3, 3, 1)
+    b.store(2, 3, 0)
+    b.movi(4, 3)
+    b.load(5, 2, 0)
+    b.blt(5, 4, "again")
+    b.halt()
+    b.label("again")
+    b.jmpi(1)
+    m = Machine(b.build(), SimConfig())
+    r = m.run(max_cycles=100_000)
+    assert r.halt_reason == "halt"
+    assert m.memory.load(0x9000) == 3
+
+
+def test_negative_effective_address_faults_cleanly():
+    """Base+imm below zero is an invalid address: it faults (the sign
+    bits land in the assist range) rather than crashing the simulator."""
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.load(2, 1, -8)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=50_000)
+    assert r.halt_reason == "fault:assist"
+    assert r.counters["commit.traps"] == 1
+
+
+def test_deep_call_chain_beyond_ras_capacity():
+    """33 nested calls overflow the 16-entry RAS; returns still land
+    architecturally (through mispredicts)."""
+    depth = 33
+    b = ProgramBuilder()
+    b.reg(15, 0x8000)
+    b.movi(1, 0)
+    b.call("f0")
+    b.halt()
+    for i in range(depth):
+        b.label(f"f{i}")
+        b.addi(1, 1, 1)
+        if i + 1 < depth:
+            b.call(f"f{i + 1}")
+        b.ret()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=200_000)
+    assert r.halt_reason == "halt"
+    assert r.regs[1] == depth
+    assert r.counters["branchPred.RASIncorrect"] > 0
+
+
+def test_sample_period_one_records_every_commit():
+    b = ProgramBuilder()
+    for _ in range(10):
+        b.nop()
+    b.halt()
+    m = Machine(b.build(), SimConfig(), sample_period=1)
+    r = m.run()
+    assert len(r.samples) >= 10

@@ -1,0 +1,49 @@
+"""ISA definitions and address-classification helpers."""
+
+from repro.sim.isa import (
+    ASSIST_BIT, BRANCH_OPS, COND_BRANCH_OPS, Instruction, KERNEL_BASE,
+    LINE_BYTES, LOAD_OPS, Op, STORE_OPS, WORD_BYTES, is_assist_address,
+    is_kernel_address, line_of,
+)
+
+
+def test_kernel_addresses_classified():
+    assert is_kernel_address(KERNEL_BASE)
+    assert is_kernel_address(KERNEL_BASE + 0x1000)
+    assert not is_kernel_address(KERNEL_BASE - 8)
+    assert not is_kernel_address(0)
+
+
+def test_assist_addresses_classified():
+    assert is_assist_address(ASSIST_BIT | 0x100)
+    assert not is_assist_address(0x100)
+    # kernel addresses are privileged, not assist, even with the bit set
+    assert not is_assist_address(KERNEL_BASE | ASSIST_BIT)
+
+
+def test_line_of_is_line_granular():
+    assert line_of(0) == 0
+    assert line_of(LINE_BYTES - 1) == 0
+    assert line_of(LINE_BYTES) == 1
+    assert line_of(10 * LINE_BYTES + 5) == 10
+
+
+def test_op_groups_are_disjoint_where_expected():
+    assert not (LOAD_OPS & STORE_OPS)
+    assert COND_BRANCH_OPS <= BRANCH_OPS
+    assert Op.JMPI in BRANCH_OPS and Op.JMPI not in COND_BRANCH_OPS
+
+
+def test_instruction_source_regs():
+    inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+    assert inst.source_regs() == [2, 3]
+    inst = Instruction(Op.MOVI, rd=1, imm=5)
+    assert inst.source_regs() == []
+    inst = Instruction(Op.LOAD, rd=1, rs1=4, imm=8)
+    assert inst.source_regs() == [4]
+
+
+def test_instruction_repr_mentions_op():
+    inst = Instruction(Op.BEQ, rs1=1, rs2=2, target=7)
+    text = repr(inst)
+    assert "beq" in text and "->7" in text

@@ -1,0 +1,167 @@
+"""Time-shared two-program execution and a cross-context cache attack."""
+
+from repro.attacks.base import bits_balanced_accuracy
+from repro.sim import ProgramBuilder, SimConfig
+from repro.sim.multiprog import TimeSharedMachine
+
+SHARED_LINE = 0x50000      # page shared between the two processes
+VICTIM_SECRETS = 0x58000   # victim-private secret bits
+RESULTS = 0x70000
+BIT_PERIOD = 8000
+
+
+def _counter_prog(n, result_addr):
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.movi(3, result_addr)
+    b.store(3, 1, 0)
+    b.halt()
+    return b.build()
+
+
+class TestTimeSharing:
+    def test_both_programs_complete_correctly(self):
+        tsm = TimeSharedMachine(_counter_prog(4000, 0x9000),
+                                _counter_prog(2500, 0xA000),
+                                slice_cycles=500)
+        ctx_a, ctx_b = tsm.run(max_cycles=200_000)
+        assert ctx_a.halted and ctx_b.halted
+        assert tsm.memory.load(0x9000) == 4000
+        assert tsm.memory.load(0xA000) == 2500
+        assert tsm.switches >= 5
+
+    def test_contexts_have_isolated_registers(self):
+        """Each context's registers survive switches untouched by the
+        other program's register writes."""
+        a = ProgramBuilder()
+        a.movi(5, 111)
+        for _ in range(900):
+            a.nop()
+        a.movi(6, 0xB000)
+        a.store(6, 5, 0)
+        a.halt()
+        b = ProgramBuilder()
+        b.movi(5, 222)
+        for _ in range(900):
+            b.nop()
+        b.movi(6, 0xB008)
+        b.store(6, 5, 0)
+        b.halt()
+        tsm = TimeSharedMachine(a.build(), b.build(), slice_cycles=120)
+        tsm.run(max_cycles=100_000)
+        assert tsm.memory.load(0xB000) == 111
+        assert tsm.memory.load(0xB008) == 222
+
+    def test_switch_overhead_charged(self):
+        fast = TimeSharedMachine(_counter_prog(2000, 0x9000),
+                                 _counter_prog(2000, 0xA000),
+                                 slice_cycles=400, switch_overhead=0)
+        fast.run(max_cycles=200_000)
+        slow = TimeSharedMachine(_counter_prog(2000, 0x9000),
+                                 _counter_prog(2000, 0xA000),
+                                 slice_cycles=400, switch_overhead=400)
+        slow.run(max_cycles=200_000)
+        assert slow.machine.cycle > fast.machine.cycle
+
+
+def _victim_program(secret_bits):
+    """Touches the shared line throughout window i iff secret bit i is 1
+    (branchless, so its own predictor state stays bland)."""
+    b = ProgramBuilder()
+    for i, bit in enumerate(secret_bits):
+        b.data(VICTIM_SECRETS + 8 * i, bit)
+    b.movi(1, SHARED_LINE)
+    b.movi(2, VICTIM_SECRETS)
+    b.movi(13, 0)                    # bit index
+    b.movi(14, len(secret_bits))
+    b.label("window")
+    b.shl(3, 13, 3)
+    b.add(3, 3, 2)
+    b.load(4, 3, 0)                  # bit
+    # touch_addr = dummy + bit * (shared - dummy)
+    b.movi(5, SHARED_LINE - 0x1000)  # victim-private dummy line
+    b.movi(6, 0x1000)
+    b.mul(7, 4, 6)
+    b.add(5, 5, 7)
+    # inner loop: touch every ~60 cycles until the window ends
+    b.movi(8, BIT_PERIOD)
+    b.mul(9, 13, 8)
+    b.addi(9, 9, BIT_PERIOD - 200)   # window deadline (checked pre-touch)
+    b.label("touch")
+    b.rdtsc(12)
+    b.blt(12, 9, "do_touch")
+    b.jmp("window_done")
+    b.label("do_touch")
+    b.lfence()              # no wrong-path touch of a stale address
+    b.load(0, 5, 0)
+    b.movi(10, 0)
+    b.movi(11, 30)
+    b.label("pause")
+    b.addi(10, 10, 1)
+    b.blt(10, 11, "pause")
+    b.jmp("touch")
+    b.label("window_done")
+    b.addi(13, 13, 1)
+    b.blt(13, 14, "window")
+    b.halt()
+    return b.build()
+
+
+def _attacker_program(n_bits):
+    """Flush early in each window, reload late, store the hit bit."""
+    from repro.attacks.base import (
+        emit_below_threshold, emit_spin_until, emit_store_result,
+        emit_timed_load,
+    )
+    b = ProgramBuilder()
+    b.movi(1, SHARED_LINE)
+    b.load(0, 1, 0xF80)              # DTLB warm for the shared page
+    b.movi(13, 0)
+    b.label("bitloop")
+    b.movi(4, BIT_PERIOD)
+    b.mul(5, 13, 4)
+    b.addi(5, 5, 400)
+    emit_spin_until(b, 5, 6, "pre")
+    b.clflush(1, 0)
+    b.fence()
+    b.addi(5, 5, BIT_PERIOD - 1000)
+    emit_spin_until(b, 5, 6, "probe")
+    emit_timed_load(b, 1, 0, 8, 9, 10)
+    emit_below_threshold(b, 8, 8, 30)
+    emit_store_result(b, 13, 8, 10)
+    b.addi(13, 13, 1)
+    b.movi(14, n_bits)
+    b.blt(13, 14, "bitloop")
+    b.halt()
+    return b.build()
+
+
+class TestCrossContextFlushReload:
+    def test_attacker_program_recovers_victim_program_secret(self):
+        """The headline property of shared-state time sharing: one
+        process's cache footprint leaks to the next scheduled process."""
+        secret = [1, 0, 1, 1, 0]
+        tsm = TimeSharedMachine(_attacker_program(len(secret)),
+                                _victim_program(secret),
+                                slice_cycles=1200,
+                                switch_overhead=40)
+        tsm.run(max_cycles=400_000)
+        recovered = [tsm.memory.load(RESULTS + 8 * i) & 1
+                     for i in range(len(secret))]
+        assert bits_balanced_accuracy(secret, recovered) >= 0.75, \
+            (secret, recovered)
+
+    def test_channel_dies_without_shared_line(self):
+        """A victim touching only private lines leaks nothing."""
+        secret = [1, 0, 1, 1, 0]
+        victim = _victim_program([0] * len(secret))   # never touches shared
+        tsm = TimeSharedMachine(_attacker_program(len(secret)), victim,
+                                slice_cycles=1200, switch_overhead=40)
+        tsm.run(max_cycles=400_000)
+        recovered = [tsm.memory.load(RESULTS + 8 * i) & 1
+                     for i in range(len(secret))]
+        assert all(bit == 0 for bit in recovered)

@@ -1,0 +1,178 @@
+"""Pipeline behaviour: commits, loops, memory, control flow, limits."""
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+
+
+def _loop_program(iterations=50):
+    b = ProgramBuilder("loop")
+    b.movi(1, 0)
+    b.movi(2, iterations)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+def test_loop_commits_expected_instruction_count():
+    m = Machine(_loop_program(50), SimConfig())
+    r = m.run()
+    # movi x2 + 2 insts * 50 iterations + halt
+    assert r.committed == 2 + 100 + 1
+    assert r.regs[1] == 50
+    assert r.halt_reason == "halt"
+
+
+def test_ipc_is_reasonable_for_tight_loop():
+    r = Machine(_loop_program(200), SimConfig()).run()
+    assert 0.5 < r.ipc < 8.0
+
+
+def test_load_store_roundtrip():
+    b = ProgramBuilder()
+    b.movi(1, 0x9000)
+    b.movi(2, 1234)
+    b.store(1, 2, 0)
+    b.load(3, 1, 0)
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    r = m.run()
+    assert r.regs[3] == 1234
+    assert m.memory.load(0x9000) == 1234
+
+
+def test_store_to_load_forwarding_counted():
+    b = ProgramBuilder()
+    b.movi(1, 0x9000)
+    b.movi(2, 77)
+    b.store(1, 2, 0)
+    b.load(3, 1, 0)    # should forward from the in-flight store
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[3] == 77
+    assert r.counters["lsq.forwLoads"] >= 1
+
+
+def test_initial_memory_visible_to_loads():
+    b = ProgramBuilder()
+    b.data(0xA000, 555)
+    b.movi(1, 0xA000)
+    b.load(2, 1, 0)
+    b.halt()
+    assert Machine(b.build(), SimConfig()).run().regs[2] == 555
+
+
+def test_call_and_ret_return_correctly():
+    b = ProgramBuilder()
+    b.reg(15, 0x8000)
+    b.movi(1, 0)
+    b.call("f")
+    b.addi(1, 1, 100)   # executed after return
+    b.halt()
+    b.label("f")
+    b.addi(1, 1, 1)
+    b.ret()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[1] == 101
+
+
+def test_nested_calls():
+    b = ProgramBuilder()
+    b.reg(15, 0x8000)
+    b.movi(1, 0)
+    b.call("f")
+    b.halt()
+    b.label("f")
+    b.addi(1, 1, 1)
+    b.call("g")
+    b.ret()
+    b.label("g")
+    b.addi(1, 1, 10)
+    b.ret()
+    assert Machine(b.build(), SimConfig()).run().regs[1] == 11
+
+
+def test_indirect_jump_goes_to_register_target():
+    b = ProgramBuilder()
+    b.movi_label(1, "dest")
+    b.jmpi(1)
+    b.movi(2, 111)      # skipped
+    b.label("dest")
+    b.movi(3, 222)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[3] == 222
+    assert r.regs[2] == 0
+
+
+def test_rdtsc_monotonic():
+    b = ProgramBuilder()
+    b.rdtsc(1)
+    b.fence()
+    b.rdtsc(2)
+    b.sub(3, 2, 1)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[3] > 0
+
+
+def test_end_of_program_halts_without_explicit_halt():
+    b = ProgramBuilder()
+    b.movi(1, 3)
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.halt_reason == "end-of-program"
+    assert r.regs[1] == 3
+
+
+def test_max_cycles_bounds_runaway_program():
+    b = ProgramBuilder()
+    b.label("spin")
+    b.jmp("spin")
+    r = Machine(b.build(), SimConfig()).run(max_cycles=500)
+    assert r.halt_reason == "max-cycles"
+    assert r.cycles == 500
+
+
+def test_rob_never_exceeds_capacity():
+    config = SimConfig(rob_entries=16)
+    b = ProgramBuilder()
+    b.movi(1, 1)
+    b.movi(2, 3)
+    for _ in range(60):
+        b.div(1, 1, 2)      # slow chain backs up the ROB
+    b.halt()
+    m = Machine(b.build(), config)
+    while not m.cpu.halted and m.cycle < 10_000:
+        m.cpu.step(m.cycle)
+        assert len(m.cpu.rob) <= 16
+        m.cycle += 1
+
+
+def test_fence_serializes_timing_reads():
+    # without fences, both rdtscs issue together; with a fence between,
+    # the second waits for the slow load to commit
+    def run(with_fence):
+        b = ProgramBuilder()
+        b.movi(1, 0x600000)
+        b.rdtsc(2)
+        b.load(3, 1, 0)     # cold: DRAM miss
+        if with_fence:
+            b.fence()
+        b.rdtsc(4)
+        b.sub(5, 4, 2)
+        b.halt()
+        return Machine(b.build(), SimConfig()).run().regs[5]
+
+    assert run(True) > run(False) + 20
+
+
+def test_mark_records_phase_boundaries():
+    b = ProgramBuilder()
+    b.mark(1)
+    for _ in range(5):
+        b.nop()
+    b.mark(2)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    phases = [(p.phase) for p in r.phase_marks]
+    assert phases == [1, 2]

@@ -1,0 +1,84 @@
+"""Optional stride prefetcher."""
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.cache import CacheHierarchy
+from repro.sim.dram import DRAM
+from repro.sim.hpc import CounterBank
+from repro.sim.memory import MainMemory
+from repro.sim.prefetcher import StridePrefetcher
+
+
+def make_prefetcher(degree=1, entries=32):
+    cfg = SimConfig()
+    counters = CounterBank()
+    hierarchy = CacheHierarchy(cfg, counters, DRAM(cfg, counters,
+                                                   MainMemory()))
+    return StridePrefetcher(hierarchy, table_entries=entries,
+                            degree=degree), hierarchy
+
+
+def test_constant_stride_detected_and_prefetched():
+    pf, hierarchy = make_prefetcher()
+    for i in range(5):
+        pf.observe(pc=10, addr=0x1000 + 64 * i, cycle=i)
+    assert pf.issued >= 1
+    # the next line in the stream is already cached
+    assert hierarchy.data_line_present(0x1000 + 64 * 5)
+
+
+def test_random_stream_never_prefetches():
+    pf, _ = make_prefetcher()
+    for i, addr in enumerate((0x1000, 0x9000, 0x2040, 0x77000, 0x140)):
+        pf.observe(pc=10, addr=addr, cycle=i)
+    assert pf.issued == 0
+
+
+def test_distinct_pcs_tracked_independently():
+    pf, _ = make_prefetcher()
+    for i in range(5):
+        pf.observe(pc=1, addr=0x1000 + 64 * i, cycle=i)
+        pf.observe(pc=2, addr=0x90000 - 128 * i, cycle=i)
+    assert pf.issued >= 2
+
+
+def test_table_capacity_bounded():
+    pf, _ = make_prefetcher(entries=4)
+    for pc in range(20):
+        pf.observe(pc=pc, addr=0x1000, cycle=pc)
+    assert len(pf._table) <= 4
+
+
+def _streaming_program(n=120):
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.movi(3, 0x200000)
+    b.label("top")
+    b.load(4, 3, 0)
+    b.addi(3, 3, 64)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+def test_prefetcher_speeds_up_streaming():
+    slow = Machine(_streaming_program(), SimConfig()).run()
+    fast = Machine(_streaming_program(),
+                   SimConfig(prefetcher_enabled=True)).run()
+    assert fast.counters["dcache.prefetches"] > 20
+    assert fast.cycles < slow.cycles * 0.9
+
+
+def test_prefetcher_off_by_default():
+    r = Machine(_streaming_program(), SimConfig()).run()
+    assert r.counters["dcache.prefetches"] == 0
+
+
+def test_attacks_still_leak_with_prefetcher():
+    """The corpus remains functional on a prefetching core (the stride
+    detector does not blur the pointer-chase-delayed channels)."""
+    from repro.attacks import Meltdown, SpectrePHT
+    for cls in (SpectrePHT, Meltdown):
+        out = cls(seed=3).run(config=SimConfig(prefetcher_enabled=True))
+        assert out.leaked, cls.name

@@ -1,0 +1,98 @@
+"""Program builder: labels, data directives, validation."""
+
+import pytest
+
+from repro.sim import ProgramBuilder
+from repro.sim.isa import Op
+
+
+def test_labels_resolve_to_instruction_indices():
+    b = ProgramBuilder()
+    b.movi(1, 0)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    p = b.build()
+    assert p.instructions[2].target == 1
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(ValueError):
+        b.label("x")
+
+
+def test_undefined_label_rejected_at_build():
+    b = ProgramBuilder()
+    b.jmp("nowhere")
+    with pytest.raises(ValueError, match="nowhere"):
+        b.build()
+
+
+def test_branch_without_target_rejected():
+    b = ProgramBuilder()
+    b.emit(Op.BEQ, rs1=1, rs2=2)
+    with pytest.raises(ValueError):
+        b.build()
+
+
+def test_movi_label_resolves_to_pc():
+    b = ProgramBuilder()
+    b.movi_label(1, "there")
+    b.nop()
+    b.label("there")
+    b.halt()
+    p = b.build()
+    assert p.instructions[0].imm == 2
+    assert p.instructions[0].target is None
+
+
+def test_data_label_resolves_into_memory():
+    b = ProgramBuilder()
+    b.data_label(0x1000, "entry")
+    b.nop()
+    b.label("entry")
+    b.halt()
+    p = b.build()
+    assert p.initial_memory[0x1000] == 1
+
+
+def test_data_and_reg_directives():
+    b = ProgramBuilder()
+    b.data(0x2000, 42)
+    b.reg(5, 99)
+    b.halt()
+    p = b.build()
+    assert p.initial_memory[0x2000] == 42
+    assert p.initial_regs[5] == 99
+
+
+def test_call_ret_use_stack_pointer_convention():
+    b = ProgramBuilder()
+    b.call("f")
+    b.halt()
+    b.label("f")
+    b.ret()
+    p = b.build()
+    call, _, ret = p.instructions
+    assert call.rd == 15 and call.rs1 == 15
+    assert ret.rd == 15 and ret.rs1 == 15
+
+
+def test_fetch_out_of_range_returns_none():
+    b = ProgramBuilder()
+    b.halt()
+    p = b.build()
+    assert p.fetch(0) is not None
+    assert p.fetch(1) is None
+    assert p.fetch(-1) is None
+
+
+def test_label_pc_lookup():
+    b = ProgramBuilder()
+    b.nop()
+    b.label("mid")
+    b.halt()
+    b.build()
+    assert b.label_pc("mid") == 1

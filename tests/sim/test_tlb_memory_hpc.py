@@ -1,0 +1,161 @@
+"""TLBs, main memory, counter bank, sampler."""
+
+import pytest
+
+from repro.sim import SimConfig
+from repro.sim.hpc import COUNTER_NAMES, CounterBank
+from repro.sim.memory import MainMemory
+from repro.sim.sampler import Sampler
+from repro.sim.tlb import TLB
+
+
+class TestTLB:
+    def make(self, entries=4):
+        return TLB(entries, 4096, 30, CounterBank(), "dtlb")
+
+    def test_miss_then_hit(self):
+        tlb = self.make()
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1008) == 0      # same page
+
+    def test_lru_eviction(self):
+        tlb = self.make(entries=2)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)                  # refresh page 1
+        tlb.access(0x3000)                  # evicts page 2
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x2000) == 30
+
+    def test_read_write_counters_distinct(self):
+        tlb = self.make()
+        tlb.access(0x1000, is_write=False)
+        tlb.access(0x9000, is_write=True)
+        assert tlb.counters.get("dtlb.rdMisses") == 1
+        assert tlb.counters.get("dtlb.wrMisses") == 1
+
+    def test_flush_empties(self):
+        tlb = self.make()
+        tlb.access(0x1000)
+        tlb.flush()
+        assert tlb.access(0x1000) == 30
+
+
+class TestMainMemory:
+    def test_default_zero(self):
+        assert MainMemory().load(0x1234) == 0
+
+    def test_store_load_word_aligned(self):
+        m = MainMemory()
+        m.store(0x100, 42)
+        assert m.load(0x100) == 42
+
+    def test_unaligned_access_aliases_word(self):
+        m = MainMemory()
+        m.store(0x100, 42)
+        assert m.load(0x103) == 42
+        m.store(0x105, 7)
+        assert m.load(0x100) == 7
+
+    def test_flip_bit(self):
+        m = MainMemory()
+        m.store(0x100, 0b1000)
+        m.flip_bit(0x100, bit=3)
+        assert m.load(0x100) == 0
+        m.flip_bit(0x100, bit=0)
+        assert m.load(0x100) == 1
+
+    def test_initial_contents(self):
+        m = MainMemory({0x10: 5, 0x20: 6})
+        assert m.load(0x10) == 5 and m.load(0x20) == 6
+
+    def test_contains(self):
+        m = MainMemory({0x10: 5})
+        assert 0x10 in m and 0x13 in m and 0x18 not in m
+
+
+class TestCounterBank:
+    def test_bump_and_get(self):
+        c = CounterBank()
+        c.bump("dcache.hits")
+        c.bump("dcache.hits", 4)
+        assert c.get("dcache.hits") == 5
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            CounterBank().bump("not.a.counter")
+
+    def test_snapshot_is_copy(self):
+        c = CounterBank()
+        snap = c.snapshot()
+        c.bump("dcache.hits")
+        assert snap[CounterBank.index_of("dcache.hits")] == 0
+
+    def test_as_dict_covers_all_names(self):
+        d = CounterBank().as_dict()
+        assert set(d) == set(COUNTER_NAMES)
+
+    def test_names_are_unique(self):
+        assert len(COUNTER_NAMES) == len(set(COUNTER_NAMES))
+
+
+class TestSampler:
+    def test_window_boundaries(self):
+        c = CounterBank()
+        s = Sampler(c, period=10)
+        c.bump("dcache.hits", 3)
+        s.on_commit(10, cycle=100)
+        assert len(s.samples) == 1
+        assert s.samples[0].deltas[CounterBank.index_of("dcache.hits")] == 3
+
+    def test_deltas_not_cumulative(self):
+        c = CounterBank()
+        s = Sampler(c, period=10)
+        c.bump("dcache.hits", 3)
+        s.on_commit(10, cycle=1)
+        c.bump("dcache.hits", 2)
+        s.on_commit(20, cycle=2)
+        idx = CounterBank.index_of("dcache.hits")
+        assert [w.deltas[idx] for w in s.samples] == [3, 2]
+
+    def test_phase_attached_to_windows(self):
+        c = CounterBank()
+        s = Sampler(c, period=10)
+        s.record_phase(2, commit_index=3)
+        c.bump("dcache.hits")
+        s.on_commit(10, cycle=1)
+        assert s.samples[0].phase == 2
+
+    def test_flush_emits_partial_window(self):
+        c = CounterBank()
+        s = Sampler(c, period=1000)
+        c.bump("dcache.hits")
+        s.flush(5, cycle=9)
+        assert len(s.samples) == 1
+
+    def test_flush_without_activity_emits_nothing(self):
+        s = Sampler(CounterBank(), period=1000)
+        s.flush(5, cycle=9)
+        assert not s.samples
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(CounterBank(), period=0)
+
+
+class TestStatsDump:
+    def test_format_stats_gem5_style(self):
+        from repro.sim import Machine, ProgramBuilder, SimConfig
+        b = ProgramBuilder()
+        b.movi(1, 0x9000)
+        b.load(2, 1, 0)
+        b.halt()
+        m = Machine(b.build(), SimConfig())
+        m.run()
+        text = m.format_stats()
+        assert "commit.committedInsts" in text
+        assert "dcache.misses" in text
+        # zero counters suppressed by default
+        assert "dram.bitflips" not in text
+        full = m.format_stats(nonzero_only=False)
+        assert "dram.bitflips" in full

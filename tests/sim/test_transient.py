@@ -1,0 +1,203 @@
+"""Transient-execution semantics: the security-critical core behaviours."""
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.isa import ASSIST_BIT, KERNEL_BASE
+
+
+def test_kernel_load_faults_at_commit():
+    b = ProgramBuilder()
+    b.data(KERNEL_BASE + 0x100, 99)
+    b.movi(1, KERNEL_BASE + 0x100)
+    b.load(2, 1, 0)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.halt_reason == "fault:priv"
+    assert r.counters["commit.traps"] == 1
+    assert r.regs[2] == 0               # never architecturally visible
+
+
+def test_trap_handler_resumes_execution():
+    b = ProgramBuilder()
+    b.movi(1, KERNEL_BASE)
+    b.try_("handler")
+    b.load(2, 1, 0)
+    b.movi(3, 111)              # skipped by the trap
+    b.halt()
+    b.label("handler")
+    b.movi(4, 222)
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.halt_reason == "halt"
+    assert r.regs[4] == 222
+    assert r.regs[3] == 0
+
+
+def test_transient_dependents_of_faulting_load_touch_cache():
+    """The Meltdown primitive: the faulting load's dependents execute
+    before the trap and leave cache footprints."""
+    probe = 0x20000
+    b = ProgramBuilder()
+    b.data(KERNEL_BASE + 0x100, 1)
+    b.movi(1, probe)
+    b.movi(2, KERNEL_BASE + 0x100)
+    b.prefetch(2, 0)
+    b.fence()
+    b.try_("handler")
+    b.movi(4, 1_000_000)
+    b.movi(5, 3)
+    b.div(4, 4, 5)
+    b.div(4, 4, 5)
+    b.div(4, 4, 5)              # delay retirement (covers the DTLB walk)
+    b.load(3, 2, 0)             # faulting kernel load (reads 1)
+    b.shl(3, 3, 6)
+    b.add(3, 3, 1)
+    b.load(3, 3, 0)             # transient probe touch at probe+64
+    b.label("dead")
+    b.jmp("dead")
+    b.label("handler")
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    m.run()
+    assert m.hierarchy.data_line_present(probe + 64)
+    assert not m.hierarchy.data_line_present(probe)
+
+
+def test_meltdown_invulnerable_config_returns_zero():
+    probe = 0x20000
+    b = ProgramBuilder()
+    b.data(KERNEL_BASE + 0x100, 1)
+    b.movi(1, probe)
+    b.movi(2, KERNEL_BASE + 0x100)
+    b.prefetch(2, 0)
+    b.fence()
+    b.try_("handler")
+    b.movi(4, 1_000_000)
+    b.movi(5, 3)
+    b.div(4, 4, 5)
+    b.div(4, 4, 5)
+    b.div(4, 4, 5)
+    b.load(3, 2, 0)
+    b.shl(3, 3, 6)
+    b.add(3, 3, 1)
+    b.load(3, 3, 0)
+    b.label("dead")
+    b.jmp("dead")
+    b.label("handler")
+    b.halt()
+    m = Machine(b.build(), SimConfig(meltdown_vulnerable=False))
+    m.run()
+    # the transient load saw 0, so only probe+0 was touched
+    assert m.hierarchy.data_line_present(probe)
+    assert not m.hierarchy.data_line_present(probe + 64)
+
+
+def test_assist_load_forwards_inflight_store_value():
+    """The LVI/MDS primitive: an assisted load transiently receives the
+    youngest in-flight store's data."""
+    probe = 0x20000
+    b = ProgramBuilder()
+    b.movi(1, probe)
+    b.movi(4, 1)                # the "secret" the store carries
+    b.try_("handler")
+    b.movi(8, 1_000_000)
+    b.movi(9, 3)
+    b.div(8, 8, 9)
+    b.div(8, 8, 9)
+    b.div(8, 8, 9)
+    b.add(10, 8, 0)
+    b.movi(6, 0x64000)
+    b.store(6, 4, 0)            # in flight until the divs commit
+    b.movi(5, ASSIST_BIT | 0x2000)
+    b.load(5, 5, 0)             # forwards r4 = 1, faults at commit
+    b.shl(5, 5, 6)
+    b.add(5, 5, 1)
+    b.load(5, 5, 0)
+    b.label("dead")
+    b.jmp("dead")
+    b.label("handler")
+    b.halt()
+    m = Machine(b.build(), SimConfig())
+    r = m.run()
+    assert r.counters["lsq.assistForwards"] >= 1
+    assert r.counters["lsq.ignoredResponses"] >= 1
+    assert m.hierarchy.data_line_present(probe + 64)
+
+
+def test_store_bypass_detected_and_squashed():
+    """Spectre-STL: a load issues under an unresolved older store address,
+    reads stale data transiently, and is squashed on discovery — final
+    architectural state reflects the store."""
+    b = ProgramBuilder()
+    b.movi(1, 0x60000)
+    b.movi(2, 7)
+    b.store(1, 2, 0)
+    b.fence()                   # [0x60000] = 7, committed
+    b.movi(3, 3)
+    b.mul(4, 1, 3)
+    b.mul(4, 4, 3)
+    b.movi(5, 9)
+    b.div(4, 4, 5)              # r4 = 0x60000, slowly
+    b.movi(6, 0)
+    b.store(4, 6, 0)            # sanitize: address resolves late
+    b.load(7, 1, 0)             # speculatively reads stale 7
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run()
+    assert r.regs[7] == 0       # re-executed after the violation
+    assert r.counters["iew.memOrderViolationEvents"] >= 1
+    assert r.counters["lsq.squashedLoads"] >= 1
+
+
+def test_store_bypass_disabled_blocks_loads():
+    b = ProgramBuilder()
+    b.movi(1, 0x60000)
+    b.movi(3, 3)
+    b.mul(4, 1, 3)
+    b.movi(5, 3)
+    b.div(4, 4, 5)
+    b.movi(6, 5)
+    b.store(4, 6, 0)
+    b.load(7, 1, 0)
+    b.halt()
+    r = Machine(b.build(), SimConfig(stl_speculation=False)).run()
+    assert r.regs[7] == 5
+    assert r.counters["iew.memOrderViolationEvents"] == 0
+    assert r.counters["lsq.blockedLoads"] >= 1
+
+
+def test_transient_window_bounded_by_rob():
+    """The transient window is bounded by ROB size (paper Section I):
+    a long dependent chain between the faulting load and the transmit
+    completes inside a 192-entry ROB but cannot fit in a tiny one — the
+    faulting load reaches the head and traps before the transmit issues.
+    This is the property that makes heavily-padded evasive attacks
+    self-defeating."""
+    def probe_touched(rob_entries):
+        probe = 0x20000
+        b = ProgramBuilder()
+        b.data(KERNEL_BASE + 0x100, 1)
+        b.movi(1, probe)
+        b.movi(0, 0)
+        b.movi(2, KERNEL_BASE + 0x100)
+        b.prefetch(2, 0)
+        b.fence()
+        b.try_("handler")
+        b.movi(4, 1_000_000)
+        b.movi(5, 3)
+        for _ in range(4):
+            b.div(4, 4, 5)          # retirement delay
+        b.load(3, 2, 0)             # faulting kernel load
+        for _ in range(20):
+            b.add(3, 3, 0)          # long dependent transient chain
+        b.shl(3, 3, 6)
+        b.add(3, 3, 1)
+        b.load(3, 3, 0)             # transmit
+        b.label("dead")
+        b.jmp("dead")
+        b.label("handler")
+        b.halt()
+        m = Machine(b.build(), SimConfig(rob_entries=rob_entries))
+        m.run()
+        return m.hierarchy.data_line_present(probe + 64)
+
+    assert probe_touched(192)
+    assert not probe_touched(8)

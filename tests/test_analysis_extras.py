@@ -1,0 +1,73 @@
+"""Extra coverage: analysis summaries on edge inputs, CLI parser details,
+and quick_pipeline wiring."""
+
+import pytest
+
+from repro.analysis import dataset_summary, markdown_report
+from repro.cli import build_parser
+from repro.data import Dataset, SampleRecord
+from repro.sim.hpc import COUNTER_NAMES
+
+
+def _tiny_dataset():
+    ds = Dataset(sample_period=100)
+    zeros = [0] * len(COUNTER_NAMES)
+    hot = list(zeros)
+    hot[0] = 5
+    ds.records = [
+        SampleRecord(deltas=hot, label=1, category="meltdown", phase=2,
+                     source="meltdown", commit_index=100),
+        SampleRecord(deltas=zeros, label=0, category="benign", phase=0,
+                     source="stream", commit_index=100),
+    ]
+    return ds
+
+
+def test_dataset_summary_tiny():
+    summary = dataset_summary(_tiny_dataset())
+    assert summary["total_windows"] == 2
+    assert summary["attack_windows"] == 1
+    categories = {r["category"]: r for r in summary["categories"]}
+    assert categories["meltdown"]["phases"] == [2]
+
+
+def test_markdown_report_tiny():
+    from repro.core import HardwareDetector, evax_schema
+    ds = _tiny_dataset()
+    det = HardwareDetector(evax_schema(), name="tiny")
+    det.fit(ds.raw_matrix(det.schema), ds.labels(), epochs=2)
+    text = markdown_report(ds, det, title="Tiny")
+    assert text.startswith("# Tiny")
+    assert "| meltdown | 1 | 1 |" in text
+
+
+class TestParserShapes:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subactions = next(a for a in parser._actions
+                          if hasattr(a, "choices") and a.choices)
+        assert set(subactions.choices) >= {
+            "attack", "attacks", "workloads", "collect", "train",
+            "adaptive", "explain", "report",
+        }
+
+    def test_defense_choices_match_modes(self):
+        from repro.sim.config import DefenseMode
+        parser = build_parser()
+        args = parser.parse_args(["attack", "meltdown",
+                                  "--defense", "invisispec-futuristic"])
+        assert args.defense == DefenseMode.INVISISPEC_FUTURISTIC.value
+
+    def test_bad_defense_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["attack", "meltdown", "--defense", "magic"])
+
+
+def test_quick_pipeline_signature():
+    """quick_pipeline is importable and parameterized as documented."""
+    import inspect
+    from repro import quick_pipeline
+    params = inspect.signature(quick_pipeline).parameters
+    assert "gan_iterations" in params
+    assert params["gan_iterations"].default == 1200

@@ -1,0 +1,66 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_attack_command_reports_leak(capsys):
+    code = main(["attack", "meltdown", "--seed", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "leaked      : True" in out
+
+
+def test_attack_command_under_defense(capsys):
+    code = main(["attack", "meltdown", "--seed", "2",
+                 "--defense", "fence-futuristic"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "leaked      : False" in out
+
+
+def test_attack_command_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["attack", "not-an-attack"])
+
+
+def test_workloads_command(capsys):
+    code = main(["workloads", "--scale", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "stream" in out and "IPC=" in out
+
+
+def test_collect_train_explain_pipeline(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    detector = str(tmp_path / "detector.json")
+    assert main(["collect", corpus, "--seeds", "1", "--scale", "2",
+                 "--period", "250"]) == 0
+    assert main(["train", corpus, "--out", detector,
+                 "--iterations", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy=" in out
+    assert "engineered HPCs" in out
+    assert main(["explain", detector, "--corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "malicious-leaning" in out
+
+
+def test_report_command(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    detector = str(tmp_path / "detector.json")
+    report = str(tmp_path / "report.md")
+    assert main(["collect", corpus, "--seeds", "1", "--scale", "2",
+                 "--period", "250", "--jobs", "2"]) == 0
+    assert main(["train", corpus, "--out", detector,
+                 "--iterations", "120"]) == 0
+    assert main(["report", corpus, detector, "--out", report]) == 0
+    text = open(report).read()
+    assert "# EVAX system report" in text
+    assert "## Detector" in text

@@ -1,0 +1,45 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset
+
+
+def test_roundtrip_preserves_everything(small_dataset, tmp_path):
+    path = str(tmp_path / "corpus")
+    save_dataset(small_dataset, path)
+    loaded = load_dataset(path)
+    assert len(loaded) == len(small_dataset)
+    assert loaded.sample_period == small_dataset.sample_period
+    for a, b in zip(loaded.records, small_dataset.records):
+        assert a.deltas == list(b.deltas)
+        assert a.label == b.label
+        assert a.category == b.category
+        assert a.phase == b.phase
+        assert a.source == b.source
+        assert a.commit_index == b.commit_index
+
+
+def test_roundtrip_features_identical(small_dataset, tmp_path):
+    path = str(tmp_path / "corpus.npz")
+    save_dataset(small_dataset, path)
+    loaded = load_dataset(path)
+    Xa, ya, schema, norm = small_dataset.features()
+    Xb = norm.transform(loaded.raw_matrix(schema))
+    assert np.allclose(Xa, Xb)
+    assert (ya == loaded.labels()).all()
+
+
+def test_corrupt_metadata_rejected(small_dataset, tmp_path):
+    path = str(tmp_path / "corpus")
+    save_dataset(small_dataset, path)
+    meta = tmp_path / "corpus.meta.json"
+    text = meta.read_text()
+    # drop one record from the metadata
+    import json
+    data = json.loads(text)
+    data["records"] = data["records"][:-1]
+    meta.write_text(json.dumps(data))
+    with pytest.raises(ValueError):
+        load_dataset(path)

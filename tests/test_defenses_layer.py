@@ -1,0 +1,104 @@
+"""Defense policies and the secure-mode controller."""
+
+from repro.defenses import (
+    DEFENSE_CONFIGS, DefensePolicy, SecureModeController, measure_overhead,
+    run_workload,
+)
+from repro.sim.config import DefenseMode
+from repro.sim.sampler import Sample
+from repro.workloads import all_workloads
+
+
+class FakeMachine:
+    def __init__(self):
+        self.defense = DefenseMode.NONE
+
+    def set_defense(self, mode):
+        self.defense = mode
+
+
+def window(commit_index):
+    return Sample(window_index=0, commit_index=commit_index, cycle=0,
+                  deltas=[], phase=0)
+
+
+class TestController:
+    def test_flag_enables_secure_mode(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: True,
+                                    DefenseMode.FENCE_SPECTRE,
+                                    secure_window=1000)
+        assert ctrl(m, window(100)) is True
+        assert m.defense is DefenseMode.FENCE_SPECTRE
+        assert ctrl.active
+
+    def test_no_flag_stays_off(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: False,
+                                    DefenseMode.FENCE_SPECTRE)
+        assert ctrl(m, window(100)) is False
+        assert m.defense is DefenseMode.NONE
+
+    def test_secure_mode_expires_after_window(self):
+        m = FakeMachine()
+        flags = iter([True, False, False])
+        ctrl = SecureModeController(lambda s: next(flags),
+                                    DefenseMode.FENCE_SPECTRE,
+                                    secure_window=500)
+        ctrl(m, window(100))           # flag -> secure until 600
+        ctrl(m, window(400))           # still secure
+        assert m.defense is DefenseMode.FENCE_SPECTRE
+        ctrl(m, window(700))           # past the window -> back off
+        assert m.defense is DefenseMode.NONE
+        assert not ctrl.active
+
+    def test_repeated_flags_rearm(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: True,
+                                    DefenseMode.FENCE_SPECTRE,
+                                    secure_window=500)
+        ctrl(m, window(100))
+        ctrl(m, window(550))           # re-armed before expiry
+        assert ctrl.secure_until == 1050
+        assert m.defense is DefenseMode.FENCE_SPECTRE
+
+    def test_secure_fraction(self):
+        m = FakeMachine()
+        flags = iter([True, False, False, False])
+        ctrl = SecureModeController(lambda s: next(flags),
+                                    DefenseMode.FENCE_SPECTRE,
+                                    secure_window=250)
+        for commit in (100, 200, 300, 10_000):
+            ctrl(m, window(commit))
+        assert 0 < ctrl.secure_fraction < 1
+
+
+class TestPolicies:
+    def test_catalogue_covers_figure16(self):
+        names = {p.name for p in DEFENSE_CONFIGS}
+        assert "baseline" in names
+        assert "fence-spectre" in names and "fence-futuristic" in names
+        assert "invisispec-spectre" in names
+        assert any(p.adaptive for p in DEFENSE_CONFIGS)
+
+    def test_policy_is_frozen(self):
+        import dataclasses
+        import pytest
+        p = DEFENSE_CONFIGS[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.name = "x"
+
+    def test_measure_overhead_positive_for_fencing(self):
+        ws = all_workloads(scale=2)[:4]
+        overheads, baseline = measure_overhead(ws, DefenseMode.FENCE_SPECTRE)
+        assert set(overheads) == {w.name for w in ws}
+        assert sum(overheads.values()) > 0
+        # baseline is reusable
+        overheads2, _ = measure_overhead(ws, DefenseMode.NONE,
+                                         baseline_cycles=baseline)
+        assert all(abs(v) < 1e-9 for v in overheads2.values())
+
+    def test_run_workload_returns_result(self):
+        w = all_workloads(scale=1)[0]
+        r = run_workload(w)
+        assert r.halt_reason == "halt"

@@ -1,0 +1,68 @@
+"""Parallel corpus collection and the analysis/report layer."""
+
+import numpy as np
+
+from repro.analysis import (
+    attack_inventory, dataset_summary, detector_summary, markdown_report,
+)
+from repro.attacks import Meltdown, SpectrePHT
+from repro.core import evax_schema, train_detector
+from repro.data import build_dataset
+from repro.data.parallel import build_dataset_parallel
+from repro.workloads import all_workloads
+
+
+def _sources():
+    attacks = [SpectrePHT(seed=1), Meltdown(seed=1)]
+    workloads = all_workloads(scale=2)[:4]
+    return attacks, workloads
+
+
+class TestParallel:
+    def test_matches_sequential_builder(self):
+        attacks, workloads = _sources()
+        seq = build_dataset(attacks, workloads, sample_period=250)
+        attacks2, workloads2 = _sources()
+        par = build_dataset_parallel(attacks2, workloads2,
+                                     sample_period=250, processes=3)
+        assert len(par) == len(seq)
+        for a, b in zip(par.records, seq.records):
+            assert a.deltas == list(b.deltas)
+            assert a.category == b.category
+
+    def test_single_process_path(self):
+        attacks, workloads = _sources()
+        ds = build_dataset_parallel(attacks, workloads, sample_period=250,
+                                    processes=1)
+        assert len(ds) > 0
+
+
+class TestReport:
+    def test_dataset_summary_counts(self, small_dataset):
+        summary = dataset_summary(small_dataset)
+        assert summary["total_windows"] == len(small_dataset)
+        assert summary["attack_windows"] + summary["benign_windows"] == \
+            len(small_dataset)
+        categories = {r["category"] for r in summary["categories"]}
+        assert "benign" in categories
+
+    def test_detector_summary_fields(self, small_dataset):
+        detector = train_detector(small_dataset, evax_schema(), epochs=15)
+        summary = detector_summary(detector, small_dataset)
+        assert summary["features"] == 145
+        assert 0 <= summary["metrics"]["accuracy"] <= 1
+        assert len(summary["top_malicious_features"]) == 6
+        assert summary["hardware"]["adders"] == 1
+
+    def test_markdown_report_renders(self, small_dataset):
+        detector = train_detector(small_dataset, evax_schema(), epochs=15)
+        text = markdown_report(small_dataset, detector)
+        assert text.startswith("# EVAX system report")
+        assert "## Corpus" in text and "## Detector" in text
+        assert "accuracy" in text
+        assert "| meltdown |" in text
+
+    def test_attack_inventory_runs_quickly(self):
+        rows = attack_inventory(seeds=(3,))
+        assert len(rows) >= 19
+        assert all(r["leaked"] for r in rows)

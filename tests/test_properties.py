@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.base import bits_balanced_accuracy
+from repro.core.gram import gram_matrix, style_loss
+from repro.data.features import MaxNormalizer
+from repro.ml.metrics import (
+    accuracy, auc, confusion_counts, roc_curve,
+)
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.branch import RAS, TournamentPredictor
+from repro.sim.cache import Cache
+from repro.sim.hpc import CounterBank
+from repro.sim.memory import MainMemory
+
+# ---------------------------------------------------------------- cache
+
+lines = st.integers(min_value=0, max_value=500)
+
+
+@given(st.lists(lines, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_cache_occupancy_never_exceeds_ways(sequence):
+    cache = Cache(4 * 64 * 2, 2, 64, 2, CounterBank(), "dcache")
+    for line in sequence:
+        cache.fill(line)
+        for s in range(cache.num_sets):
+            assert cache.set_occupancy(s) <= cache.assoc
+
+
+@given(st.lists(lines, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_cache_most_recent_fill_always_present(sequence):
+    cache = Cache(4 * 64 * 2, 2, 64, 2, CounterBank(), "dcache")
+    for line in sequence:
+        cache.fill(line)
+        assert cache.contains(line)
+
+
+@given(st.lists(lines, min_size=1, max_size=80), lines)
+@settings(max_examples=60, deadline=None)
+def test_cache_invalidate_removes(sequence, victim):
+    cache = Cache(4 * 64 * 2, 2, 64, 2, CounterBank(), "dcache")
+    for line in sequence:
+        cache.fill(line)
+    cache.invalidate(victim)
+    assert not cache.contains(victim)
+
+
+# ---------------------------------------------------------------- memory
+
+@given(st.integers(min_value=0, max_value=1 << 40),
+       st.integers(min_value=0, max_value=1 << 62))
+@settings(max_examples=80, deadline=None)
+def test_memory_store_load_roundtrip(addr, value):
+    mem = MainMemory()
+    mem.store(addr, value)
+    assert mem.load(addr) == value
+
+
+@given(st.integers(min_value=0, max_value=1 << 30),
+       st.integers(min_value=0, max_value=63))
+@settings(max_examples=60, deadline=None)
+def test_memory_double_flip_is_identity(addr, bit):
+    mem = MainMemory()
+    mem.store(addr, 12345)
+    mem.flip_bit(addr, bit)
+    mem.flip_bit(addr, bit)
+    assert mem.load(addr) == 12345
+
+
+# ---------------------------------------------------------------- predictors
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_predictor_prediction_is_boolean(outcomes, pc):
+    p = TournamentPredictor()
+    for taken in outcomes:
+        p.update(pc, taken)
+        assert p.predict(pc) in (True, False)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1 << 20),
+                min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_ras_is_lifo_within_capacity(pushes):
+    ras = RAS(entries=16)
+    for v in pushes:
+        ras.push(v)
+    for v in reversed(pushes):
+        assert ras.pop() == v
+
+
+# ---------------------------------------------------------------- metrics
+
+binary_lists = st.lists(st.integers(min_value=0, max_value=1),
+                        min_size=2, max_size=80)
+
+
+@given(binary_lists)
+@settings(max_examples=60, deadline=None)
+def test_confusion_counts_sum_to_n(labels):
+    preds = labels[::-1]
+    tp, fp, tn, fn = confusion_counts(labels, preds)
+    assert tp + fp + tn + fn == len(labels)
+
+
+@given(binary_lists)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_bounded(labels):
+    preds = [1 - v for v in labels]
+    assert 0.0 <= accuracy(labels, preds) <= 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 1),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=4, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_auc_bounded_and_curve_monotone(pairs):
+    labels = [l for l, _ in pairs]
+    scores = [s for _, s in pairs]
+    if len(set(labels)) < 2:
+        return
+    value = auc(labels, scores)
+    assert 0.0 <= value <= 1.0
+    fpr, tpr = roc_curve(labels, scores)
+    assert np.all(np.diff(fpr) >= -1e-12)
+    assert np.all(np.diff(tpr) >= -1e-12)
+
+
+@given(binary_lists)
+@settings(max_examples=60, deadline=None)
+def test_balanced_accuracy_constant_readout_is_half(bits):
+    if len(set(bits)) < 2:
+        return
+    assert bits_balanced_accuracy(bits, [0] * len(bits)) == 0.5
+    assert bits_balanced_accuracy(bits, [1] * len(bits)) == 0.5
+    assert bits_balanced_accuracy(bits, bits) == 1.0
+
+
+# ---------------------------------------------------------------- features
+
+matrices = st.lists(
+    st.lists(st.floats(0, 1000, allow_nan=False, allow_infinity=False),
+             min_size=3, max_size=3),
+    min_size=1, max_size=40)
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_normalizer_output_in_unit_interval(rows):
+    X = np.array(rows)
+    out = MaxNormalizer().fit_transform(X)
+    assert np.all(out >= 0) and np.all(out <= 1)
+    assert np.isfinite(out).all()
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_gram_symmetry_and_style_identity(rows):
+    X = np.array(rows)
+    G = gram_matrix(X)
+    assert np.allclose(G, G.T)
+    assert style_loss(X, X) == 0.0
+
+
+# ---------------------------------------------------------------- end-to-end
+
+@given(st.integers(min_value=1, max_value=40),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None)
+def test_counting_loop_architecturally_correct(iterations, start):
+    b = ProgramBuilder()
+    b.movi(1, start)
+    b.movi(2, start + iterations)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=100_000)
+    assert r.regs[1] == start + iterations

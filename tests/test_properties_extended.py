@@ -1,0 +1,92 @@
+"""Second round of property-based tests: builder programs, schema
+round-trips, DRAM geometry, adversarial dilution, detector serialization."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adversarial import (
+    ESSENTIAL_FLOOR, dilute_toward_benign, essential_columns,
+)
+from repro.core.perceptron import evax_schema
+from repro.data.features import FeatureSchema
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.dram import DRAM
+from repro.sim.hpc import COUNTER_NAMES, CounterBank
+from repro.sim.memory import MainMemory
+
+_SCHEMA = evax_schema()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=2,
+                max_size=12))
+@settings(max_examples=30, deadline=None)
+def test_straightline_movi_sequence_commits_all(values):
+    b = ProgramBuilder()
+    for i, v in enumerate(values[:12]):
+        b.movi(i % 14, v)
+        if i % 14 == 13:
+            break
+    b.halt()
+    r = Machine(b.build(), SimConfig()).run(max_cycles=50_000)
+    assert r.halt_reason == "halt"
+    assert r.committed == min(len(values), 12) + 1
+
+
+@given(st.integers(min_value=0, max_value=1 << 34))
+@settings(max_examples=60, deadline=None)
+def test_dram_geometry_bijective(addr):
+    dram = DRAM(SimConfig(), CounterBank(), MainMemory())
+    bank, row = dram.bank_row(addr)
+    assert 0 <= bank < dram.num_banks
+    base = dram.row_base_address(bank, row)
+    assert dram.bank_row(base) == (bank, row)
+    assert base % dram.row_bytes == 0
+
+
+@given(st.lists(st.lists(st.floats(0, 1, allow_nan=False), min_size=145,
+                         max_size=145), min_size=1, max_size=10),
+       st.floats(0, 1, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_dilution_essential_floor_invariant(rows, strength):
+    X = np.array(rows)
+    benign = np.zeros(145)
+    out = dilute_toward_benign(X, benign, strength, _SCHEMA)
+    cols = essential_columns(_SCHEMA)
+    assert np.all(out[:, cols] >= ESSENTIAL_FLOOR * X[:, cols] - 1e-12)
+    assert np.all(out >= 0.0)
+    assert out.shape == X.shape
+
+
+@given(st.integers(min_value=1, max_value=132))
+@settings(max_examples=20, deadline=None)
+def test_schema_dim_matches_base_subset(n_base):
+    from repro.data.features import BASE_FEATURES
+    schema = FeatureSchema(engineered=(), base=BASE_FEATURES[:n_base])
+    assert schema.dim == n_base
+    deltas = [1] * len(COUNTER_NAMES)
+    assert schema.raw_vector(deltas).shape == (n_base,)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000),
+                min_size=len(COUNTER_NAMES), max_size=len(COUNTER_NAMES)))
+@settings(max_examples=30, deadline=None)
+def test_engineered_and_is_min_of_members(deltas):
+    schema = FeatureSchema()
+    vec = schema.raw_vector(deltas)
+    for k, (name, counters) in enumerate(schema.engineered):
+        expected = min(deltas[CounterBank.index_of(c)] for c in counters)
+        assert vec[len(schema.base_features) + k] == expected
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_detector_serialization_roundtrip_scores(seed):
+    from repro.core import HardwareDetector
+    from repro.core.patching import detector_from_dict, detector_to_dict
+    rng = np.random.default_rng(seed)
+    schema = FeatureSchema()
+    det = HardwareDetector(schema, seed=seed % 7)
+    X = rng.random((4, schema.dim)) * 3
+    det.normalizer.fit(X)
+    clone = detector_from_dict(detector_to_dict(det))
+    assert np.allclose(clone.scores_raw(X), det.scores_raw(X))

@@ -1,0 +1,65 @@
+"""Benign workload kernels: they run clean and behave benignly."""
+
+import pytest
+
+from repro.sim import Machine, SimConfig
+from repro.workloads import WORKLOAD_BUILDERS, Workload, all_workloads
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_BUILDERS),
+                         ids=lambda n: n)
+def test_workload_runs_to_completion(name):
+    program = WORKLOAD_BUILDERS[name](scale=2, seed=0)
+    r = Machine(program, SimConfig()).run(max_cycles=400_000)
+    assert r.halt_reason == "halt"
+    assert r.committed > 100
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_BUILDERS),
+                         ids=lambda n: n)
+def test_workload_is_microarchitecturally_benign(name):
+    """No traps, no flushes, no kernel accesses, no RNG probing."""
+    program = WORKLOAD_BUILDERS[name](scale=2, seed=0)
+    r = Machine(program, SimConfig()).run(max_cycles=400_000)
+    assert r.counters["commit.traps"] == 0
+    assert r.counters["dcache.flushes"] == 0
+    assert r.counters["rng.reads"] == 0
+    assert r.counters["cpu.rdtscReads"] == 0
+
+
+def test_workload_suite_is_diverse():
+    """Different kernels stress different pipeline mixes (IPC spread)."""
+    ipcs = []
+    for name, builder in WORKLOAD_BUILDERS.items():
+        r = Machine(builder(scale=2, seed=0), SimConfig()).run(max_cycles=400_000)
+        ipcs.append(r.ipc)
+    assert max(ipcs) / max(min(ipcs), 1e-9) > 5
+
+
+def test_workloads_deterministic_per_seed():
+    a = Machine(WORKLOAD_BUILDERS["sort"](scale=2, seed=1), SimConfig()).run()
+    b = Machine(WORKLOAD_BUILDERS["sort"](scale=2, seed=1), SimConfig()).run()
+    assert a.cycles == b.cycles
+
+
+def test_workload_seeds_change_data():
+    a = Machine(WORKLOAD_BUILDERS["compress"](scale=2, seed=1), SimConfig()).run()
+    b = Machine(WORKLOAD_BUILDERS["compress"](scale=2, seed=2), SimConfig()).run()
+    assert a.cycles != b.cycles or a.counters != b.counters
+
+
+def test_scale_parameter_extends_runtime():
+    small = Machine(WORKLOAD_BUILDERS["stream"](scale=1, seed=0),
+                    SimConfig()).run(max_cycles=400_000)
+    large = Machine(WORKLOAD_BUILDERS["stream"](scale=4, seed=0),
+                    SimConfig()).run(max_cycles=400_000)
+    assert large.committed > 2 * small.committed
+
+
+def test_all_workloads_factory():
+    ws = all_workloads(scale=1, seeds=(0, 1))
+    assert len(ws) == 2 * len(WORKLOAD_BUILDERS)
+    assert all(isinstance(w, Workload) for w in ws)
+    assert all(w.category == "benign" for w in ws)
+    program, actors = ws[0].build()
+    assert actors == []
