@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Fast CI tier: everything except the slow benchmark/integration tests,
+# with a per-test wall-clock deadline so a wedged test fails loudly
+# instead of hanging the pipeline.
+#
+#   scripts/ci.sh                 # fast tier, 180s per-test deadline
+#   REPRO_TEST_TIMEOUT=60 scripts/ci.sh -k runtime   # extra pytest args
+#
+# The full tier (slow tests + benchmarks) remains:
+#   python -m pytest -x -q && python -m pytest benchmarks -q
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-180}"
+
+exec python -m pytest -x -q -m "not slow" "$@"

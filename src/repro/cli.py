@@ -15,6 +15,33 @@ import argparse
 import sys
 
 
+def _die2(message):
+    """Print a one-line error and exit with status 2 (bad input file)."""
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _load_corpus_or_die(path):
+    """Load a saved corpus, or exit 2 with a one-line message naming the
+    file instead of a traceback."""
+    from repro.data import DatasetError, load_dataset
+    try:
+        return load_dataset(path)
+    except (DatasetError, OSError) as exc:
+        _die2(f"error: cannot load corpus {path}: {exc}")
+
+
+def _load_detector_or_die(path):
+    """Load a saved detector, or exit 2 with a one-line message."""
+    from repro.core.patching import load_detector
+    try:
+        return load_detector(path)
+    except FileNotFoundError:
+        _die2(f"error: cannot load detector {path}: file not found")
+    except (ValueError, KeyError, OSError) as exc:
+        _die2(f"error: cannot load detector {path}: {exc}")
+
+
 def _cmd_attack(args):
     from repro.attacks import ATTACKS_BY_NAME
     from repro.sim import SimConfig
@@ -61,20 +88,35 @@ def _cmd_workloads(args):
 def _cmd_collect(args):
     from repro.attacks import ALL_ATTACKS
     from repro.data import build_dataset, save_dataset
-    from repro.data.parallel import build_dataset_parallel
+    from repro.data.parallel import build_dataset_resilient
+    from repro.runtime import CheckpointError, CoverageError
     from repro.workloads import all_workloads
 
     attacks = [cls(seed=s) for cls in ALL_ATTACKS
                for s in range(1, args.seeds + 1)]
     workloads = all_workloads(scale=args.scale,
                               seeds=tuple(range(args.seeds)))
-    if args.jobs != 1:
-        dataset = build_dataset_parallel(attacks, workloads,
-                                         sample_period=args.period,
-                                         processes=args.jobs)
-    else:
+    if args.jobs == 1:
         dataset = build_dataset(attacks, workloads,
                                 sample_period=args.period)
+    else:
+        shard_dir = args.checkpoint_dir or (args.out + ".shards")
+        try:
+            dataset, report = build_dataset_resilient(
+                attacks, workloads, sample_period=args.period,
+                processes=args.jobs, retries=args.retries,
+                task_timeout=args.task_timeout, checkpoint_dir=shard_dir,
+                resume=args.resume, min_coverage=args.min_coverage)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except CoverageError as exc:
+            if exc.report is not None:
+                print(exc.report.summary(), file=sys.stderr)
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if report.failures or report.skipped:
+            print(report.summary())
     save_dataset(dataset, args.out)
     attack_n, benign_n = dataset.balance_counts()
     print(f"saved {len(dataset)} windows ({attack_n} attack / "
@@ -85,9 +127,8 @@ def _cmd_collect(args):
 def _cmd_train(args):
     from repro.core import vaccinate
     from repro.core.patching import save_detector
-    from repro.data import load_dataset
 
-    dataset = load_dataset(args.corpus)
+    dataset = _load_corpus_or_die(args.corpus)
     result = vaccinate(dataset, gan_iterations=args.iterations, seed=args.seed)
     metrics = result.detector.evaluate(dataset.raw_matrix(result.schema),
                                        dataset.labels())
@@ -130,10 +171,8 @@ def _cmd_adaptive(args):
 
 def _cmd_explain(args):
     from repro.core import explain_window, weight_report
-    from repro.core.patching import load_detector
-    from repro.data import load_dataset
 
-    detector = load_detector(args.detector)
+    detector = _load_detector_or_die(args.detector)
     malicious, benign = weight_report(detector, top=args.top)
     print("most malicious-leaning features:")
     for name, weight in malicious:
@@ -142,7 +181,7 @@ def _cmd_explain(args):
     for name, weight in benign:
         print(f"  {weight:+8.3f}  {name}")
     if args.corpus:
-        dataset = load_dataset(args.corpus)
+        dataset = _load_corpus_or_die(args.corpus)
         flagged = [r for r in dataset.records if r.label == 1][: args.top]
         for record in flagged[:3]:
             score, contributions = explain_window(detector, record.deltas)
@@ -153,11 +192,9 @@ def _cmd_explain(args):
 
 def _cmd_report(args):
     from repro.analysis import markdown_report
-    from repro.core.patching import load_detector
-    from repro.data import load_dataset
 
-    dataset = load_dataset(args.corpus)
-    detector = load_detector(args.detector)
+    dataset = _load_corpus_or_die(args.corpus)
+    detector = _load_detector_or_die(args.detector)
     text = markdown_report(dataset, detector)
     if args.out:
         with open(args.out, "w") as f:
@@ -198,6 +235,20 @@ def build_parser():
     p.add_argument("--period", type=int, default=100)
     p.add_argument("--jobs", type=int, default=None,
                    help="parallel collection processes (1 = sequential)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip sources already completed in the "
+                        "checkpoint shards and re-simulate only the rest")
+    p.add_argument("--retries", type=int, default=2,
+                   help="re-attempts per failed source (default 2)")
+    p.add_argument("--task-timeout", type=float, default=300.0,
+                   help="per-source wall-clock limit in seconds "
+                        "(0 = unlimited)")
+    p.add_argument("--min-coverage", type=float, default=0.9,
+                   help="fail the build when fewer than this fraction "
+                        "of sources survive (default 0.9)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="shard/manifest directory "
+                        "(default: <out>.shards)")
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("report", help="markdown report for corpus+detector")

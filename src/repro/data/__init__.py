@@ -4,12 +4,18 @@ from repro.data.features import (
     BASE_FEATURES, ENGINEERED_FEATURES, FeatureSchema, MaxNormalizer,
 )
 from repro.data.dataset import (
-    Dataset, SampleRecord, build_dataset, collect_source,
+    Dataset, SampleRecord, build_dataset, collect_source, validate_records,
 )
-from repro.data.io import load_dataset, save_dataset
+from repro.data.io import (
+    DatasetChecksumError, DatasetCorruptError, DatasetError,
+    DatasetMissingError, DatasetSchemaError, load_dataset, save_dataset,
+)
 
 __all__ = [
     "BASE_FEATURES", "ENGINEERED_FEATURES", "FeatureSchema", "MaxNormalizer",
     "Dataset", "SampleRecord", "build_dataset", "collect_source",
+    "validate_records",
     "save_dataset", "load_dataset",
+    "DatasetError", "DatasetMissingError", "DatasetCorruptError",
+    "DatasetChecksumError", "DatasetSchemaError",
 ]

@@ -15,7 +15,9 @@ from typing import List
 import numpy as np
 
 from repro.data.features import FeatureSchema, MaxNormalizer
+from repro.runtime.errors import DivergentTraceError
 from repro.sim import Machine, SimConfig
+from repro.sim.hpc import COUNTER_NAMES
 
 
 @dataclass
@@ -77,6 +79,37 @@ class Dataset:
     def balance_counts(self):
         y = self.labels()
         return int((y == 1).sum()), int((y == 0).sum())
+
+
+def validate_records(records):
+    """Structural sanity check on one source's collected records.
+
+    Raises :class:`~repro.runtime.errors.DivergentTraceError` when the
+    trace is unusable: no samples, a delta vector of the wrong width,
+    or non-integer / negative counter deltas.  The resilient collector
+    runs this on every completed source so a divergent trace is
+    quarantined instead of silently skewing the corpus.
+    """
+    if not records:
+        raise DivergentTraceError("source produced no samples")
+    width = len(COUNTER_NAMES)
+    for i, record in enumerate(records):
+        deltas = record.deltas
+        if len(deltas) != width:
+            raise DivergentTraceError(
+                f"record {i} from {record.source!r} has {len(deltas)} "
+                f"deltas, expected {width}")
+        for value in deltas:
+            if not isinstance(value, (int, np.integer)) \
+                    or isinstance(value, bool) or value < 0:
+                raise DivergentTraceError(
+                    f"record {i} from {record.source!r} has invalid "
+                    f"counter delta {value!r}")
+        if record.label not in (0, 1):
+            raise DivergentTraceError(
+                f"record {i} from {record.source!r} has invalid label "
+                f"{record.label!r}")
+    return records
 
 
 def collect_source(source, label, config=None, sample_period=250,

@@ -1,54 +1,176 @@
 """Dataset persistence: trace corpora are expensive to collect (they are
 full simulations), so they can be saved and reloaded as ``.npz`` bundles
-with a JSON sidecar of labels and metadata."""
+with a JSON sidecar of labels and metadata.
 
+Writes are atomic and checksummed: both files land via temp-file +
+``os.replace`` and the sidecar embeds the SHA-256 of the ``.npz``
+payload, so an interrupted ``save_dataset`` can never leave a corpus
+that loads but is silently wrong — :func:`load_dataset` either verifies
+the pair or raises a typed :class:`DatasetError`.
+
+The sidecar is written *first*: a kill between the two replaces leaves
+new metadata pointing at the old matrix, which the checksum rejects
+loudly, instead of an old sidecar that might coincidentally match a new
+matrix.
+"""
+
+import io
 import json
+import zipfile
 
 import numpy as np
 
 from repro.data.dataset import Dataset, SampleRecord
+from repro.runtime.atomic import atomic_write_bytes, sha256_bytes
+
+#: sidecar format version (1 = legacy, no checksums)
+FORMAT_VERSION = 2
+
+
+class DatasetError(ValueError):
+    """Base class for corpus load/save failures (a ``ValueError`` so
+    legacy callers that caught that still work)."""
+
+
+class DatasetMissingError(DatasetError):
+    """The corpus file or its metadata sidecar does not exist."""
+
+
+class DatasetCorruptError(DatasetError):
+    """A corpus file exists but cannot be parsed (truncated ``.npz``,
+    malformed JSON)."""
+
+
+class DatasetChecksumError(DatasetError):
+    """The ``.npz`` payload does not match the digest recorded in its
+    sidecar (torn write, stale pair, tampering)."""
+
+
+class DatasetSchemaError(DatasetError):
+    """The pair parses but is internally inconsistent (row-count
+    mismatch, missing fields)."""
+
+
+def record_to_dict(record, with_deltas=True):
+    """JSON-serializable form of one :class:`SampleRecord`."""
+    out = {
+        "label": record.label,
+        "category": record.category,
+        "phase": record.phase,
+        "source": record.source,
+        "commit_index": record.commit_index,
+    }
+    if with_deltas:
+        out["deltas"] = [int(d) for d in record.deltas]
+    return out
+
+
+def record_from_dict(data, deltas=None):
+    """Inverse of :func:`record_to_dict` (``deltas`` overrides the
+    embedded list when the matrix is stored separately)."""
+    if deltas is None:
+        deltas = data["deltas"]
+    return SampleRecord(
+        deltas=list(deltas),
+        label=data["label"],
+        category=data["category"],
+        phase=data["phase"],
+        source=data["source"],
+        commit_index=data["commit_index"],
+    )
 
 
 def save_dataset(dataset, path):
-    """Write a dataset to ``path`` (.npz) plus ``path + '.meta.json'``."""
+    """Atomically write a dataset to ``path`` (.npz) plus
+    ``path + '.meta.json'`` with embedded checksums."""
     deltas = np.array([r.deltas for r in dataset.records], dtype=np.int64)
-    np.savez_compressed(path, deltas=deltas)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, deltas=deltas)
+    npz_bytes = buffer.getvalue()
     meta = {
+        "format_version": FORMAT_VERSION,
         "sample_period": dataset.sample_period,
-        "records": [
-            {
-                "label": r.label,
-                "category": r.category,
-                "phase": r.phase,
-                "source": r.source,
-                "commit_index": r.commit_index,
-            }
-            for r in dataset.records
-        ],
+        "n_records": len(dataset.records),
+        "npz_sha256": sha256_bytes(npz_bytes),
+        "records": [record_to_dict(r, with_deltas=False)
+                    for r in dataset.records],
     }
-    with open(_meta_path(path), "w") as f:
-        json.dump(meta, f)
+    atomic_write_bytes(_meta_path(path), json.dumps(meta).encode())
+    atomic_write_bytes(_npz_path(path), npz_bytes)
 
 
 def load_dataset(path):
-    """Load a dataset written by :func:`save_dataset`."""
-    with np.load(_npz_path(path)) as data:
-        deltas = data["deltas"]
-    with open(_meta_path(path)) as f:
-        meta = json.load(f)
-    if len(meta["records"]) != len(deltas):
-        raise ValueError("metadata and matrix row counts differ")
-    dataset = Dataset(sample_period=meta["sample_period"])
-    for row, rec in zip(deltas, meta["records"]):
-        dataset.records.append(SampleRecord(
-            deltas=row.tolist(),
-            label=rec["label"],
-            category=rec["category"],
-            phase=rec["phase"],
-            source=rec["source"],
-            commit_index=rec["commit_index"],
-        ))
+    """Load and verify a dataset written by :func:`save_dataset`.
+
+    Raises a typed :class:`DatasetError` subclass on any missing,
+    truncated, mismatched or checksum-failing input.
+    """
+    npz_path, meta_path = _npz_path(path), _meta_path(path)
+    meta = _read_meta(meta_path)
+    deltas = _read_matrix(npz_path, meta)
+    try:
+        records = meta["records"]
+        sample_period = meta["sample_period"]
+    except (KeyError, TypeError) as exc:
+        raise DatasetSchemaError(
+            f"metadata sidecar {meta_path} missing field: {exc}") from exc
+    if "n_records" in meta and meta["n_records"] != len(records):
+        raise DatasetSchemaError(
+            f"metadata sidecar {meta_path} declares {meta['n_records']} "
+            f"records but lists {len(records)}")
+    if len(records) != len(deltas):
+        raise DatasetSchemaError(
+            f"metadata and matrix row counts differ in {npz_path} "
+            f"({len(records)} vs {len(deltas)})")
+    dataset = Dataset(sample_period=sample_period)
+    try:
+        for row, rec in zip(deltas, records):
+            dataset.records.append(record_from_dict(rec, deltas=row.tolist()))
+    except (KeyError, TypeError) as exc:
+        raise DatasetSchemaError(
+            f"malformed record entry in {meta_path}: {exc}") from exc
     return dataset
+
+
+def _read_meta(meta_path):
+    try:
+        with open(meta_path, "rb") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        raise DatasetMissingError(
+            f"metadata sidecar not found: {meta_path}") from None
+    try:
+        meta = json.loads(raw.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DatasetCorruptError(
+            f"unparseable metadata sidecar {meta_path}: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise DatasetCorruptError(
+            f"metadata sidecar {meta_path} is not a JSON object")
+    return meta
+
+
+def _read_matrix(npz_path, meta):
+    try:
+        with open(npz_path, "rb") as f:
+            npz_bytes = f.read()
+    except FileNotFoundError:
+        raise DatasetMissingError(
+            f"corpus matrix not found: {npz_path}") from None
+    expected = meta.get("npz_sha256")
+    if expected is not None and sha256_bytes(npz_bytes) != expected:
+        raise DatasetChecksumError(
+            f"checksum mismatch for {npz_path}: the matrix does not "
+            f"match its metadata sidecar (torn write or stale pair)")
+    try:
+        with np.load(io.BytesIO(npz_bytes)) as data:
+            return data["deltas"]
+    except KeyError as exc:
+        raise DatasetSchemaError(
+            f"{npz_path} has no 'deltas' array") from exc
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise DatasetCorruptError(
+            f"unreadable corpus matrix {npz_path}: {exc}") from exc
 
 
 def _npz_path(path):

@@ -1,0 +1,37 @@
+"""Resilient task-execution layer for corpus construction.
+
+``repro.runtime`` is the fault-tolerance substrate under the data
+pipeline: isolated per-task worker processes with timeouts and
+deterministic-backoff retries (:mod:`~repro.runtime.runner`),
+atomic checkpoint shards with a manifest for resumable builds
+(:mod:`~repro.runtime.checkpoint`), explicit failure accounting and
+coverage gating (:mod:`~repro.runtime.report`), and a seeded
+fault-injection harness (:mod:`~repro.runtime.chaos`) that makes all of
+the above testable in CI.
+"""
+
+from repro.runtime.atomic import atomic_write_bytes, sha256_bytes, sha256_file
+from repro.runtime.chaos import (
+    CRASH_FAULT, GARBAGE_FAULT, HANG_FAULT, ChaosCrash, ChaosSource,
+    FaultSpec, inject_faults,
+)
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.errors import (
+    CRASH, DIVERGENT, FAILURE_KINDS, TIMEOUT, CheckpointError,
+    CoverageError, DivergentTraceError, RuntimeTaskError,
+)
+from repro.runtime.report import FailureReport
+from repro.runtime.runner import (
+    Task, TaskFailure, TaskResult, TaskRunner, backoff_delay,
+)
+
+__all__ = [
+    "atomic_write_bytes", "sha256_bytes", "sha256_file",
+    "CRASH_FAULT", "GARBAGE_FAULT", "HANG_FAULT", "ChaosCrash",
+    "ChaosSource", "FaultSpec", "inject_faults",
+    "CheckpointStore",
+    "CRASH", "DIVERGENT", "FAILURE_KINDS", "TIMEOUT", "CheckpointError",
+    "CoverageError", "DivergentTraceError", "RuntimeTaskError",
+    "FailureReport",
+    "Task", "TaskFailure", "TaskResult", "TaskRunner", "backoff_delay",
+]

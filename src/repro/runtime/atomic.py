@@ -1,0 +1,56 @@
+"""Atomic, checksummed file IO primitives.
+
+All durable artifacts of the corpus pipeline (dataset ``.npz`` bundles,
+metadata sidecars, checkpoint shards, manifests) are written with
+write-to-temp + ``os.replace`` so a crash or kill mid-write can never
+leave a half-written file under the final name, plus SHA-256 digests so
+a stale or tampered file is detected at load time.
+"""
+
+import hashlib
+import os
+import tempfile
+
+
+def sha256_bytes(data):
+    """Hex SHA-256 digest of a bytes payload."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path, chunk=1 << 20):
+    """Hex SHA-256 digest of a file's contents (streamed)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def atomic_write_bytes(path, data, fsync=True):
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the same directory as the target so the
+    replace is a same-filesystem rename.  Returns the SHA-256 digest of
+    the written payload.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                    prefix=os.path.basename(path) + ".tmp.")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            if fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return sha256_bytes(data)

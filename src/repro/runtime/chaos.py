@@ -1,0 +1,115 @@
+"""Deterministic fault injection for the corpus pipeline.
+
+Wrapping any attack/workload source in a :class:`ChaosSource` lets the
+test suite (and operators rehearsing failure drills) inject the three
+failure kinds the runner quarantines — worker crashes, hangs, and
+divergent (garbage) traces — at exact, seeded points, so every
+fault-tolerance behavior is exercised in CI rather than discovered in a
+week-long corpus build.
+
+Fault activation is keyed off the *attempt number* the runner passes
+into the task function, so "fail twice then succeed" scenarios are
+fully deterministic with no shared state between worker processes.
+"""
+
+import random
+import time
+
+from repro.runtime.errors import RuntimeTaskError
+
+#: injectable fault kinds
+CRASH_FAULT = "crash"
+HANG_FAULT = "hang"
+GARBAGE_FAULT = "garbage"
+
+
+class ChaosCrash(RuntimeTaskError):
+    """The exception a crash-fault raises inside the worker."""
+
+
+class FaultSpec:
+    """What to inject and for how long.
+
+    ``fail_attempts`` is the number of leading attempts that fault; an
+    attempt beyond it runs clean.  The default (a huge number) makes the
+    fault persistent, which is how quarantine paths are exercised.
+    """
+
+    def __init__(self, kind, fail_attempts=10 ** 9, hang_seconds=3600.0):
+        if kind not in (CRASH_FAULT, HANG_FAULT, GARBAGE_FAULT):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.kind = kind
+        self.fail_attempts = fail_attempts
+        self.hang_seconds = hang_seconds
+
+    def active(self, attempt):
+        return attempt <= self.fail_attempts
+
+
+class ChaosSource:
+    """A source wrapper that misbehaves on demand.
+
+    Proxies the source interface (``build``, ``max_cycles``, ``name``,
+    ``category``, ``seed``) so it is a drop-in replacement anywhere a
+    real attack or workload is accepted, and exposes the two hooks the
+    parallel collector honours:
+
+    * ``chaos_inject(attempt)`` — runs *before* the simulation; raises
+      (crash) or sleeps past any sane deadline (hang);
+    * ``chaos_mutate(records, attempt)`` — runs *after* the simulation;
+      corrupts the collected records (garbage / divergent trace).
+    """
+
+    def __init__(self, inner, fault, seed=0):
+        self.inner = inner
+        self.fault = fault
+        self.chaos_seed = seed
+        self.name = getattr(inner, "name", type(inner).__name__)
+        self.category = getattr(inner, "category", "benign")
+        self.seed = getattr(inner, "seed", 0)
+
+    def build(self):
+        return self.inner.build()
+
+    def max_cycles(self):
+        if hasattr(self.inner, "max_cycles"):
+            return self.inner.max_cycles()
+        return 400_000
+
+    # -- hooks invoked by the collection worker -------------------------------
+
+    def chaos_inject(self, attempt):
+        if not self.fault.active(attempt):
+            return
+        if self.fault.kind == CRASH_FAULT:
+            raise ChaosCrash(
+                f"injected crash in {self.name} (attempt {attempt})")
+        if self.fault.kind == HANG_FAULT:
+            time.sleep(self.fault.hang_seconds)
+
+    def chaos_mutate(self, records, attempt):
+        if self.fault.kind != GARBAGE_FAULT or not self.fault.active(attempt):
+            return records
+        rng = random.Random((self.chaos_seed << 16) ^ attempt)
+        corrupted = []
+        for record in records:
+            deltas = list(record.deltas)
+            if deltas and rng.random() < 0.5:
+                deltas = deltas[: max(1, len(deltas) // 2)]   # wrong width
+            if deltas:
+                deltas[rng.randrange(len(deltas))] = -rng.randrange(1, 99)
+            record.deltas = deltas
+            corrupted.append(record)
+        return corrupted
+
+
+def inject_faults(sources, plan, seed=0):
+    """Wrap ``sources`` (a list) per ``plan``: a mapping of list index ->
+    :class:`FaultSpec`.  Unlisted sources pass through untouched."""
+    wrapped = []
+    for i, source in enumerate(sources):
+        if i in plan:
+            wrapped.append(ChaosSource(source, plan[i], seed=seed + i))
+        else:
+            wrapped.append(source)
+    return wrapped

@@ -1,0 +1,147 @@
+"""Checkpoint/resume for long corpus builds.
+
+Completed sources are flushed to one JSON shard per source plus a
+``manifest.json`` that records, per shard, the file name, SHA-256
+digest and record count, alongside a *context* fingerprint of the build
+(sample period, task keys...).  Everything is written atomically
+(temp + ``os.replace``), so a kill at any instant leaves either the old
+or the new state — never a torn one — and a resumed run can trust the
+manifest: it re-simulates only sources whose shard is missing or fails
+its checksum.
+
+The store is payload-agnostic (it persists JSON documents keyed by task
+key); the data layer owns the record <-> JSON mapping.
+"""
+
+import json
+import os
+import re
+
+from repro.runtime.atomic import atomic_write_bytes, sha256_file
+from repro.runtime.errors import CheckpointError
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def _slug(key):
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", key)
+
+
+class CheckpointStore:
+    """A directory of per-source shards plus an atomic manifest."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        self._manifest = {"version": MANIFEST_VERSION,
+                          "context": {}, "shards": {}}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(self, context, resume=False):
+        """Initialise the store for a build with the given context.
+
+        ``resume=True`` loads an existing manifest (and insists its
+        context matches, else :class:`CheckpointError` — resuming a
+        *different* build into these shards would corrupt the corpus).
+        Otherwise any previous state is cleared.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        if resume and os.path.exists(self._manifest_path()):
+            self._manifest = self._read_manifest()
+            if self._manifest.get("context") != context:
+                raise CheckpointError(
+                    f"checkpoint at {self.directory} was built with "
+                    f"different settings; re-run without --resume to "
+                    f"rebuild it")
+        else:
+            self.reset()
+            self._manifest["context"] = dict(context)
+            self._write_manifest()
+        return self
+
+    def reset(self):
+        """Delete all shards and the manifest."""
+        if os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name == MANIFEST_NAME or name.endswith(".shard.json"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+        self._manifest = {"version": MANIFEST_VERSION,
+                          "context": {}, "shards": {}}
+
+    # -- shard access ---------------------------------------------------------
+
+    def put(self, key, payload):
+        """Persist one completed source atomically and register it."""
+        name = _slug(key) + ".shard.json"
+        path = os.path.join(self.directory, name)
+        data = json.dumps(payload, separators=(",", ":")).encode()
+        digest = atomic_write_bytes(path, data)
+        self._manifest["shards"][key] = {
+            "file": name,
+            "sha256": digest,
+            "bytes": len(data),
+        }
+        self._write_manifest()
+
+    def get(self, key):
+        """Load and verify one shard; raises :class:`CheckpointError`
+        when the shard is missing or its checksum does not match."""
+        entry = self._manifest["shards"].get(key)
+        if entry is None:
+            raise CheckpointError(f"no checkpoint shard for {key!r}")
+        path = os.path.join(self.directory, entry["file"])
+        if not os.path.exists(path):
+            raise CheckpointError(f"checkpoint shard missing: {path}")
+        if sha256_file(path) != entry["sha256"]:
+            raise CheckpointError(f"checkpoint shard corrupt "
+                                  f"(checksum mismatch): {path}")
+        with open(path, "rb") as f:
+            return json.loads(f.read().decode())
+
+    def valid_keys(self):
+        """Keys whose shard exists on disk and passes its checksum.
+
+        Invalid entries are dropped from the in-memory manifest so the
+        build re-simulates them (graceful self-healing on resume).
+        """
+        good = []
+        for key in list(self._manifest["shards"]):
+            entry = self._manifest["shards"][key]
+            path = os.path.join(self.directory, entry["file"])
+            if os.path.exists(path) and sha256_file(path) == entry["sha256"]:
+                good.append(key)
+            else:
+                del self._manifest["shards"][key]
+        return good
+
+    def has(self, key):
+        return key in self._manifest["shards"]
+
+    # -- manifest -------------------------------------------------------------
+
+    def _manifest_path(self):
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _read_manifest(self):
+        try:
+            with open(self._manifest_path(), "rb") as f:
+                manifest = json.loads(f.read().decode())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint manifest at "
+                f"{self._manifest_path()}: {exc}") from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint manifest version "
+                f"{manifest.get('version')!r}")
+        manifest.setdefault("shards", {})
+        manifest.setdefault("context", {})
+        return manifest
+
+    def _write_manifest(self):
+        data = json.dumps(self._manifest, indent=1).encode()
+        atomic_write_bytes(self._manifest_path(), data)

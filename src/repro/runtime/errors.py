@@ -1,0 +1,47 @@
+"""Error taxonomy for the resilient task-execution layer.
+
+Every terminal task failure is classified into one of three kinds so the
+corpus health summary can distinguish *why* sources were lost:
+
+``crash``
+    The worker raised an exception or its process died outright
+    (non-zero exit, signal, segfault).
+``timeout``
+    The worker exceeded its per-task deadline and was terminated.
+``divergent``
+    The worker finished but produced records that fail validation —
+    a divergent trace (wrong delta width, negative counters, no
+    samples at all).
+"""
+
+#: failure-kind constants (the error taxonomy)
+CRASH = "crash"
+TIMEOUT = "timeout"
+DIVERGENT = "divergent"
+
+FAILURE_KINDS = (CRASH, TIMEOUT, DIVERGENT)
+
+
+class RuntimeTaskError(Exception):
+    """Base class for repro.runtime errors."""
+
+
+class DivergentTraceError(RuntimeTaskError):
+    """A completed task returned structurally invalid output."""
+
+
+class CheckpointError(RuntimeTaskError):
+    """The checkpoint directory is unusable (context mismatch,
+    unreadable manifest)."""
+
+
+class CoverageError(RuntimeTaskError):
+    """Too many sources were lost: corpus coverage fell below the
+    configured ``min_coverage`` gate.  Carries the
+    :class:`~repro.runtime.report.FailureReport` (``.report``) and the
+    partial dataset built so far (``.partial``)."""
+
+    def __init__(self, message, report=None, partial=None):
+        super().__init__(message)
+        self.report = report
+        self.partial = partial

@@ -1,0 +1,70 @@
+"""Corpus build health: graceful degradation made explicit.
+
+A resilient build never silently drops sources — every quarantined
+source is recorded in the :class:`FailureReport` with its failure kind
+(crash / timeout / divergent), and the report renders a health summary
+suitable for the CLI.  ``require_coverage`` turns excessive loss into a
+hard :class:`~repro.runtime.errors.CoverageError`, because a detector
+trained on a quietly skewed corpus is worse than no detector at all.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.runtime.errors import FAILURE_KINDS, CoverageError
+from repro.runtime.runner import TaskFailure
+
+
+@dataclass
+class FailureReport:
+    """Outcome accounting for one corpus build."""
+
+    total: int = 0              # sources requested
+    completed: int = 0          # simulated successfully this run
+    skipped: int = 0            # restored from checkpoint shards
+    failures: List[TaskFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def coverage(self):
+        """Fraction of requested sources present in the corpus."""
+        if self.total <= 0:
+            return 1.0
+        return (self.completed + self.skipped) / self.total
+
+    def counts_by_kind(self):
+        counts = {kind: 0 for kind in FAILURE_KINDS}
+        for failure in self.failures:
+            counts[failure.kind] = counts.get(failure.kind, 0) + 1
+        return counts
+
+    def quarantined_keys(self):
+        return [f.key for f in self.failures]
+
+    def summary(self):
+        """Multi-line human-readable health summary."""
+        counts = self.counts_by_kind()
+        lines = [
+            f"corpus health: {self.completed + self.skipped}/{self.total} "
+            f"sources ({self.coverage:.0%} coverage, "
+            f"{self.skipped} from checkpoint, {self.elapsed:.1f}s)",
+        ]
+        if self.failures:
+            kinds = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+            lines.append(f"quarantined {len(self.failures)} sources "
+                         f"({kinds}):")
+            for failure in self.failures:
+                lines.append(f"  [{failure.kind:9s}] {failure.key} "
+                             f"after {failure.attempts} attempt(s): "
+                             f"{failure.message}")
+        return "\n".join(lines)
+
+    def require_coverage(self, min_coverage, partial=None):
+        """Raise :class:`CoverageError` when coverage is below the gate."""
+        if self.coverage < min_coverage:
+            raise CoverageError(
+                f"corpus coverage {self.coverage:.0%} below required "
+                f"{min_coverage:.0%} "
+                f"({len(self.failures)} of {self.total} sources lost)",
+                report=self, partial=partial)
+        return self

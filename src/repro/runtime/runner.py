@@ -1,0 +1,295 @@
+"""Resilient task execution for corpus construction.
+
+Each task runs in its *own* worker process, so any single simulation can
+crash (exception, segfault, ``os._exit``) or wedge (infinite loop,
+sleep) without taking the rest of the corpus build with it — unlike a
+bare ``multiprocessing.Pool.map``, where one bad worker poisons the
+whole map call.  The runner provides:
+
+* **bounded concurrency** — at most ``processes`` workers live at once;
+* **per-task timeout** — a wedged worker is terminated at its deadline
+  and the task classified ``timeout``;
+* **bounded retries** — failed tasks are re-queued with exponential
+  backoff plus *deterministic* jitter (hashed from the task key and
+  attempt number, so runs are reproducible);
+* **validation** — a caller-supplied validator runs on every completed
+  value; a rejection classifies the task ``divergent``;
+* **ordered streaming** — results are yielded in submission order as
+  soon as they are available, so the consumer can flush incrementally
+  with bounded buffering instead of holding the whole corpus.
+
+The yielded items are :class:`TaskResult` (success) or
+:class:`TaskFailure` (quarantined after exhausting retries); the
+consumer decides what graceful degradation means.
+"""
+
+import hashlib
+import heapq
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime.errors import CRASH, DIVERGENT, TIMEOUT
+
+
+@dataclass
+class Task:
+    """One unit of work: a stable key plus an opaque payload handed to
+    the runner's task function."""
+
+    key: str
+    payload: object
+
+
+@dataclass
+class TaskResult:
+    """A task that completed and validated."""
+
+    key: str
+    index: int
+    value: object
+    attempts: int
+    elapsed: float
+
+    ok = True
+
+
+@dataclass
+class TaskFailure:
+    """A task quarantined after exhausting its retries."""
+
+    key: str
+    index: int
+    kind: str                # CRASH | TIMEOUT | DIVERGENT
+    message: str
+    attempts: int
+    elapsed: float
+
+    ok = False
+
+
+def backoff_delay(key, attempt, base=0.05, maximum=2.0):
+    """Exponential backoff with deterministic jitter.
+
+    ``base * 2**(attempt-1)`` capped at ``maximum``, scaled by a jitter
+    factor in ``[1, 2)`` derived from SHA-256 of ``key:attempt`` — so
+    two retrying tasks never thunder in lockstep, yet every run of the
+    same corpus build waits the exact same amounts.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(maximum, base * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    jitter = 1.0 + int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return min(maximum, raw * jitter)
+
+
+def _child_entry(conn, fn, payload, attempt):
+    """Worker-process entry: run the task and ship the outcome back."""
+    try:
+        value = fn(payload, attempt)
+    except BaseException as exc:        # noqa: BLE001 - full isolation
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc(limit=8)))
+        except Exception:
+            pass
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", value))
+    except Exception as exc:            # unpicklable / broken pipe
+        try:
+            conn.send(("error", f"result not transferable: {exc}", ""))
+        except Exception:
+            pass
+    conn.close()
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one live worker process."""
+
+    task: Task
+    index: int
+    attempt: int
+    proc: object
+    conn: object
+    started: float
+    deadline: float
+
+
+class TaskRunner:
+    """Execute tasks in isolated worker processes with retries,
+    timeouts and ordered streaming of results.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(payload, attempt)`` — the task function, executed in a
+        worker process.  ``attempt`` starts at 1.
+    processes:
+        max concurrent workers (default: CPU count).
+    retries:
+        how many times a failed task is re-attempted (total attempts =
+        ``retries + 1``).
+    timeout:
+        per-attempt wall-clock deadline in seconds (``None`` = none).
+    validator:
+        optional ``validator(value)`` run in the parent on completed
+        values; any exception classifies the attempt ``divergent``.
+    """
+
+    def __init__(self, fn, processes=None, retries=2, timeout=None,
+                 backoff_base=0.05, backoff_max=2.0, validator=None,
+                 mp_context=None):
+        self.fn = fn
+        self.processes = max(1, processes if processes is not None
+                             else (os.cpu_count() or 2))
+        self.retries = max(0, retries)
+        self.timeout = timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.validator = validator
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:          # platform without fork
+                mp_context = multiprocessing.get_context()
+        self.ctx = mp_context
+
+    # -- scheduling -----------------------------------------------------------
+
+    def run(self, tasks):
+        """Yield a ``TaskResult``/``TaskFailure`` per task, in submission
+        order, as soon as each is resolved."""
+        tasks = list(tasks)
+        if not tasks:
+            return
+        # (ready_time, index, attempt, first_started or None)
+        pending = [(0.0, i, 1, None) for i in range(len(tasks))]
+        heapq.heapify(pending)
+        active = {}                     # conn -> _Active
+        resolved = {}                   # index -> TaskResult | TaskFailure
+        next_emit = 0
+        try:
+            while pending or active or next_emit < len(tasks):
+                while next_emit in resolved:
+                    yield resolved.pop(next_emit)
+                    next_emit += 1
+                if not pending and not active:
+                    if next_emit < len(tasks):      # pragma: no cover
+                        raise RuntimeError("task runner lost results")
+                    break
+                now = time.monotonic()
+                self._launch_ready(tasks, pending, active, now)
+                wait = self._wait_budget(pending, active, now)
+                ready = multiprocessing.connection.wait(
+                    list(active), timeout=wait) if active else []
+                if not active and wait:
+                    time.sleep(wait)
+                now = time.monotonic()
+                for conn in ready:
+                    self._finish(active.pop(conn), pending, resolved, now)
+                for conn, slot in list(active.items()):
+                    if now >= slot.deadline:
+                        self._kill(slot)
+                        del active[conn]
+                        self._resolve_failure(
+                            slot, TIMEOUT,
+                            f"exceeded {self.timeout:.1f}s task timeout",
+                            pending, resolved, now)
+        finally:
+            for slot in active.values():
+                self._kill(slot)
+
+    def _launch_ready(self, tasks, pending, active, now):
+        while pending and len(active) < self.processes \
+                and pending[0][0] <= now:
+            _, index, attempt, started = heapq.heappop(pending)
+            task = tasks[index]
+            parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+            proc = self.ctx.Process(
+                target=_child_entry,
+                args=(child_conn, self.fn, task.payload, attempt),
+                daemon=True, name=f"repro-task-{task.key}-a{attempt}")
+            proc.start()
+            child_conn.close()
+            deadline = now + self.timeout if self.timeout else float("inf")
+            active[parent_conn] = _Active(
+                task=task, index=index, attempt=attempt, proc=proc,
+                conn=parent_conn, started=started or now, deadline=deadline)
+
+    def _wait_budget(self, pending, active, now):
+        """How long the scheduler may block before something needs it."""
+        horizon = []
+        if active:
+            horizon.append(min(s.deadline for s in active.values()))
+        if pending and len(active) < self.processes:
+            horizon.append(pending[0][0])
+        if not horizon:
+            return None
+        return max(0.0, min(min(horizon) - now, 1.0))
+
+    def _finish(self, slot, pending, resolved, now):
+        """A worker's pipe became readable: collect and classify."""
+        try:
+            message = slot.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        slot.conn.close()
+        slot.proc.join(timeout=5.0)
+        if message is None:             # died without reporting
+            code = slot.proc.exitcode
+            self._resolve_failure(
+                slot, CRASH, f"worker died without result (exit {code})",
+                pending, resolved, now)
+            return
+        if message[0] == "error":
+            self._resolve_failure(slot, CRASH, message[1],
+                                  pending, resolved, now)
+            return
+        value = message[1]
+        if self.validator is not None:
+            try:
+                self.validator(value)
+            except Exception as exc:
+                self._resolve_failure(
+                    slot, DIVERGENT, f"{type(exc).__name__}: {exc}",
+                    pending, resolved, now)
+                return
+        resolved[slot.index] = TaskResult(
+            key=slot.task.key, index=slot.index, value=value,
+            attempts=slot.attempt, elapsed=now - slot.started)
+
+    def _resolve_failure(self, slot, kind, message, pending, resolved, now):
+        """Retry with backoff, or quarantine once retries are spent."""
+        if slot.attempt <= self.retries:
+            delay = backoff_delay(slot.task.key, slot.attempt,
+                                  self.backoff_base, self.backoff_max)
+            heapq.heappush(pending, (now + delay, slot.index,
+                                     slot.attempt + 1, slot.started))
+            return
+        resolved[slot.index] = TaskFailure(
+            key=slot.task.key, index=slot.index, kind=kind,
+            message=message, attempts=slot.attempt,
+            elapsed=now - slot.started)
+
+    @staticmethod
+    def _kill(slot):
+        proc = slot.proc
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():         # pragma: no cover
+                proc.kill()
+                proc.join(timeout=2.0)
+        try:
+            slot.conn.close()
+        except OSError:                 # pragma: no cover
+            pass

@@ -64,3 +64,57 @@ def test_report_command(tmp_path, capsys):
     text = open(report).read()
     assert "# EVAX system report" in text
     assert "## Detector" in text
+
+    # the parallel collect checkpointed per-source shards next to the
+    # corpus; a --resume re-run skips every completed source
+    capsys.readouterr()
+    assert main(["collect", corpus, "--seeds", "1", "--scale", "2",
+                 "--period", "250", "--jobs", "2", "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "from checkpoint" in out
+    assert "saved" in out
+
+
+def _expect_exit2(argv, capsys, needle):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1          # exactly one line
+    assert needle in err
+
+
+def test_train_missing_corpus_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "no-such-corpus")
+    _expect_exit2(["train", missing], capsys, missing)
+
+
+def test_train_corrupt_corpus_exits_2(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    (tmp_path / "corpus.npz").write_bytes(b"definitely not a zip")
+    (tmp_path / "corpus.meta.json").write_text("{broken")
+    _expect_exit2(["train", str(corpus)], capsys, str(corpus))
+
+
+def test_report_missing_corpus_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    _expect_exit2(["report", missing, str(tmp_path / "det.json")],
+                  capsys, missing)
+
+
+def test_explain_missing_detector_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "det.json")
+    _expect_exit2(["explain", missing], capsys, missing)
+
+
+def test_explain_corrupt_corpus_exits_2(tmp_path, capsys, small_dataset):
+    from repro.core import evax_schema, train_detector
+    from repro.core.patching import save_detector
+    detector = str(tmp_path / "det.json")
+    save_detector(train_detector(small_dataset, evax_schema(), epochs=5),
+                  detector)
+    corpus = tmp_path / "corpus"
+    (tmp_path / "corpus.npz").write_bytes(b"junk")
+    (tmp_path / "corpus.meta.json").write_text("[]")
+    _expect_exit2(["explain", detector, "--corpus", str(corpus)],
+                  capsys, str(corpus))

@@ -1,9 +1,16 @@
-"""Dataset persistence round-trips."""
+"""Dataset persistence round-trips, atomicity and corruption handling."""
+
+import json
 
 import numpy as np
 import pytest
 
-from repro.data import load_dataset, save_dataset
+from repro.data import (
+    Dataset, DatasetChecksumError, DatasetCorruptError, DatasetError,
+    DatasetMissingError, DatasetSchemaError, SampleRecord, load_dataset,
+    save_dataset,
+)
+from repro.sim.hpc import COUNTER_NAMES
 
 
 def test_roundtrip_preserves_everything(small_dataset, tmp_path):
@@ -37,9 +44,188 @@ def test_corrupt_metadata_rejected(small_dataset, tmp_path):
     meta = tmp_path / "corpus.meta.json"
     text = meta.read_text()
     # drop one record from the metadata
-    import json
     data = json.loads(text)
     data["records"] = data["records"][:-1]
     meta.write_text(json.dumps(data))
     with pytest.raises(ValueError):
         load_dataset(path)
+
+
+def _tiny_dataset(n=3):
+    ds = Dataset(sample_period=100)
+    width = len(COUNTER_NAMES)
+    for i in range(n):
+        ds.records.append(SampleRecord(
+            deltas=[(i * 7 + j) % 100 for j in range(width)],
+            label=i % 2, category="benign", phase=0,
+            source=f"src{i}", commit_index=100 * i))
+    return ds
+
+
+class TestTypedErrors:
+    def test_missing_metadata_sidecar(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        (tmp_path / "corpus.meta.json").unlink()
+        with pytest.raises(DatasetMissingError):
+            load_dataset(path)
+
+    def test_missing_npz(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        (tmp_path / "corpus.npz").unlink()
+        with pytest.raises(DatasetMissingError):
+            load_dataset(path)
+
+    def test_nonexistent_path(self, tmp_path):
+        with pytest.raises(DatasetMissingError):
+            load_dataset(str(tmp_path / "never-saved"))
+
+    def test_truncated_npz(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        npz = tmp_path / "corpus.npz"
+        npz.write_bytes(npz.read_bytes()[: 40])
+        # a legacy sidecar (no digest) must still detect the truncation
+        meta = tmp_path / "corpus.meta.json"
+        data = json.loads(meta.read_text())
+        del data["npz_sha256"]
+        meta.write_text(json.dumps(data))
+        with pytest.raises(DatasetCorruptError):
+            load_dataset(path)
+
+    def test_garbage_metadata_json(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        (tmp_path / "corpus.meta.json").write_text("{not json at all")
+        with pytest.raises(DatasetCorruptError):
+            load_dataset(path)
+
+    def test_row_count_mismatch(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        meta = tmp_path / "corpus.meta.json"
+        data = json.loads(meta.read_text())
+        data["records"] = data["records"][:-1]
+        data["n_records"] = len(data["records"])
+        meta.write_text(json.dumps(data))
+        with pytest.raises(DatasetSchemaError):
+            load_dataset(path)
+
+    def test_checksum_mismatch(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(), path)
+        npz = tmp_path / "corpus.npz"
+        npz.write_bytes(npz.read_bytes() + b"tail")
+        with pytest.raises(DatasetChecksumError):
+            load_dataset(path)
+
+    def test_all_typed_errors_are_dataset_errors(self):
+        for cls in (DatasetMissingError, DatasetCorruptError,
+                    DatasetChecksumError, DatasetSchemaError):
+            assert issubclass(cls, DatasetError)
+            assert issubclass(cls, ValueError)   # legacy contract
+
+
+class _Killed(BaseException):
+    """Stands in for a SIGKILL at a precise point inside save_dataset."""
+
+
+class TestMidWriteKill:
+    """Killing save_dataset mid-write never leaves a loadable-but-wrong
+    corpus: load either returns a fully-verified dataset or raises a
+    DatasetError."""
+
+    def _save_with_kill(self, dataset, path, kill_at):
+        """Run save_dataset but die just before atomic write #kill_at."""
+        import repro.data.io as dio
+        real = dio.atomic_write_bytes
+        calls = {"n": 0}
+
+        def flaky(target, data, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= kill_at:
+                raise _Killed()
+            return real(target, data, **kwargs)
+
+        dio.atomic_write_bytes = flaky
+        try:
+            with pytest.raises(_Killed):
+                save_dataset(dataset, path)
+        finally:
+            dio.atomic_write_bytes = real
+
+    @pytest.mark.parametrize("kill_at", [1, 2])
+    def test_interrupted_overwrite_is_never_silently_wrong(
+            self, tmp_path, kill_at):
+        path = str(tmp_path / "corpus")
+        old = _tiny_dataset(3)
+        save_dataset(old, path)
+        new = _tiny_dataset(5)
+        self._save_with_kill(new, path, kill_at)
+        try:
+            loaded = load_dataset(path)
+        except DatasetError:
+            return                      # detected loudly: acceptable
+        # if it loads, it must be exactly one of the two corpora
+        assert len(loaded) in (len(old), len(new))
+        reference = old if len(loaded) == len(old) else new
+        for a, b in zip(loaded.records, reference.records):
+            assert a.deltas == list(b.deltas)
+
+    def test_kill_before_any_write_preserves_old_corpus(self, tmp_path):
+        path = str(tmp_path / "corpus")
+        old = _tiny_dataset(3)
+        save_dataset(old, path)
+        self._save_with_kill(_tiny_dataset(5), path, 1)
+        assert len(load_dataset(path)) == len(old)
+
+    def test_kill_between_replaces_is_detected(self, tmp_path):
+        # meta lands first; dying before the matrix write leaves a
+        # mismatched pair that the checksum must reject
+        path = str(tmp_path / "corpus")
+        save_dataset(_tiny_dataset(3), path)
+        self._save_with_kill(_tiny_dataset(5), path, 2)
+        with pytest.raises(DatasetChecksumError):
+            load_dataset(path)
+
+
+# -- round-trip property test ------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_WIDTH = len(COUNTER_NAMES)
+
+_records = st.lists(
+    st.builds(
+        SampleRecord,
+        deltas=st.lists(st.integers(min_value=0, max_value=1 << 40),
+                        min_size=_WIDTH, max_size=_WIDTH),
+        label=st.integers(min_value=0, max_value=1),
+        category=st.sampled_from(["benign", "spectre-pht", "rowhammer"]),
+        phase=st.integers(min_value=0, max_value=3),
+        source=st.text(
+            alphabet=st.characters(whitelist_categories=("L", "N"),
+                                   max_codepoint=0x2FF),
+            min_size=1, max_size=12),
+        commit_index=st.integers(min_value=0, max_value=1 << 31),
+    ),
+    min_size=0, max_size=6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(records=_records,
+       period=st.integers(min_value=1, max_value=10_000))
+def test_roundtrip_property(records, period, tmp_path_factory):
+    """save -> load is the identity for any structurally valid dataset."""
+    dataset = Dataset(records=records, sample_period=period)
+    path = str(tmp_path_factory.mktemp("prop") / "corpus")
+    save_dataset(dataset, path)
+    loaded = load_dataset(path)
+    assert loaded.sample_period == period
+    assert len(loaded) == len(dataset)
+    for a, b in zip(loaded.records, dataset.records):
+        assert a.deltas == list(b.deltas)
+        assert (a.label, a.category, a.phase, a.source, a.commit_index) == \
+            (b.label, b.category, b.phase, b.source, b.commit_index)
+

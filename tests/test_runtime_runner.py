@@ -1,0 +1,160 @@
+"""The resilient task runner: isolation, retries, timeouts, ordering."""
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import (
+    CRASH, DIVERGENT, TIMEOUT, Task, TaskFailure, TaskResult, TaskRunner,
+    backoff_delay,
+)
+
+
+def _echo(payload, attempt):
+    return payload
+
+
+def _sleepy_echo(payload, attempt):
+    delay, value = payload
+    time.sleep(delay)
+    return value
+
+
+def _fail_until(payload, attempt):
+    """Succeed only after ``payload['fail_attempts']`` failures."""
+    if attempt <= payload["fail_attempts"]:
+        raise RuntimeError(f"boom on attempt {attempt}")
+    return payload["value"]
+
+
+def _always_raise(payload, attempt):
+    raise ValueError("permanently broken")
+
+
+def _hang(payload, attempt):
+    time.sleep(3600)
+
+
+def _hard_exit(payload, attempt):
+    os._exit(7)
+
+
+def _runner(fn, **kwargs):
+    kwargs.setdefault("backoff_base", 0.0)    # keep tests fast
+    return TaskRunner(fn, **kwargs)
+
+
+class TestOrderingAndStreaming:
+    def test_results_stream_in_submission_order(self):
+        # later tasks finish first (reverse sleeps), order must hold
+        tasks = [Task(key=f"t{i}", payload=((4 - i) * 0.05, i))
+                 for i in range(5)]
+        out = list(_runner(_sleepy_echo, processes=5).run(tasks))
+        assert [r.value for r in out] == [0, 1, 2, 3, 4]
+        assert [r.key for r in out] == [f"t{i}" for i in range(5)]
+        assert all(isinstance(r, TaskResult) and r.ok for r in out)
+
+    def test_empty_task_list(self):
+        assert list(_runner(_echo).run([])) == []
+
+    def test_concurrency_bounded(self):
+        tasks = [Task(key=f"t{i}", payload=(0.05, i)) for i in range(6)]
+        out = list(_runner(_sleepy_echo, processes=2).run(tasks))
+        assert len(out) == 6
+
+
+class TestRetries:
+    def test_flaky_task_recovers(self):
+        tasks = [Task(key="flaky",
+                      payload={"fail_attempts": 2, "value": 42})]
+        [res] = list(_runner(_fail_until, retries=2).run(tasks))
+        assert res.ok and res.value == 42
+        assert res.attempts == 3
+
+    def test_exhausted_retries_quarantine_as_crash(self):
+        [res] = list(_runner(_always_raise, retries=1).run(
+            [Task(key="broken", payload=None)]))
+        assert isinstance(res, TaskFailure) and not res.ok
+        assert res.kind == CRASH
+        assert res.attempts == 2
+        assert "permanently broken" in res.message
+
+    def test_one_bad_task_does_not_poison_the_batch(self):
+        tasks = [Task(key="a", payload="a"),
+                 Task(key="b", payload=None),
+                 Task(key="c", payload="c")]
+
+        def dispatch(payload, attempt):
+            if payload is None:
+                raise RuntimeError("bad")
+            return payload
+
+        out = list(_runner(dispatch, retries=0, processes=3).run(tasks))
+        assert out[0].ok and out[0].value == "a"
+        assert not out[1].ok and out[1].kind == CRASH
+        assert out[2].ok and out[2].value == "c"
+
+
+class TestTimeouts:
+    def test_hung_worker_is_terminated_and_classified(self):
+        [res] = list(_runner(_hang, retries=0, timeout=0.4).run(
+            [Task(key="wedged", payload=None)]))
+        assert res.kind == TIMEOUT
+        assert "timeout" in res.message
+
+    def test_hang_blocks_only_its_own_task(self):
+        def mixed(payload, attempt):
+            if payload == "hang":
+                time.sleep(3600)
+            return payload
+
+        tasks = [Task(key="wedged", payload="hang"),
+                 Task(key="fine", payload="ok")]
+        out = list(_runner(mixed, retries=0, timeout=0.5,
+                           processes=2).run(tasks))
+        assert out[0].kind == TIMEOUT
+        assert out[1].ok and out[1].value == "ok"
+
+
+class TestCrashIsolation:
+    def test_hard_process_death_is_a_crash(self):
+        [res] = list(_runner(_hard_exit, retries=0).run(
+            [Task(key="dead", payload=None)]))
+        assert res.kind == CRASH
+        assert "exit" in res.message
+
+
+class TestValidation:
+    def test_validator_rejection_is_divergent(self):
+        def validator(value):
+            if value != "good":
+                raise ValueError("garbage output")
+
+        tasks = [Task(key="ok", payload="good"),
+                 Task(key="junk", payload="garbage")]
+        out = list(_runner(_echo, retries=0,
+                           validator=validator).run(tasks))
+        assert out[0].ok
+        assert out[1].kind == DIVERGENT
+        assert "garbage" in out[1].message
+
+
+class TestBackoff:
+    def test_deterministic_jitter(self):
+        a = backoff_delay("key", 2, base=0.1, maximum=5.0)
+        b = backoff_delay("key", 2, base=0.1, maximum=5.0)
+        assert a == b
+
+    def test_grows_exponentially_and_caps(self):
+        delays = [backoff_delay("k", n, base=0.1, maximum=1.0)
+                  for n in range(1, 8)]
+        assert delays[1] > delays[0]
+        assert max(delays) <= 1.0
+
+    def test_distinct_keys_get_distinct_jitter(self):
+        assert backoff_delay("k1", 1, base=0.1) != \
+            backoff_delay("k2", 1, base=0.1)
+
+    def test_zero_base_means_no_wait(self):
+        assert backoff_delay("k", 3, base=0.0) == 0.0
