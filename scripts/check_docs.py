@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Docs link checker: fail on broken relative links in the repo's
+Markdown files.
+
+Scans every tracked ``*.md`` (repo root, ``docs/``, ``benchmarks/``,
+``examples/`` — anything except virtualenv/cache directories), extracts
+``[text](target)`` links, and verifies that each relative target exists
+on disk.  External links (``http(s)://``, ``mailto:``) and pure anchors
+(``#section``) are skipped; an anchor suffix on a relative link is
+stripped before the existence check.
+
+Exit status 0 when every relative link resolves, 1 otherwise (one line
+per broken link: ``file:line: target``).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".venv", "venv", ".eggs"}
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    for path in sorted(ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(path.relative_to(ROOT).parts):
+            yield path
+
+
+def broken_links(path):
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if relative and not (path.parent / relative).exists():
+                yield lineno, target
+
+
+def main():
+    failures = 0
+    checked = 0
+    for path in markdown_files():
+        checked += 1
+        for lineno, target in broken_links(path):
+            rel = path.relative_to(ROOT)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"docs check: {failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {checked} markdown files, all relative links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

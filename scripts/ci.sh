@@ -14,4 +14,6 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-180}"
 
+python scripts/check_docs.py
+
 exec python -m pytest -x -q -m "not slow" "$@"

@@ -8,11 +8,20 @@ Commands
 ``collect <out>``      build and save a labelled trace corpus
 ``train <corpus>``     vaccinate a detector on a saved corpus
 ``adaptive``           train then demo the adaptive architecture
-``explain <corpus> <detector>``  interpret a trained detector
+``explain <detector>``  interpret a trained detector
+``report <corpus> <detector>``  markdown system report
+
+Every command accepts the observability options (``--log-file``,
+``--log-level``, ``--metrics-out``, ``--manifest-out``/``--no-manifest``,
+``--profile``); ``collect``/``train``/``report``/``explain`` write a run
+manifest by default, next to their primary artifact.  See
+``docs/observability.md``.
 """
 
 import argparse
 import sys
+
+from repro.obs import time_block
 
 
 def _die2(message):
@@ -96,28 +105,30 @@ def _cmd_collect(args):
                for s in range(1, args.seeds + 1)]
     workloads = all_workloads(scale=args.scale,
                               seeds=tuple(range(args.seeds)))
-    if args.jobs == 1:
-        dataset = build_dataset(attacks, workloads,
-                                sample_period=args.period)
-    else:
-        shard_dir = args.checkpoint_dir or (args.out + ".shards")
-        try:
-            dataset, report = build_dataset_resilient(
-                attacks, workloads, sample_period=args.period,
-                processes=args.jobs, retries=args.retries,
-                task_timeout=args.task_timeout, checkpoint_dir=shard_dir,
-                resume=args.resume, min_coverage=args.min_coverage)
-        except CheckpointError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        except CoverageError as exc:
-            if exc.report is not None:
-                print(exc.report.summary(), file=sys.stderr)
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        if report.failures or report.skipped:
-            print(report.summary())
-    save_dataset(dataset, args.out)
+    with time_block("stage.collect.build"):
+        if args.jobs == 1:
+            dataset = build_dataset(attacks, workloads,
+                                    sample_period=args.period)
+        else:
+            shard_dir = args.checkpoint_dir or (args.out + ".shards")
+            try:
+                dataset, report = build_dataset_resilient(
+                    attacks, workloads, sample_period=args.period,
+                    processes=args.jobs, retries=args.retries,
+                    task_timeout=args.task_timeout, checkpoint_dir=shard_dir,
+                    resume=args.resume, min_coverage=args.min_coverage)
+            except CheckpointError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except CoverageError as exc:
+                if exc.report is not None:
+                    print(exc.report.summary(), file=sys.stderr)
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if report.failures or report.skipped:
+                print(report.summary())
+    with time_block("stage.collect.save"):
+        save_dataset(dataset, args.out)
     attack_n, benign_n = dataset.balance_counts()
     print(f"saved {len(dataset)} windows ({attack_n} attack / "
           f"{benign_n} benign) to {args.out}")
@@ -128,17 +139,22 @@ def _cmd_train(args):
     from repro.core import vaccinate
     from repro.core.patching import save_detector
 
-    dataset = _load_corpus_or_die(args.corpus)
-    result = vaccinate(dataset, gan_iterations=args.iterations, seed=args.seed)
-    metrics = result.detector.evaluate(dataset.raw_matrix(result.schema),
-                                       dataset.labels())
-    print(f"accuracy={metrics['accuracy']:.4f} auc={metrics['auc']:.4f} "
-          f"fp={metrics['fp_rate']:.4f} fn={metrics['fn_rate']:.4f}")
+    with time_block("stage.train.load"):
+        dataset = _load_corpus_or_die(args.corpus)
+    with time_block("stage.train.vaccinate"):
+        result = vaccinate(dataset, gan_iterations=args.iterations,
+                           seed=args.seed)
+    with time_block("stage.train.evaluate"):
+        scores = result.detector.evaluate(dataset.raw_matrix(result.schema),
+                                          dataset.labels())
+    print(f"accuracy={scores['accuracy']:.4f} auc={scores['auc']:.4f} "
+          f"fp={scores['fp_rate']:.4f} fn={scores['fn_rate']:.4f}")
     print("engineered HPCs:")
     for name, counters in result.engineered:
         print(f"  {' AND '.join(counters)}")
     if args.out:
-        save_detector(result.detector, args.out)
+        with time_block("stage.train.save"):
+            save_detector(result.detector, args.out)
         print(f"detector saved to {args.out}")
     return 0
 
@@ -151,29 +167,34 @@ def _cmd_adaptive(args):
     from repro.workloads import all_workloads
 
     print("training...")
-    attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
-    dataset = build_dataset(attacks, all_workloads(scale=4, seeds=(0, 1)),
-                            sample_period=100)
-    evax = vaccinate(dataset, gan_iterations=args.iterations, seed=args.seed)
+    with time_block("stage.adaptive.train"):
+        attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
+        dataset = build_dataset(attacks, all_workloads(scale=4, seeds=(0, 1)),
+                                sample_period=100)
+        evax = vaccinate(dataset, gan_iterations=args.iterations,
+                         seed=args.seed)
     arch = AdaptiveArchitecture(evax.detector,
                                 secure_mode=DefenseMode(args.defense),
                                 secure_window=args.window,
                                 sample_period=100)
     names = args.attacks or ["spectre-pht", "meltdown", "lvi"]
-    for name in names:
-        attack = ATTACKS_BY_NAME[name](
-            secret_bits=default_secret_bits(9, n=10), seed=9)
-        run, leaked = arch.run_attack(attack)
-        print(f"{name:18s} flags={run.flags:3d} "
-              f"secure={run.secure_fraction:4.0%} leaked={leaked}")
+    with time_block("stage.adaptive.run"):
+        for name in names:
+            attack = ATTACKS_BY_NAME[name](
+                secret_bits=default_secret_bits(9, n=10), seed=9)
+            run, leaked = arch.run_attack(attack)
+            print(f"{name:18s} flags={run.flags:3d} "
+                  f"secure={run.secure_fraction:4.0%} leaked={leaked}")
     return 0
 
 
 def _cmd_explain(args):
     from repro.core import explain_window, weight_report
 
-    detector = _load_detector_or_die(args.detector)
-    malicious, benign = weight_report(detector, top=args.top)
+    with time_block("stage.explain.load"):
+        detector = _load_detector_or_die(args.detector)
+    with time_block("stage.explain.weights"):
+        malicious, benign = weight_report(detector, top=args.top)
     print("most malicious-leaning features:")
     for name, weight in malicious:
         print(f"  {weight:+8.3f}  {name}")
@@ -181,21 +202,29 @@ def _cmd_explain(args):
     for name, weight in benign:
         print(f"  {weight:+8.3f}  {name}")
     if args.corpus:
-        dataset = _load_corpus_or_die(args.corpus)
-        flagged = [r for r in dataset.records if r.label == 1][: args.top]
-        for record in flagged[:3]:
-            score, contributions = explain_window(detector, record.deltas)
-            tops = ", ".join(f"{n}={v:.2f}" for n, v in contributions[:4])
-            print(f"window from {record.source}: score={score:.3f} [{tops}]")
+        with time_block("stage.explain.load"):
+            dataset = _load_corpus_or_die(args.corpus)
+        with time_block("stage.explain.windows"):
+            flagged = [r for r in dataset.records
+                       if r.label == 1][: args.top]
+            for record in flagged[:3]:
+                score, contributions = explain_window(detector,
+                                                      record.deltas)
+                tops = ", ".join(f"{n}={v:.2f}"
+                                 for n, v in contributions[:4])
+                print(f"window from {record.source}: "
+                      f"score={score:.3f} [{tops}]")
     return 0
 
 
 def _cmd_report(args):
     from repro.analysis import markdown_report
 
-    dataset = _load_corpus_or_die(args.corpus)
-    detector = _load_detector_or_die(args.detector)
-    text = markdown_report(dataset, detector)
+    with time_block("stage.report.load"):
+        dataset = _load_corpus_or_die(args.corpus)
+        detector = _load_detector_or_die(args.detector)
+    with time_block("stage.report.render"):
+        text = markdown_report(dataset, detector)
     if args.out:
         with open(args.out, "w") as f:
             f.write(text)
@@ -205,13 +234,36 @@ def _cmd_report(args):
     return 0
 
 
+def _obs_parent():
+    """Observability options shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    g = parent.add_argument_group("observability")
+    g.add_argument("--log-file", default=None, metavar="JSONL",
+                   help="append structured JSONL events to this file")
+    g.add_argument("--log-level", default="info",
+                   choices=["debug", "info", "warn", "error"],
+                   help="drop events below this level (default info)")
+    g.add_argument("--metrics-out", default=None, metavar="JSON",
+                   help="write the final metrics snapshot to this file")
+    g.add_argument("--manifest-out", default=None, metavar="JSON",
+                   help="run-manifest path (default: next to the "
+                        "command's primary artifact)")
+    g.add_argument("--no-manifest", action="store_true",
+                   help="skip writing the run manifest")
+    g.add_argument("--profile", default=None, metavar="PSTATS",
+                   help="profile the command with cProfile and dump "
+                        "stats to this file")
+    return parent
+
+
 def build_parser():
     """Construct the argparse CLI (one sub-parser per command)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="EVAX reproduction command line")
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("attack", help="run one attack")
+    p = sub.add_parser("attack", help="run one attack", parents=[obs])
     p.add_argument("name")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--defense", default="none",
@@ -220,15 +272,18 @@ def build_parser():
                    ).DefenseMode])
     p.set_defaults(func=_cmd_attack)
 
-    p = sub.add_parser("attacks", help="run the whole corpus")
+    p = sub.add_parser("attacks", help="run the whole corpus",
+                       parents=[obs])
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=_cmd_attacks)
 
-    p = sub.add_parser("workloads", help="run the benign suite")
+    p = sub.add_parser("workloads", help="run the benign suite",
+                       parents=[obs])
     p.add_argument("--scale", type=int, default=3)
     p.set_defaults(func=_cmd_workloads)
 
-    p = sub.add_parser("collect", help="build + save a trace corpus")
+    p = sub.add_parser("collect", help="build + save a trace corpus",
+                       parents=[obs])
     p.add_argument("out")
     p.add_argument("--seeds", type=int, default=2)
     p.add_argument("--scale", type=int, default=4)
@@ -251,20 +306,23 @@ def build_parser():
                         "(default: <out>.shards)")
     p.set_defaults(func=_cmd_collect)
 
-    p = sub.add_parser("report", help="markdown report for corpus+detector")
+    p = sub.add_parser("report", help="markdown report for corpus+detector",
+                       parents=[obs])
     p.add_argument("corpus")
     p.add_argument("detector")
     p.add_argument("--out", default=None)
     p.set_defaults(func=_cmd_report)
 
-    p = sub.add_parser("train", help="vaccinate on a saved corpus")
+    p = sub.add_parser("train", help="vaccinate on a saved corpus",
+                       parents=[obs])
     p.add_argument("corpus")
     p.add_argument("--out", default=None)
     p.add_argument("--iterations", type=int, default=1200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_train)
 
-    p = sub.add_parser("adaptive", help="adaptive architecture demo")
+    p = sub.add_parser("adaptive", help="adaptive architecture demo",
+                       parents=[obs])
     p.add_argument("--attacks", nargs="*", default=None)
     p.add_argument("--defense", default="fence-futuristic")
     p.add_argument("--window", type=int, default=10_000)
@@ -272,7 +330,8 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_adaptive)
 
-    p = sub.add_parser("explain", help="interpret a trained detector")
+    p = sub.add_parser("explain", help="interpret a trained detector",
+                       parents=[obs])
     p.add_argument("detector")
     p.add_argument("--corpus", default=None)
     p.add_argument("--top", type=int, default=8)
@@ -281,9 +340,20 @@ def build_parser():
 
 
 def main(argv=None):
-    """CLI entry point; returns the command's exit status."""
+    """CLI entry point; returns the command's exit status.
+
+    Every command runs inside a :class:`repro.obs.context.RunContext`,
+    which configures logging/profiling on entry and — on success *and*
+    failure — snapshots metrics and writes the run manifest on exit.
+    """
+    from repro.obs.context import RunContext
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    ctx = RunContext(args, argv=argv if argv is not None else sys.argv[1:])
+    with ctx:
+        code = args.func(args)
+        ctx.exit_code = code if isinstance(code, int) else 0
+    return code
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.gram import style_loss
 from repro.ml import MLP
 from repro.ml.optim import Adam
+from repro.obs import metrics, obs_event, time_block
 
 
 class AMGAN:
@@ -105,35 +106,51 @@ class AMGAN:
             class_means[key] = X[mask].mean(axis=0)
             class_second_moments[key] = (X[mask] ** 2).mean(axis=0)
         class_keys = sorted(class_means)
-        for iteration in range(iterations):
-            idx = self.rng.integers(0, n, size=batch_size)
-            real_x = X[idx]
-            real_c = self._conditions(categories[idx], targets[idx])
-            # --- discriminator: real matching pairs -> 1
-            self.discriminator.train_batch(
-                self._disc_input(real_x, real_c), np.ones((batch_size, 1)))
-            # --- discriminator: mismatched pairs -> 0
-            shuffled = self.rng.permutation(batch_size)
-            mismatched_c = real_c[shuffled]
-            changed = np.any(mismatched_c != real_c, axis=1, keepdims=True)
-            self.discriminator.train_batch(
-                self._disc_input(real_x, mismatched_c),
-                1.0 - changed.astype(float))
-            # --- discriminator: generated pairs -> 0
-            fake_x, fake_c = self._generate_batch(categories[idx], targets[idx])
-            self.discriminator.train_batch(
-                self._disc_input(fake_x, fake_c), np.zeros((batch_size, 1)))
-            # --- generator: fool the discriminator (target 1)
-            self._train_generator(categories[idx], targets[idx])
-            # --- generator: per-class feature matching (a few classes per
-            # iteration, round-robin)
-            for k in range(3):
-                key = class_keys[(3 * iteration + k) % len(class_keys)]
-                self._feature_match_step(key[0], key[1], class_means[key],
-                                         class_second_moments[key])
-            if style_reference and iteration % style_every == 0:
-                self.style_history.append(
-                    (iteration, self._mean_style_loss(style_reference)))
+        reg = metrics()
+        loss_real = reg.gauge("amgan.loss.disc_real")
+        loss_mismatch = reg.gauge("amgan.loss.disc_mismatch")
+        loss_fake = reg.gauge("amgan.loss.disc_fake")
+        with time_block("amgan.train.seconds"):
+            for iteration in range(iterations):
+                idx = self.rng.integers(0, n, size=batch_size)
+                real_x = X[idx]
+                real_c = self._conditions(categories[idx], targets[idx])
+                # --- discriminator: real matching pairs -> 1
+                loss_real.set(self.discriminator.train_batch(
+                    self._disc_input(real_x, real_c),
+                    np.ones((batch_size, 1))))
+                # --- discriminator: mismatched pairs -> 0
+                shuffled = self.rng.permutation(batch_size)
+                mismatched_c = real_c[shuffled]
+                changed = np.any(mismatched_c != real_c, axis=1,
+                                 keepdims=True)
+                loss_mismatch.set(self.discriminator.train_batch(
+                    self._disc_input(real_x, mismatched_c),
+                    1.0 - changed.astype(float)))
+                # --- discriminator: generated pairs -> 0
+                fake_x, fake_c = self._generate_batch(categories[idx],
+                                                      targets[idx])
+                loss_fake.set(self.discriminator.train_batch(
+                    self._disc_input(fake_x, fake_c),
+                    np.zeros((batch_size, 1))))
+                # --- generator: fool the discriminator (target 1)
+                self._train_generator(categories[idx], targets[idx])
+                # --- generator: per-class feature matching (a few classes
+                # per iteration, round-robin)
+                for k in range(3):
+                    key = class_keys[(3 * iteration + k) % len(class_keys)]
+                    self._feature_match_step(key[0], key[1],
+                                             class_means[key],
+                                             class_second_moments[key])
+                reg.inc("amgan.iterations")
+                if style_reference and iteration % style_every == 0:
+                    probe = self._mean_style_loss(style_reference)
+                    self.style_history.append((iteration, probe))
+                    reg.set_gauge("amgan.style_loss", probe)
+                    obs_event("amgan.round", iteration=iteration,
+                              style_loss=round(probe, 6),
+                              disc_real=round(loss_real.value, 6),
+                              disc_fake=round(loss_fake.value, 6))
         return self
 
     def _generate_batch(self, categories, targets):

@@ -14,6 +14,7 @@ from repro.core.amgan import AMGAN
 from repro.core.feature_engineering import mine_security_hpcs
 from repro.core.perceptron import HardwareDetector, perspectron_schema
 from repro.data.features import BASE_FEATURES, FeatureSchema, MaxNormalizer
+from repro.obs import obs_event, time_block
 
 BENIGN = "benign"
 
@@ -117,6 +118,7 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
     categories = sorted(set(cats.tolist()) | {BENIGN})
 
     # --- 1. adversarial training of the AM-GAN -------------------------------
+    obs_event("vaccinate.stage", stage="gan", windows=len(Xb))
     gan = AMGAN(base_schema.dim, categories, generator_hidden=gan_hidden,
                 seed=seed)
     style_ref = None
@@ -126,41 +128,51 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
             mask = cats == cat
             if mask.sum() >= 4:
                 style_ref[cat] = Xb[mask][:64]
-    gan.train(Xb, cats, y, iterations=gan_iterations,
-              style_reference=style_ref)
+    with time_block("vaccinate.gan.seconds"):
+        gan.train(Xb, cats, y, iterations=gan_iterations,
+                  style_reference=style_ref)
 
     # --- 2. engineer security HPCs from the generator ------------------------
-    if engineer_features:
-        engineered = mine_security_hpcs(
-            gan, base_schema, top_nodes=top_hpcs,
-            attack_windows=raw_base[y == 1],
-            benign_windows=raw_base[y == 0])
-    else:
-        engineered = []
+    obs_event("vaccinate.stage", stage="engineer")
+    with time_block("vaccinate.engineer.seconds"):
+        if engineer_features:
+            engineered = mine_security_hpcs(
+                gan, base_schema, top_nodes=top_hpcs,
+                attack_windows=raw_base[y == 1],
+                benign_windows=raw_base[y == 0])
+        else:
+            engineered = []
     schema = FeatureSchema(engineered=tuple(engineered))
 
     # --- 3. harvest generated samples per class, plus adversarial-
     # direction interpolations that push the boundary to the edge of the
     # feasible evasion space (Figure 2)
-    X_aug, y_aug, norm_full, generated_counts = build_augmented_training_set(
-        gan, dataset, schema, samples_per_class=samples_per_class)
-    if adversarial_hardening:
-        from repro.core.adversarial import adversarial_augmentation
-        benign_mean = X_aug[y_aug == 0].mean(axis=0)
-        adv = adversarial_augmentation(X_aug[y_aug == 1], benign_mean,
-                                       schema, seed=seed)
-        X_aug = np.vstack([X_aug, adv])
-        y_aug = np.concatenate([y_aug, np.ones(len(adv))])
+    obs_event("vaccinate.stage", stage="augment")
+    with time_block("vaccinate.augment.seconds"):
+        X_aug, y_aug, norm_full, generated_counts = \
+            build_augmented_training_set(
+                gan, dataset, schema, samples_per_class=samples_per_class)
+        if adversarial_hardening:
+            from repro.core.adversarial import adversarial_augmentation
+            benign_mean = X_aug[y_aug == 0].mean(axis=0)
+            adv = adversarial_augmentation(X_aug[y_aug == 1], benign_mean,
+                                           schema, seed=seed)
+            X_aug = np.vstack([X_aug, adv])
+            y_aug = np.concatenate([y_aug, np.ones(len(adv))])
 
     # --- 4. retrain the hardware detector on the vaccinated corpus ------------
+    obs_event("vaccinate.stage", stage="fit", samples=len(X_aug))
     detector = HardwareDetector(schema, hidden_layers=detector_hidden,
                                 seed=seed, threshold=threshold, name="evax")
     detector.normalizer = norm_full
-    _fit_normalized(detector, X_aug, y_aug, epochs, seed)
+    with time_block("vaccinate.fit.seconds"):
+        _fit_normalized(detector, X_aug, y_aug, epochs, seed)
     # --- 5. tune the operating point on the real benign windows ----------------
-    raw_benign = dataset.raw_matrix(schema)[y == 0]
-    if len(raw_benign):
-        detector.calibrate_threshold(raw_benign)
+    obs_event("vaccinate.stage", stage="calibrate")
+    with time_block("vaccinate.calibrate.seconds"):
+        raw_benign = dataset.raw_matrix(schema)[y == 0]
+        if len(raw_benign):
+            detector.calibrate_threshold(raw_benign)
 
     return VaccinationResult(
         detector=detector,

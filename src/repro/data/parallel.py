@@ -30,6 +30,7 @@ import time
 
 from repro.data.dataset import Dataset, collect_source, validate_records
 from repro.data.io import record_from_dict, record_to_dict
+from repro.obs import metrics, time_block
 from repro.runtime import CheckpointStore, FailureReport, Task, TaskRunner
 
 
@@ -99,24 +100,33 @@ def build_dataset_resilient(attacks, workloads, config=None,
                         validator=validate_records)
     results = runner.run([t for t in tasks if t.key not in done])
 
+    reg = metrics()
     started = time.monotonic()
-    for task in tasks:
-        if task.key in done:
-            payload = store.get(task.key)
-            dataset.extend(record_from_dict(r) for r in payload["records"])
-            continue
-        outcome = next(results)
-        if outcome.ok:
-            if store is not None:
-                store.put(task.key, {"records": [record_to_dict(r)
-                                                 for r in outcome.value]})
-            dataset.extend(outcome.value)
-            report.completed += 1
-        else:
-            report.failures.append(outcome)
-        if progress is not None:
-            progress(outcome)
+    with time_block("data.build.seconds"):
+        for task in tasks:
+            if task.key in done:
+                payload = store.get(task.key)
+                restored = [record_from_dict(r)
+                            for r in payload["records"]]
+                dataset.extend(restored)
+                reg.inc("data.sources.restored")
+                reg.inc("data.records", len(restored))
+                continue
+            outcome = next(results)
+            if outcome.ok:
+                if store is not None:
+                    store.put(task.key, {"records": [record_to_dict(r)
+                                                     for r in outcome.value]})
+                dataset.extend(outcome.value)
+                report.completed += 1
+                reg.inc("data.sources.completed")
+                reg.inc("data.records", len(outcome.value))
+            else:
+                report.failures.append(outcome)
+            if progress is not None:
+                progress(outcome)
     report.elapsed = time.monotonic() - started
+    reg.set_gauge("data.coverage", report.coverage)
     report.require_coverage(min_coverage, partial=dataset)
     return dataset, report
 

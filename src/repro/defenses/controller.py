@@ -8,6 +8,7 @@ instructions, re-armed by further flags, then drops back to full
 performance.
 """
 
+from repro.obs import metrics, obs_event
 from repro.sim.config import DefenseMode
 
 
@@ -37,19 +38,31 @@ class SecureModeController:
         self.windows_total = 0
 
     def __call__(self, machine, sample):
+        reg = metrics()
         self.windows_total += 1
+        reg.inc("adaptive.windows.total")
         if self.active:
             self.windows_secure += 1
+            reg.inc("adaptive.windows.secure")
             if sample.commit_index >= self.secure_until:
                 self.active = False
                 machine.set_defense(DefenseMode.NONE)
+                reg.inc("adaptive.secure.exits")
+                obs_event("adaptive.secure_exit", level="debug",
+                          commit_index=sample.commit_index)
         flagged = bool(self.detector_fn(sample))
         if flagged:
             self.flags += 1
+            reg.inc("adaptive.flags")
             self.secure_until = sample.commit_index + self.secure_window
             if not self.active:
                 self.active = True
                 machine.set_defense(self.secure_mode)
+                reg.inc("adaptive.secure.entries")
+                obs_event("adaptive.secure_enter",
+                          commit_index=sample.commit_index,
+                          mode=getattr(self.secure_mode, "value",
+                                       str(self.secure_mode)))
         return flagged
 
     @property

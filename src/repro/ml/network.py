@@ -1,10 +1,20 @@
 """A multilayer perceptron built from :class:`repro.ml.layers.Dense`."""
 
+import time
+
 import numpy as np
 
 from repro.ml.layers import Dense
 from repro.ml.losses import BinaryCrossEntropy
 from repro.ml.optim import Adam
+from repro.obs import metrics
+
+# cached instrument handles — train_batch runs in tight epoch loops, so
+# the per-batch cost is two perf_counter reads and three attribute writes
+_REG = metrics()
+_OBS_BATCHES = _REG.counter("ml.train.batches")
+_OBS_BATCH_SECONDS = _REG.timer("ml.train.batch.seconds")
+_OBS_LOSS = _REG.gauge("ml.train.loss")
 
 
 class MLP:
@@ -53,6 +63,7 @@ class MLP:
 
     def train_batch(self, x, target):
         """One optimizer step on a batch; returns the pre-step loss value."""
+        start = time.perf_counter()
         target = np.asarray(target, dtype=float)
         if target.ndim == 1:
             target = target[:, None]
@@ -60,15 +71,21 @@ class MLP:
         loss_value = self.loss.value(pred, target)
         self.backward(self.loss.gradient(pred, target))
         self.optimizer.step(self.parameters, self.gradients)
+        _OBS_BATCHES.inc()
+        _OBS_LOSS.set(loss_value)
+        _OBS_BATCH_SECONDS.observe(time.perf_counter() - start)
         return loss_value
 
     def train_batch_with_grad(self, x, grad_out):
         """One optimizer step driven by an externally supplied output
         gradient (used for the GAN generator, whose loss is evaluated
         through the discriminator).  Returns the input gradient."""
+        start = time.perf_counter()
         self.forward(x, train=True)
         grad_in = self.backward(grad_out)
         self.optimizer.step(self.parameters, self.gradients)
+        _OBS_BATCHES.inc()
+        _OBS_BATCH_SECONDS.observe(time.perf_counter() - start)
         return grad_in
 
     def predict(self, x):

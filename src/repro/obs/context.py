@@ -1,0 +1,128 @@
+"""Per-command observability lifecycle for the CLI.
+
+:class:`RunContext` is the ``with`` block around every dispatched
+command in :func:`repro.cli.main`:
+
+* **enter** — mint a run id, reset the global metrics registry (so each
+  command's manifest reflects only its own work), configure the JSONL
+  log from ``--log-file``/``--log-level`` with the run context bound,
+  and start ``cProfile`` when ``--profile`` asked for it;
+* **exit** — always, including on ``SystemExit`` and crashes: stop the
+  profiler and dump ``.pstats``, snapshot metrics (optionally to
+  ``--metrics-out``), and atomically write the run manifest with the
+  status, stage timings and failure taxonomy of whatever just happened.
+"""
+
+import time
+import uuid
+
+from repro.obs.log import get_log, obs_event
+from repro.obs.manifest import (
+    build_manifest, default_manifest_path, write_manifest,
+)
+from repro.obs.metrics import metrics
+
+#: argparse attributes that are observability plumbing, not run config
+_NON_CONFIG_OPTIONS = frozenset({
+    "func", "command", "log_file", "log_level", "metrics_out",
+    "manifest_out", "no_manifest", "profile",
+})
+
+
+def _command_options(args):
+    """The command's effective configuration, JSON-able."""
+    return {k: v for k, v in sorted(vars(args).items())
+            if k not in _NON_CONFIG_OPTIONS}
+
+
+class RunContext:
+    """Observability wrapper for one CLI command invocation."""
+
+    def __init__(self, args, argv=None):
+        self.args = args
+        self.argv = list(argv) if argv is not None else None
+        self.command = getattr(args, "command", None) or "unknown"
+        self.run_id = uuid.uuid4().hex[:12]
+        self.exit_code = 0
+        self.error = None
+        self.started = None
+        self.manifest_path = None
+        self._profiler = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self):
+        self.started = time.time()
+        metrics().reset()
+        log = get_log()
+        log.configure(path=getattr(self.args, "log_file", None),
+                      level=getattr(self.args, "log_level", "info") or "info",
+                      run=self.run_id,
+                      command=self.command,
+                      seed=getattr(self.args, "seed", None))
+        profile_out = getattr(self.args, "profile", None)
+        if profile_out:
+            import cProfile
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+        obs_event("cli.start", argv=self.argv)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._profiler is not None:
+            self._profiler.disable()
+            self._profiler.dump_stats(self.args.profile)
+        if exc is not None:
+            if isinstance(exc, SystemExit):
+                code = exc.code
+                self.exit_code = code if isinstance(code, int) else \
+                    (0 if code is None else 1)
+                if self.exit_code != 0:
+                    self.error = {"type": "SystemExit",
+                                  "message": str(code)}
+            else:
+                self.exit_code = 1
+                self.error = {"type": exc_type.__name__, "message": str(exc)}
+        finished = time.time()
+        snapshot = metrics().snapshot()
+        self._write_metrics(snapshot)
+        self._write_manifest(snapshot, finished)
+        obs_event("cli.end",
+                  level="error" if self.error else "info",
+                  status="error" if self.error else "ok",
+                  exit_code=self.exit_code,
+                  duration_s=round(finished - self.started, 6))
+        get_log().close()
+        return False                       # never swallow the exception
+
+    # -- outputs -----------------------------------------------------------
+
+    def _write_metrics(self, snapshot):
+        path = getattr(self.args, "metrics_out", None)
+        if not path:
+            return
+        import json
+        from repro.runtime.atomic import atomic_write_bytes
+        try:
+            atomic_write_bytes(path, json.dumps(
+                snapshot, indent=2, default=str).encode("utf-8"))
+        except OSError:
+            pass                   # diagnostics must not mask the run result
+
+    def _write_manifest(self, snapshot, finished):
+        if getattr(self.args, "no_manifest", False):
+            return
+        path = getattr(self.args, "manifest_out", None) or \
+            default_manifest_path(self.command, self.args)
+        if path is None:
+            return
+        manifest = build_manifest(
+            command=self.command, argv=self.argv, run_id=self.run_id,
+            started=self.started, finished=finished,
+            exit_code=self.exit_code, error=self.error,
+            options=_command_options(self.args), snapshot=snapshot)
+        try:
+            self.manifest_path = write_manifest(path, manifest)
+            obs_event("manifest.written", path=path)
+        except OSError:
+            pass                   # diagnostics must not mask the run result

@@ -1,0 +1,129 @@
+"""Structured JSONL event logging.
+
+One event per line, each a self-contained JSON object::
+
+    {"ts": 1754450000.123, "level": "info", "event": "task.finished",
+     "run": "a1b2c3d4e5f6", "seed": 1, "config": "9f8e...",
+     "key": "003-atk-meltdown-s1", "attempts": 1, "elapsed_s": 0.41}
+
+* ``ts`` / ``level`` / ``event`` are always present.
+* Run context (``run`` id, ``seed``, ``config`` fingerprint, bound via
+  :meth:`EventLog.bind`) is merged into every event, so any line can be
+  joined back to its run manifest without surrounding context.
+* Levels are ``debug < info < warn < error``; events below the
+  threshold are dropped before any formatting work.
+
+Logging is **disabled by default** — with no sink configured,
+:func:`obs_event` is a dict lookup and one ``None`` check, which keeps
+instrumented hot paths essentially free until ``--log-file`` opts in.
+"""
+
+import json
+import sys
+import time
+
+LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+class EventLog:
+    """A JSONL sink with a level threshold and bound run context."""
+
+    def __init__(self):
+        self._sink = None
+        self._owns_sink = False
+        self._threshold = LEVELS["info"]
+        self._context = {}
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, path=None, stream=None, level="info", **context):
+        """Attach a sink (a file path or an open stream) and bind context.
+
+        ``path`` takes precedence over ``stream``; ``stream="stderr"``
+        is accepted as a convenience.  Returns ``self``.
+        """
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"choose from {sorted(LEVELS)}")
+        self.close()
+        if path is not None:
+            self._sink = open(path, "a", encoding="utf-8")
+            self._owns_sink = True
+        elif stream == "stderr":
+            self._sink = sys.stderr
+        elif stream is not None:
+            self._sink = stream
+        self._threshold = LEVELS[level]
+        self._context = {}
+        self.bind(**context)
+        return self
+
+    def bind(self, **context):
+        """Merge fields into the context attached to every event."""
+        self._context.update({k: v for k, v in context.items()
+                              if v is not None})
+        return self
+
+    @property
+    def active(self):
+        return self._sink is not None
+
+    # -- emission ----------------------------------------------------------
+
+    def event(self, name, level="info", **fields):
+        """Emit one structured event (dropped when below threshold or no
+        sink is configured)."""
+        if self._sink is None or LEVELS.get(level, 20) < self._threshold:
+            return
+        record = {"ts": round(time.time(), 6), "level": level, "event": name}
+        record.update(self._context)
+        record.update(fields)
+        try:
+            line = json.dumps(record, default=str, sort_keys=False)
+            self._sink.write(line + "\n")
+            self._sink.flush()
+        except (OSError, ValueError):
+            pass                       # a dead sink must never kill the run
+
+    def close(self):
+        if self._sink is not None and self._owns_sink:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+        self._sink = None
+        self._owns_sink = False
+
+
+#: the process-global event log every instrumentation site emits into
+_GLOBAL = EventLog()
+
+
+def get_log():
+    """The process-global :class:`EventLog`."""
+    return _GLOBAL
+
+
+def obs_event(name, level="info", **fields):
+    """Emit ``name`` on the global log (no-op until configured)."""
+    _GLOBAL.event(name, level=level, **fields)
+
+
+def read_events(path):
+    """Parse a JSONL event file back into a list of dicts.
+
+    Blank lines are skipped; a torn final line (crash mid-write) is
+    dropped rather than raised, since logs must stay readable after the
+    very failures they exist to diagnose.
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events

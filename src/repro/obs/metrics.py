@@ -1,0 +1,215 @@
+"""A lightweight, dependency-free metrics registry.
+
+Three instrument kinds, all plain Python objects:
+
+* :class:`Counter` — monotonically increasing integer (events, windows,
+  retries).
+* :class:`Gauge` — last-written value (losses, coverage, style scores).
+* :class:`Timer` — wall-clock histogram summary (count / total / min /
+  max) fed by :meth:`Timer.observe` or the :meth:`MetricsRegistry.
+  time_block` context manager.
+
+Design constraints, in order:
+
+1. **Hot-path cost.** The simulator retires hundreds of thousands of
+   instructions per run; instrumentation there is *aggregated at run
+   boundaries* (one handful of counter adds per :meth:`Machine.run`),
+   never per cycle.  Sites that do fire repeatedly (sampler windows,
+   ``train_batch``) cache the instrument object once and pay a single
+   attribute increment per event.  ``registry.enabled = False`` turns
+   every instrument into a no-op without invalidating cached handles.
+2. **Determinism.** Counters and gauges depend only on the workload and
+   seed, so two runs of the same command produce identical counter
+   snapshots; wall-clock noise is confined to timers.  ``snapshot()``
+   emits sorted keys so serialized snapshots are byte-stable modulo
+   timer durations.
+3. **Identity stability.** ``reset()`` zeroes instruments *in place*
+   (it never replaces the objects), so module-level cached handles in
+   hot paths survive a reset between CLI commands or tests.
+
+Metric names are dotted strings, ``layer.subsystem.metric``; the
+canonical set lives in :mod:`repro.obs.names` and is what
+``docs/observability.md`` is checked against.
+"""
+
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("registry", "value")
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.value = 0
+
+    def inc(self, n=1):
+        if self.registry.enabled:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value (float)."""
+
+    __slots__ = ("registry", "value")
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.value = 0.0
+
+    def set(self, value):
+        if self.registry.enabled:
+            self.value = float(value)
+
+
+class Timer:
+    """Wall-clock duration summary (count / total / min / max)."""
+
+    __slots__ = ("registry", "count", "total", "min", "max")
+
+    def __init__(self, registry):
+        self.registry = registry
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds):
+        if not self.registry.enabled:
+            return
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "mean_s": self.total / self.count if self.count else 0.0,
+        }
+
+
+@contextmanager
+def _null_block():
+    yield None
+
+
+class MetricsRegistry:
+    """Name -> instrument store with lazy creation.
+
+    A name is permanently bound to the first instrument kind that
+    claimed it; asking for the same name as a different kind raises,
+    because silently shadowing a counter with a timer would corrupt the
+    snapshot.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self._counters = {}
+        self._gauges = {}
+        self._timers = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def _get(self, store, name, factory, kind):
+        inst = store.get(name)
+        if inst is None:
+            for other_kind, other in (("counter", self._counters),
+                                      ("gauge", self._gauges),
+                                      ("timer", self._timers)):
+                if other is not store and name in other:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{other_kind}, requested as {kind}")
+            inst = store[name] = factory(self)
+        return inst
+
+    def counter(self, name):
+        return self._get(self._counters, name, Counter, "counter")
+
+    def gauge(self, name):
+        return self._get(self._gauges, name, Gauge, "gauge")
+
+    def timer(self, name):
+        return self._get(self._timers, name, Timer, "timer")
+
+    # -- convenience -------------------------------------------------------
+
+    def inc(self, name, n=1):
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def observe(self, name, seconds):
+        self.timer(name).observe(seconds)
+
+    def time_block(self, name):
+        """Context manager timing its body into timer ``name``."""
+        if not self.enabled:
+            return _null_block()
+        return self.timer(name).time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self):
+        """Zero every instrument in place (cached handles stay valid)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for timer in self._timers.values():
+            timer.count = 0
+            timer.total = 0.0
+            timer.min = float("inf")
+            timer.max = 0.0
+
+    def names(self):
+        """Every registered metric name, sorted."""
+        return sorted(set(self._counters) | set(self._gauges)
+                      | set(self._timers))
+
+    def snapshot(self):
+        """Deterministically-ordered plain-dict view of every instrument.
+
+        Counters and gauges are exact values; timers are summaries.
+        Safe to ``json.dumps`` directly.
+        """
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "timers": {k: self._timers[k].summary()
+                       for k in sorted(self._timers)},
+        }
+
+
+#: the process-global registry every instrumentation site records into
+_GLOBAL = MetricsRegistry()
+
+
+def metrics():
+    """The process-global :class:`MetricsRegistry`."""
+    return _GLOBAL
+
+
+def time_block(name):
+    """``metrics().time_block(name)`` shorthand for instrumentation sites."""
+    return _GLOBAL.time_block(name)

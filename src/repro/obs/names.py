@@ -1,0 +1,122 @@
+"""The canonical metric catalog.
+
+Every metric name the instrumentation may emit is declared here, grouped
+by layer, with its instrument kind and a one-line meaning.  This is the
+contract between code and documentation:
+
+* instrumentation sites take names from this module (or match it —
+  checked by ``tests/obs/test_docs_and_catalog.py``);
+* every metric name mentioned in ``docs/observability.md`` must exist
+  here, so the docs cannot drift from the code.
+
+Names are dotted ``layer.subsystem.metric`` strings.  Stage timers
+produced by the CLI are the one parameterized family:
+``stage.<command>.<stage>`` — enumerated here explicitly so the docs
+check stays exact.
+"""
+
+#: layer -> {metric name: (kind, description)}
+CATALOG = {
+    "sim": {
+        "sim.runs": ("counter", "simulations completed (Machine.run calls)"),
+        "sim.run.seconds": ("timer", "wall-clock per simulation run"),
+        "sim.cycles": ("counter", "total simulated cycles across runs"),
+        "sim.committed": ("counter", "total committed instructions"),
+        "sim.detections": ("counter", "detector-hook positive windows"),
+        "sim.sampler.windows": ("counter", "HPC sampling windows emitted"),
+        "sim.sampler.partial_windows":
+            ("counter", "partial end-of-run windows emitted by flush"),
+    },
+    "runtime": {
+        "runner.tasks.queued": ("counter", "tasks submitted to TaskRunner"),
+        "runner.tasks.started": ("counter", "worker launches (incl. retries)"),
+        "runner.tasks.finished": ("counter", "tasks completed and validated"),
+        "runner.tasks.retried": ("counter", "failed attempts re-queued"),
+        "runner.tasks.quarantined":
+            ("counter", "tasks failed permanently after retries"),
+        "runner.failures.crash": ("counter", "attempts lost to crashes"),
+        "runner.failures.timeout": ("counter", "attempts lost to timeouts"),
+        "runner.failures.divergent":
+            ("counter", "attempts rejected by the validator"),
+        "runner.task.seconds": ("timer", "per-task wall clock (queue to "
+                                         "resolution, across retries)"),
+    },
+    "data": {
+        "data.build.seconds": ("timer", "resilient corpus build wall clock"),
+        "data.sources.completed": ("counter", "sources simulated this build"),
+        "data.sources.restored":
+            ("counter", "sources restored from checkpoint shards"),
+        "data.records": ("counter", "sample records added to the dataset"),
+        "data.coverage": ("gauge", "fraction of requested sources present"),
+    },
+    "ml": {
+        "ml.train.batches": ("counter", "optimizer steps taken"),
+        "ml.train.batch.seconds": ("timer", "wall-clock per train_batch"),
+        "ml.train.loss": ("gauge", "most recent batch loss"),
+    },
+    "core": {
+        "amgan.train.seconds": ("timer", "AM-GAN adversarial training"),
+        "amgan.iterations": ("counter", "adversarial rounds completed"),
+        "amgan.loss.disc_real": ("gauge", "discriminator loss, real pairs"),
+        "amgan.loss.disc_mismatch":
+            ("gauge", "discriminator loss, mismatched pairs"),
+        "amgan.loss.disc_fake": ("gauge", "discriminator loss, generated"),
+        "amgan.style_loss": ("gauge", "mean Gram style loss, last probe"),
+        "vaccinate.gan.seconds": ("timer", "pipeline stage: GAN training"),
+        "vaccinate.engineer.seconds":
+            ("timer", "pipeline stage: security-HPC mining"),
+        "vaccinate.augment.seconds":
+            ("timer", "pipeline stage: harvest + adversarial hardening"),
+        "vaccinate.fit.seconds":
+            ("timer", "pipeline stage: detector training"),
+        "vaccinate.calibrate.seconds":
+            ("timer", "pipeline stage: threshold calibration"),
+        "adaptive.flags": ("counter", "detector positives during runs"),
+        "adaptive.secure.entries": ("counter", "secure-mode activations"),
+        "adaptive.secure.exits": ("counter", "secure-mode deactivations"),
+        "adaptive.windows.secure":
+            ("counter", "sampling windows spent in secure mode"),
+        "adaptive.windows.total":
+            ("counter", "sampling windows observed by the controller"),
+    },
+    "cli": {
+        "stage.collect.build": ("timer", "collect: corpus simulation"),
+        "stage.collect.save": ("timer", "collect: dataset serialization"),
+        "stage.train.load": ("timer", "train: corpus load"),
+        "stage.train.vaccinate": ("timer", "train: vaccination pipeline"),
+        "stage.train.evaluate": ("timer", "train: detector evaluation"),
+        "stage.train.save": ("timer", "train: detector serialization"),
+        "stage.report.load": ("timer", "report: corpus + detector load"),
+        "stage.report.render": ("timer", "report: markdown rendering"),
+        "stage.explain.load": ("timer", "explain: artifact load"),
+        "stage.explain.weights": ("timer", "explain: hyperplane report"),
+        "stage.explain.windows": ("timer", "explain: window explanations"),
+        "stage.adaptive.train": ("timer", "adaptive: corpus + vaccination"),
+        "stage.adaptive.run": ("timer", "adaptive: gated attack runs"),
+    },
+}
+
+#: every known metric name -> (kind, description)
+ALL_METRICS = {name: meta for layer in CATALOG.values()
+               for name, meta in layer.items()}
+
+#: event names the structured log may emit (checked against docs too)
+EVENTS = {
+    "cli.start": "command dispatch (command, argv)",
+    "cli.end": "command completion (status, exit_code, duration)",
+    "sim.run": "one simulation finished (program, cycles, ipc, halt)",
+    "task.started": "worker launched (key, attempt)",
+    "task.finished": "task completed (key, attempts, elapsed_s)",
+    "task.retry": "failed attempt re-queued (key, kind, delay_s)",
+    "task.quarantined": "task failed permanently (key, kind, message)",
+    "amgan.round": "style-loss probe (iteration, style_loss)",
+    "vaccinate.stage": "vaccination stage boundary (stage)",
+    "adaptive.secure_enter": "secure mode enabled (commit_index, mode)",
+    "adaptive.secure_exit": "secure mode disabled (commit_index)",
+    "manifest.written": "run manifest persisted (path)",
+}
+
+
+def is_known_metric(name):
+    """Whether ``name`` is in the canonical catalog."""
+    return name in ALL_METRICS

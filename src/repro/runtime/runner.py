@@ -33,6 +33,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import metrics, obs_event
 from repro.runtime.errors import CRASH, DIVERGENT, TIMEOUT
 
 
@@ -171,6 +172,7 @@ class TaskRunner:
         tasks = list(tasks)
         if not tasks:
             return
+        metrics().inc("runner.tasks.queued", len(tasks))
         # (ready_time, index, attempt, first_started or None)
         pending = [(0.0, i, 1, None) for i in range(len(tasks))]
         heapq.heapify(pending)
@@ -220,6 +222,9 @@ class TaskRunner:
                 daemon=True, name=f"repro-task-{task.key}-a{attempt}")
             proc.start()
             child_conn.close()
+            metrics().inc("runner.tasks.started")
+            obs_event("task.started", level="debug",
+                      key=task.key, attempt=attempt)
             deadline = now + self.timeout if self.timeout else float("inf")
             active[parent_conn] = _Active(
                 task=task, index=index, attempt=attempt, proc=proc,
@@ -263,22 +268,41 @@ class TaskRunner:
                     slot, DIVERGENT, f"{type(exc).__name__}: {exc}",
                     pending, resolved, now)
                 return
+        elapsed = now - slot.started
+        reg = metrics()
+        reg.inc("runner.tasks.finished")
+        reg.observe("runner.task.seconds", elapsed)
+        obs_event("task.finished", key=slot.task.key,
+                  attempts=slot.attempt, elapsed_s=round(elapsed, 6))
         resolved[slot.index] = TaskResult(
             key=slot.task.key, index=slot.index, value=value,
-            attempts=slot.attempt, elapsed=now - slot.started)
+            attempts=slot.attempt, elapsed=elapsed)
 
     def _resolve_failure(self, slot, kind, message, pending, resolved, now):
         """Retry with backoff, or quarantine once retries are spent."""
+        reg = metrics()
         if slot.attempt <= self.retries:
             delay = backoff_delay(slot.task.key, slot.attempt,
                                   self.backoff_base, self.backoff_max)
+            reg.inc("runner.tasks.retried")
+            reg.inc(f"runner.failures.{kind}")
+            obs_event("task.retry", level="warn", key=slot.task.key,
+                      kind=kind, attempt=slot.attempt,
+                      delay_s=round(delay, 6))
             heapq.heappush(pending, (now + delay, slot.index,
                                      slot.attempt + 1, slot.started))
             return
+        elapsed = now - slot.started
+        reg.inc("runner.tasks.quarantined")
+        reg.inc(f"runner.failures.{kind}")
+        reg.observe("runner.task.seconds", elapsed)
+        obs_event("task.quarantined", level="error", key=slot.task.key,
+                  kind=kind, attempts=slot.attempt, message=message,
+                  elapsed_s=round(elapsed, 6))
         resolved[slot.index] = TaskFailure(
             key=slot.task.key, index=slot.index, kind=kind,
             message=message, attempts=slot.attempt,
-            elapsed=now - slot.started)
+            elapsed=elapsed)
 
     @staticmethod
     def _kill(slot):

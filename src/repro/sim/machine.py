@@ -1,8 +1,10 @@
 """The full simulated machine: core + memory system + sampler + actors."""
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs import metrics, obs_event
 from repro.sim.branch import BTB, RAS, TournamentPredictor
 from repro.sim.cache import CacheHierarchy
 from repro.sim.config import SimConfig
@@ -120,6 +122,7 @@ class Machine:
         until ``max_cycles``; returns a :class:`RunResult`."""
         cpu = self.cpu
         actors = self.actors
+        wall_start = time.perf_counter()
         while not cpu.halted and self.cycle < max_cycles:
             cpu.step(self.cycle)
             if not self.actors_suspended:
@@ -128,6 +131,7 @@ class Machine:
                         actor.tick(self, self.cycle)
             self.cycle += 1
         self.sampler.flush(cpu.committed, self.cycle)
+        self._record_run_observations(time.perf_counter() - wall_start)
         return RunResult(
             program_name=self.program.name,
             cycles=self.cycle,
@@ -139,6 +143,30 @@ class Machine:
             regs=list(cpu.arch_regs),
             detections=list(self.detections),
         )
+
+    def _record_run_observations(self, elapsed):
+        """Aggregate this run into the global metrics/log.
+
+        The commit loop itself stays untouched — per-cycle timers would
+        distort the very IPC numbers this system measures — so the whole
+        run is accounted for in one batch of updates here.
+        """
+        reg = metrics()
+        reg.inc("sim.runs")
+        reg.inc("sim.cycles", self.cycle)
+        reg.inc("sim.committed", self.cpu.committed)
+        reg.inc("sim.detections", len(self.detections))
+        reg.observe("sim.run.seconds", elapsed)
+        obs_event("sim.run", level="debug",
+                  program=self.program.name,
+                  cycles=self.cycle,
+                  committed=self.cpu.committed,
+                  ipc=round(self.cpu.committed / self.cycle, 4)
+                  if self.cycle else 0.0,
+                  halt=self.cpu.halt_reason if self.cpu.halted
+                  else "max-cycles",
+                  windows=len(self.sampler.samples),
+                  elapsed_s=round(elapsed, 6))
 
     def set_defense(self, mode):
         """Switch the mitigation mode mid-run (the adaptive architecture)."""

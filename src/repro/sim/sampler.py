@@ -11,6 +11,8 @@ the data layer.  MARK micro-ops record attack-phase boundaries (the paper's
 from dataclasses import dataclass
 from typing import List
 
+from repro.obs import metrics
+
 
 @dataclass
 class Sample:
@@ -45,6 +47,12 @@ class Sampler:
         self._last_snapshot = counters.snapshot()
         self._next_boundary = period
         self._window_index = 0
+        # cached instrument handles: one attribute increment per emitted
+        # window (windows are >= ``period`` commits apart, so this is
+        # far off the per-cycle hot path)
+        reg = metrics()
+        self._obs_windows = reg.counter("sim.sampler.windows")
+        self._obs_partial = reg.counter("sim.sampler.partial_windows")
 
     def record_phase(self, phase, commit_index):
         self._current_phase = phase
@@ -66,6 +74,7 @@ class Sampler:
         self._last_snapshot = snap
         self._window_index += 1
         self._next_boundary = committed + self.period
+        self._obs_windows.inc()
 
     def flush(self, committed, cycle):
         """Emit a final partial window at end of run."""
@@ -82,3 +91,5 @@ class Sampler:
             ))
             self._last_snapshot = snap
             self._window_index += 1
+            self._obs_windows.inc()
+            self._obs_partial.inc()

@@ -1,0 +1,145 @@
+"""Every CLI command leaves a run manifest — on success and on failure —
+with per-stage wall-clock timings and a metric snapshot."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_events, read_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def cli_artifacts(tmp_path_factory):
+    """One collect + train, shared by the per-command manifest tests."""
+    root = tmp_path_factory.mktemp("cli-obs")
+    corpus = str(root / "corpus")
+    detector = str(root / "detector.json")
+    assert main(["collect", corpus, "--seeds", "1", "--scale", "2",
+                 "--period", "250", "--jobs", "2"]) == 0
+    assert main(["train", corpus, "--out", detector,
+                 "--iterations", "120"]) == 0
+    return root, corpus, detector
+
+
+def test_collect_manifest_success(cli_artifacts):
+    root, corpus, detector = cli_artifacts
+    manifest = read_manifest(corpus + ".collect-manifest.json")
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["status"] == {"ok": True, "exit_code": 0, "error": None}
+    stages = manifest["stages"]
+    assert stages["collect.build"]["seconds"] > 0
+    assert stages["collect.save"]["seconds"] > 0
+    counters = manifest["metrics"]["counters"]
+    assert counters["data.sources.completed"] > 0
+    assert counters["runner.tasks.finished"] == \
+        counters["data.sources.completed"]
+    assert manifest["failures"]["quarantined"] == 0
+    assert manifest["metrics"]["gauges"]["data.coverage"] == 1.0
+    # per-source wall time lands in the runner timer
+    timer = manifest["metrics"]["timers"]["runner.task.seconds"]
+    assert timer["count"] == counters["runner.tasks.finished"]
+    assert timer["total_s"] > 0
+    # the manifest fingerprints its effective configuration
+    assert len(manifest["config"]["fingerprint"]) == 64
+    assert manifest["config"]["options"]["seeds"] == 1
+    assert manifest["run"]["command"] == "collect"
+    assert manifest["run"]["duration_s"] > 0
+
+
+def test_train_manifest_success(cli_artifacts):
+    root, corpus, detector = cli_artifacts
+    manifest = read_manifest(detector + ".train-manifest.json")
+    assert manifest["status"]["ok"] is True
+    stages = manifest["stages"]
+    for stage in ("train.load", "train.vaccinate", "train.evaluate",
+                  "train.save"):
+        assert stages[stage]["count"] == 1
+    # the vaccination pipeline's own stage timers ride along
+    timers = manifest["metrics"]["timers"]
+    assert timers["vaccinate.gan.seconds"]["total_s"] > 0
+    assert timers["amgan.train.seconds"]["count"] == 1
+    counters = manifest["metrics"]["counters"]
+    assert counters["amgan.iterations"] == 120
+    assert counters["ml.train.batches"] > 120
+
+
+def test_report_manifest_success(cli_artifacts, tmp_path):
+    root, corpus, detector = cli_artifacts
+    out = str(tmp_path / "report.md")
+    assert main(["report", corpus, detector, "--out", out]) == 0
+    manifest = read_manifest(out + ".report-manifest.json")
+    assert manifest["status"]["ok"] is True
+    assert manifest["stages"]["report.load"]["seconds"] > 0
+    assert manifest["stages"]["report.render"]["seconds"] > 0
+
+
+def test_explain_manifest_success(cli_artifacts):
+    root, corpus, detector = cli_artifacts
+    assert main(["explain", detector, "--corpus", corpus]) == 0
+    manifest = read_manifest(detector + ".explain-manifest.json")
+    assert manifest["status"]["ok"] is True
+    assert manifest["stages"]["explain.load"]["count"] == 2
+    assert "explain.windows" in manifest["stages"]
+
+
+def test_manifest_written_on_failure(tmp_path, capsys):
+    missing = str(tmp_path / "no-such-corpus")
+    with pytest.raises(SystemExit):
+        main(["train", missing])
+    capsys.readouterr()
+    manifest = read_manifest(missing + ".train-manifest.json")
+    assert manifest["status"]["ok"] is False
+    assert manifest["status"]["exit_code"] == 2
+    assert manifest["status"]["error"]["type"] == "SystemExit"
+    # the load stage was entered before the failure and is accounted for
+    assert manifest["stages"]["train.load"]["count"] == 1
+
+
+def test_manifest_out_and_no_manifest_flags(tmp_path, capsys):
+    corpus = str(tmp_path / "c")
+    custom = str(tmp_path / "custom-manifest.json")
+    with pytest.raises(SystemExit):
+        main(["train", corpus, "--manifest-out", custom])
+    capsys.readouterr()
+    assert read_manifest(custom)["status"]["exit_code"] == 2
+    with pytest.raises(SystemExit):
+        main(["train", corpus + "2", "--no-manifest"])
+    capsys.readouterr()
+    assert not (tmp_path / "c2.train-manifest.json").exists()
+
+
+def test_commands_without_artifacts_write_no_manifest(tmp_path, capsys,
+                                                      monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["workloads", "--scale", "1"]) == 0
+    capsys.readouterr()
+    assert not list(tmp_path.glob("*manifest*"))
+
+
+def test_metrics_out_and_log_file(cli_artifacts, tmp_path, capsys):
+    root, corpus, detector = cli_artifacts
+    metrics_out = str(tmp_path / "metrics.json")
+    log_file = str(tmp_path / "events.jsonl")
+    assert main(["explain", detector,
+                 "--metrics-out", metrics_out,
+                 "--log-file", log_file, "--log-level", "debug"]) == 0
+    capsys.readouterr()
+    snapshot = json.load(open(metrics_out))
+    assert "stage.explain.weights" in snapshot["timers"]
+    events = read_events(log_file)
+    names = [e["event"] for e in events]
+    assert names[0] == "cli.start" and names[-1] == "cli.end"
+    run_ids = {e["run"] for e in events}
+    assert len(run_ids) == 1             # every event joined to one run
+
+
+def test_profile_flag_dumps_pstats(cli_artifacts, tmp_path, capsys):
+    import pstats
+    root, corpus, detector = cli_artifacts
+    out = str(tmp_path / "explain.pstats")
+    assert main(["explain", detector, "--profile", out]) == 0
+    capsys.readouterr()
+    stats = pstats.Stats(out)
+    assert stats.total_calls > 0

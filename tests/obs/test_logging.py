@@ -1,0 +1,84 @@
+"""Structured JSONL logging: round-trip, levels, context binding."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EventLog, read_events
+from repro.obs.log import get_log, obs_event
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog().configure(path=path, run="abc123", seed=7)
+    log.event("task.finished", key="003-atk-meltdown-s1",
+              attempts=1, elapsed_s=0.5)
+    log.event("cli.end", level="error", status="error", exit_code=2)
+    log.close()
+
+    events = read_events(path)
+    assert len(events) == 2
+    first, second = events
+    assert first["event"] == "task.finished"
+    assert first["level"] == "info"
+    assert first["run"] == "abc123" and first["seed"] == 7
+    assert first["key"] == "003-atk-meltdown-s1"
+    assert first["elapsed_s"] == 0.5
+    assert isinstance(first["ts"], float)
+    assert second["level"] == "error" and second["exit_code"] == 2
+
+
+def test_level_threshold_drops_lower_events(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog().configure(path=path, level="warn")
+    log.event("noise", level="debug")
+    log.event("info", level="info")
+    log.event("trouble", level="warn")
+    log.event("fire", level="error")
+    log.close()
+    assert [e["event"] for e in read_events(path)] == ["trouble", "fire"]
+
+
+def test_unconfigured_log_is_silent():
+    log = EventLog()
+    log.event("anything", level="error")     # must simply not raise
+    assert not log.active
+
+
+def test_bind_merges_context():
+    stream = io.StringIO()
+    log = EventLog().configure(stream=stream, run="r1")
+    log.bind(config="deadbeef")
+    log.event("x")
+    record = json.loads(stream.getvalue())
+    assert record["run"] == "r1" and record["config"] == "deadbeef"
+
+
+def test_unjsonable_fields_are_stringified():
+    stream = io.StringIO()
+    log = EventLog().configure(stream=stream)
+    log.event("x", payload=object())
+    assert "object object at" in json.loads(stream.getvalue())["payload"]
+
+
+def test_read_events_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"ts": 1.0, "level": "info", "event": "ok"}\n'
+                    '{"ts": 2.0, "level": "in')     # crash mid-write
+    events = read_events(str(path))
+    assert [e["event"] for e in events] == ["ok"]
+
+
+def test_bad_level_rejected():
+    with pytest.raises(ValueError):
+        EventLog().configure(level="loud")
+
+
+def test_global_log_configure_and_reset(tmp_path):
+    path = str(tmp_path / "g.jsonl")
+    get_log().configure(path=path, run="gl")
+    obs_event("hello", n=1)
+    get_log().close()
+    assert read_events(path)[0]["run"] == "gl"
+    obs_event("after-close")                 # silent again, no raise

@@ -1,0 +1,126 @@
+"""Metrics registry: instrument correctness, reset semantics, and
+snapshot determinism under a fixed seed."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, metrics
+
+
+def test_counter_increments_and_snapshot():
+    reg = MetricsRegistry()
+    c = reg.counter("x.count")
+    c.inc()
+    c.inc(4)
+    reg.inc("x.count", 2)
+    assert reg.snapshot()["counters"] == {"x.count": 7}
+
+
+def test_counter_identity_is_stable():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    reg.set_gauge("g.v", 1.5)
+    reg.set_gauge("g.v", 0.25)
+    assert reg.snapshot()["gauges"] == {"g.v": 0.25}
+
+
+def test_timer_summary_statistics():
+    reg = MetricsRegistry()
+    t = reg.timer("t.secs")
+    for s in (0.5, 1.5, 1.0):
+        t.observe(s)
+    summary = reg.snapshot()["timers"]["t.secs"]
+    assert summary["count"] == 3
+    assert summary["total_s"] == pytest.approx(3.0)
+    assert summary["min_s"] == pytest.approx(0.5)
+    assert summary["max_s"] == pytest.approx(1.5)
+    assert summary["mean_s"] == pytest.approx(1.0)
+
+
+def test_empty_timer_summary_has_no_infinities():
+    reg = MetricsRegistry()
+    reg.timer("t.never")
+    summary = reg.snapshot()["timers"]["t.never"]
+    assert summary == {"count": 0, "total_s": 0.0, "min_s": 0.0,
+                       "max_s": 0.0, "mean_s": 0.0}
+    json.dumps(reg.snapshot())         # must serialize cleanly
+
+
+def test_time_block_measures_wall_clock():
+    reg = MetricsRegistry()
+    with reg.time_block("t.block"):
+        time.sleep(0.01)
+    summary = reg.snapshot()["timers"]["t.block"]
+    assert summary["count"] == 1
+    assert summary["total_s"] >= 0.009
+
+
+def test_name_cannot_change_kind():
+    reg = MetricsRegistry()
+    reg.counter("one.name")
+    with pytest.raises(ValueError):
+        reg.timer("one.name")
+    with pytest.raises(ValueError):
+        reg.gauge("one.name")
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("n.c")
+    c.inc(10)
+    reg.set_gauge("n.g", 3.0)
+    with reg.time_block("n.t"):
+        pass
+    snap = reg.snapshot()
+    assert snap["counters"] == {"n.c": 0}
+    assert snap["gauges"] == {"n.g": 0.0}
+    assert "n.t" not in snap["timers"]     # time_block short-circuits
+
+
+def test_reset_zeroes_in_place_keeping_cached_handles():
+    reg = MetricsRegistry()
+    c = reg.counter("r.c")
+    t = reg.timer("r.t")
+    c.inc(5)
+    t.observe(1.0)
+    reg.reset()
+    assert reg.counter("r.c") is c and c.value == 0
+    assert reg.timer("r.t") is t and t.count == 0
+    c.inc()                                # the old handle still records
+    assert reg.snapshot()["counters"]["r.c"] == 1
+
+
+def test_snapshot_key_order_is_sorted():
+    reg = MetricsRegistry()
+    for name in ("z.last", "a.first", "m.mid"):
+        reg.counter(name).inc()
+    assert list(reg.snapshot()["counters"]) == ["a.first", "m.mid", "z.last"]
+
+
+def test_snapshot_deterministic_under_fixed_seed():
+    """Two identical sequential corpus builds must produce identical
+    counter and gauge snapshots (wall-clock noise lives only in timers)."""
+    from repro.attacks import Meltdown
+    from repro.data import build_dataset
+    from repro.workloads import all_workloads
+
+    def one_build():
+        reg = metrics()
+        reg.reset()
+        build_dataset([Meltdown(seed=1)], all_workloads(scale=1, seeds=(0,))[:2],
+                      sample_period=250)
+        snap = reg.snapshot()
+        return snap["counters"], snap["gauges"]
+
+    counters_a, gauges_a = one_build()
+    counters_b, gauges_b = one_build()
+    assert counters_a == counters_b
+    assert gauges_a == gauges_b
+    assert counters_a["sim.runs"] == 3
+    assert counters_a["sim.sampler.windows"] > 0
