@@ -16,4 +16,8 @@ export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-180}"
 
 python scripts/check_docs.py
 
+# fast resume smoke: the guarded/checkpointed training path end to end
+# (toy GAN, a couple of seconds) — kill, resume, assert bit-exactness
+python scripts/resume_smoke.py
+
 exec python -m pytest -x -q -m "not slow" "$@"

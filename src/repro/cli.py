@@ -41,10 +41,17 @@ def _load_corpus_or_die(path):
 
 
 def _load_detector_or_die(path):
-    """Load a saved detector, or exit 2 with a one-line message."""
-    from repro.core.patching import load_detector
+    """Load a saved detector, or exit 2 with a one-line message.
+
+    ``load_detector`` verifies the artifact end to end (checksum,
+    schema fingerprint, dimensions, finiteness) and raises a typed
+    :class:`ModelError`; here every failure becomes one stderr line.
+    """
+    from repro.core.patching import ModelError, load_detector
     try:
         return load_detector(path)
+    except ModelError as exc:
+        _die2(f"error: cannot load detector {path}: {exc}")
     except FileNotFoundError:
         _die2(f"error: cannot load detector {path}: file not found")
     except (ValueError, KeyError, OSError) as exc:
@@ -138,12 +145,39 @@ def _cmd_collect(args):
 def _cmd_train(args):
     from repro.core import vaccinate
     from repro.core.patching import save_detector
+    from repro.ml.resilience import (
+        TrainingCheckpointer, TrainingDivergedError, TrainingGuard,
+    )
+    from repro.runtime import CheckpointError
 
     with time_block("stage.train.load"):
         dataset = _load_corpus_or_die(args.corpus)
+    guard = TrainingGuard(policy=args.guard_policy)
+    ckpt_dir = args.checkpoint_dir or \
+        ((args.out or args.corpus) + ".train-ckpt")
+    checkpointer = None
+    if args.checkpoint_every > 0:
+        # context pins what determines the training trajectory (corpus,
+        # seed) — not the iteration target, so a finished run can be
+        # legally resumed with a higher --iterations to train further
+        try:
+            checkpointer = TrainingCheckpointer(
+                ckpt_dir,
+                context={"corpus": args.corpus, "seed": args.seed},
+                interval=args.checkpoint_every, resume=args.resume)
+        except CheckpointError as exc:
+            _die2(f"error: cannot use training checkpoints in "
+                  f"{ckpt_dir}: {exc}")
     with time_block("stage.train.vaccinate"):
-        result = vaccinate(dataset, gan_iterations=args.iterations,
-                           seed=args.seed)
+        try:
+            result = vaccinate(dataset, gan_iterations=args.iterations,
+                               seed=args.seed, guard=guard,
+                               checkpointer=checkpointer)
+        except TrainingDivergedError as exc:
+            _die2(f"error: training diverged and could not recover: {exc}")
+        except CheckpointError as exc:
+            _die2(f"error: cannot use training checkpoints in "
+                  f"{ckpt_dir}: {exc}")
     with time_block("stage.train.evaluate"):
         scores = result.detector.evaluate(dataset.raw_matrix(result.schema),
                                           dataset.labels())
@@ -166,25 +200,34 @@ def _cmd_adaptive(args):
     from repro.sim.config import DefenseMode
     from repro.workloads import all_workloads
 
-    print("training...")
-    with time_block("stage.adaptive.train"):
-        attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
-        dataset = build_dataset(attacks, all_workloads(scale=4, seeds=(0, 1)),
-                                sample_period=100)
-        evax = vaccinate(dataset, gan_iterations=args.iterations,
-                         seed=args.seed)
-    arch = AdaptiveArchitecture(evax.detector,
+    if args.detector:
+        with time_block("stage.adaptive.load"):
+            detector = _load_detector_or_die(args.detector)
+    else:
+        print("training...")
+        with time_block("stage.adaptive.train"):
+            attacks = [cls(seed=s) for cls in ALL_ATTACKS for s in (1, 2)]
+            dataset = build_dataset(attacks,
+                                    all_workloads(scale=4, seeds=(0, 1)),
+                                    sample_period=100)
+            evax = vaccinate(dataset, gan_iterations=args.iterations,
+                             seed=args.seed)
+        detector = evax.detector
+    arch = AdaptiveArchitecture(detector,
                                 secure_mode=DefenseMode(args.defense),
                                 secure_window=args.window,
-                                sample_period=100)
+                                sample_period=100,
+                                fail_secure=not args.no_fail_secure)
     names = args.attacks or ["spectre-pht", "meltdown", "lvi"]
     with time_block("stage.adaptive.run"):
         for name in names:
             attack = ATTACKS_BY_NAME[name](
                 secret_bits=default_secret_bits(9, n=10), seed=9)
             run, leaked = arch.run_attack(attack)
+            latch = " LATCHED" if run.latched else ""
             print(f"{name:18s} flags={run.flags:3d} "
-                  f"secure={run.secure_fraction:4.0%} leaked={leaked}")
+                  f"secure={run.secure_fraction:4.0%} "
+                  f"leaked={leaked}{latch}")
     return 0
 
 
@@ -319,6 +362,19 @@ def build_parser():
     p.add_argument("--out", default=None)
     p.add_argument("--iterations", type=int, default=1200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--resume", action="store_true",
+                   help="resume GAN training from the latest checkpoint "
+                        "(bit-exact vs an uninterrupted run)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="training checkpoint directory "
+                        "(default: <out|corpus>.train-ckpt)")
+    p.add_argument("--checkpoint-every", type=int, default=200,
+                   help="GAN iterations between checkpoints "
+                        "(0 disables checkpointing; default 200)")
+    p.add_argument("--guard-policy", default="rollback",
+                   choices=["rollback", "clip", "raise"],
+                   help="TrainingGuard reaction to NaN/spike/divergence "
+                        "(default rollback)")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("adaptive", help="adaptive architecture demo",
@@ -328,6 +384,12 @@ def build_parser():
     p.add_argument("--window", type=int, default=10_000)
     p.add_argument("--iterations", type=int, default=1200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detector", default=None, metavar="JSON",
+                   help="use a saved detector artifact instead of "
+                        "training one in-process")
+    p.add_argument("--no-fail-secure", action="store_true",
+                   help="propagate detector faults instead of latching "
+                        "always-secure mode (debugging only)")
     p.set_defaults(func=_cmd_adaptive)
 
     p = sub.add_parser("explain", help="interpret a trained detector",

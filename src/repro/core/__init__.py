@@ -32,8 +32,9 @@ from repro.core.interpret import (
     attack_signature, explain_window, gram_heatmap, weight_report,
 )
 from repro.core.patching import (
-    DetectorPatch, detector_from_dict, detector_to_dict, load_detector,
-    save_detector,
+    MODEL_FORMAT, DetectorPatch, ModelChecksumError, ModelCorruptError,
+    ModelError, ModelMissingError, ModelSchemaError, detector_from_dict,
+    detector_to_dict, load_detector, save_detector, schema_fingerprint,
 )
 from repro.core.classifier import (
     AttackClassifier, CATEGORY_FAMILIES, FAMILIES, FAMILY_RESPONSES,
@@ -53,7 +54,9 @@ __all__ = [
     "adversarial_augmentation", "dilute_toward_benign", "essential_columns",
     "attack_signature", "explain_window", "gram_heatmap", "weight_report",
     "DetectorPatch", "detector_to_dict", "detector_from_dict",
-    "save_detector", "load_detector",
+    "save_detector", "load_detector", "schema_fingerprint",
+    "MODEL_FORMAT", "ModelError", "ModelMissingError", "ModelCorruptError",
+    "ModelChecksumError", "ModelSchemaError",
     "AttackClassifier", "CATEGORY_FAMILIES", "FAMILIES", "FAMILY_RESPONSES",
     "TargetedAdaptiveArchitecture", "TargetedController",
 ]

@@ -23,6 +23,8 @@ class AdaptiveRun:
     flags: int                   # detector positives
     secure_fraction: float       # fraction of windows in secure mode
     machine: object = None
+    latched: bool = False        # watchdog forced always-secure mode
+    latch_reason: str = None     # why (None unless latched)
 
     @property
     def cycles(self):
@@ -37,18 +39,21 @@ class AdaptiveArchitecture:
     """Detector + secure-mode policy, runnable over attacks or workloads."""
 
     def __init__(self, detector, secure_mode=DefenseMode.FENCE_SPECTRE,
-                 secure_window=10_000, sample_period=1000):
+                 secure_window=10_000, sample_period=1000,
+                 fail_secure=True):
         self.detector = detector
         self.secure_mode = secure_mode
         self.secure_window = secure_window
         self.sample_period = sample_period
+        self.fail_secure = fail_secure
 
     def run_source(self, source, config=None, max_cycles=None):
         """Run an Attack or Workload under adaptive protection."""
         program, actors = source.build()
         controller = SecureModeController(self.detector.detector_fn(),
                                           self.secure_mode,
-                                          self.secure_window)
+                                          self.secure_window,
+                                          fail_secure=self.fail_secure)
         machine = Machine(
             program,
             copy.deepcopy(config) if config is not None else SimConfig(),
@@ -62,7 +67,8 @@ class AdaptiveArchitecture:
         result = machine.run(max_cycles=max_cycles)
         return AdaptiveRun(result=result, flags=controller.flags,
                            secure_fraction=controller.secure_fraction,
-                           machine=machine)
+                           machine=machine, latched=controller.latched,
+                           latch_reason=controller.latch_reason)
 
     def overhead_on(self, workloads, baseline_cycles=None):
         """Adaptive overhead per benign workload vs the undefended run."""

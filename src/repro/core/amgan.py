@@ -81,13 +81,30 @@ class AMGAN:
     # -- training ----------------------------------------------------------------------
 
     def train(self, X, categories, targets, iterations=400, batch_size=32,
-              style_reference=None, style_every=25):
+              style_reference=None, style_every=25, guard=None,
+              checkpointer=None, checkpoint_stage="gan", chaos=None,
+              start_iteration=0):
         """Adversarial training on normalized windows ``X``.
 
         ``style_reference`` may map a category name to its real windows;
         when given, the mean per-category style loss of freshly generated
         batches is recorded in :attr:`style_history` every ``style_every``
         iterations (Figure 7's quality curve).
+
+        Resilience hooks (all optional, no-ops when absent):
+
+        * ``guard`` — a :class:`repro.ml.resilience.TrainingGuard`
+          inspecting every iteration; on an anomaly it may rewind the
+          loop to its last in-memory snapshot.
+        * ``checkpointer`` — a
+          :class:`repro.ml.resilience.TrainingCheckpointer`; every
+          ``checkpointer.interval`` completed iterations (and once at
+          the end) the generator/discriminator parameters, optimizer
+          moments, RNG state and style history are persisted atomically
+          under ``checkpoint_stage``, so a killed run resumes bit-exact
+          via ``start_iteration``.
+        * ``chaos`` — a :class:`repro.runtime.chaos.TrainingChaos`
+          fault injector (tests only).
         """
         X = np.asarray(X, dtype=float)
         categories = np.asarray(categories)
@@ -110,8 +127,18 @@ class AMGAN:
         loss_real = reg.gauge("amgan.loss.disc_real")
         loss_mismatch = reg.gauge("amgan.loss.disc_mismatch")
         loss_fake = reg.gauge("amgan.loss.disc_fake")
+        networks = {"generator": self.generator,
+                    "discriminator": self.discriminator}
+        if guard is not None:
+            guard.watch(stage="gan", **networks)
+            guard.attach_rng(self.rng)
         with time_block("amgan.train.seconds"):
-            for iteration in range(iterations):
+            iteration = start_iteration
+            while iteration < iterations:
+                if chaos is not None:
+                    chaos.maybe_kill(iteration)
+                if guard is not None:
+                    guard.snapshot_if_due(iteration)
                 idx = self.rng.integers(0, n, size=batch_size)
                 real_x = X[idx]
                 real_c = self._conditions(categories[idx], targets[idx])
@@ -142,6 +169,15 @@ class AMGAN:
                     self._feature_match_step(key[0], key[1],
                                              class_means[key],
                                              class_second_moments[key])
+                if chaos is not None:
+                    chaos.corrupt(iteration, networks)
+                if guard is not None:
+                    rewind = guard.inspect(
+                        iteration, loss=loss_real.value
+                        + loss_mismatch.value + loss_fake.value)
+                    if rewind is not None:
+                        iteration = rewind
+                        continue
                 reg.inc("amgan.iterations")
                 if style_reference and iteration % style_every == 0:
                     probe = self._mean_style_loss(style_reference)
@@ -151,7 +187,38 @@ class AMGAN:
                               style_loss=round(probe, 6),
                               disc_real=round(loss_real.value, 6),
                               disc_fake=round(loss_fake.value, 6))
+                iteration += 1
+                if checkpointer is not None and \
+                        (checkpointer.due(iteration)
+                         or iteration == iterations):
+                    self._save_checkpoint(checkpointer, checkpoint_stage,
+                                          iteration)
         return self
+
+    def _save_checkpoint(self, checkpointer, stage, iteration):
+        from repro.obs.context import current_run_id
+        checkpointer.save(
+            stage, iteration,
+            networks={"generator": self.generator,
+                      "discriminator": self.discriminator},
+            rngs={"gan": self.rng},
+            extra={"style_history": [list(e) for e in self.style_history],
+                   "run": current_run_id()})
+
+    def restore_checkpoint(self, checkpointer, stage="gan"):
+        """Restore generator/discriminator/RNG/style history from a
+        durable checkpoint; returns the completed-iteration count (0
+        when there is nothing to resume)."""
+        payload = checkpointer.restore(
+            stage,
+            networks={"generator": self.generator,
+                      "discriminator": self.discriminator},
+            rngs={"gan": self.rng})
+        if payload is None:
+            return 0, None
+        self.style_history = [tuple(e) for e in
+                              payload["extra"].get("style_history", [])]
+        return payload["iteration"], payload
 
     def _generate_batch(self, categories, targets):
         cond = self._conditions(categories, targets)

@@ -7,17 +7,51 @@ additions to the monitored feature set as new attacks emerge.
 
 * :func:`detector_to_dict` / :func:`detector_from_dict` — full round-trip
   serialization of a trained detector (schema, normalizer, weights);
+* :func:`save_detector` / :func:`load_detector` — the durable artifact:
+  written atomically (temp + ``os.replace``), SHA-256-checksummed and
+  schema-versioned, so a kill mid-write or a bit-rotted file can never
+  produce a loadable-but-wrong model — loading either verifies
+  everything (checksum, feature-schema fingerprint, layer dimensions,
+  weight finiteness) or raises a typed :class:`ModelError`;
 * :class:`DetectorPatch` — the diff between a deployed detector and a
   retrained one: new engineered features, weight updates, a version tag —
   applied in place to a deployed detector.
 """
 
+import hashlib
 import json
 
 import numpy as np
 
 from repro.core.perceptron import HardwareDetector
 from repro.data.features import FeatureSchema, MaxNormalizer
+
+#: artifact format tag; bump on incompatible layout changes.  Version 1
+#: (the bare ``detector_to_dict`` payload with no envelope) still loads.
+MODEL_FORMAT = "repro.detector/2"
+
+
+class ModelError(ValueError):
+    """Base class for model-artifact failures (a ``ValueError`` so
+    legacy callers that caught that still work)."""
+
+
+class ModelMissingError(ModelError):
+    """The model file does not exist."""
+
+
+class ModelCorruptError(ModelError):
+    """The model file exists but cannot be parsed."""
+
+
+class ModelChecksumError(ModelError):
+    """The payload does not match its embedded SHA-256 (torn write,
+    bit rot, tampering)."""
+
+
+class ModelSchemaError(ModelError):
+    """The artifact parses but is internally inconsistent (dimension
+    mismatch, non-finite weights, fingerprint drift, bad format tag)."""
 
 
 def detector_to_dict(detector):
@@ -65,16 +99,132 @@ def detector_from_dict(data):
     return detector
 
 
+def _canonical_json(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def schema_fingerprint(schema):
+    """Deterministic SHA-256 over a feature schema (base + engineered
+    names).  Stored in the artifact and in corpus-side tooling so a
+    detector/corpus feature-space mismatch is one string comparison."""
+    blob = _canonical_json({
+        "base": list(schema.base_features),
+        "engineered": [[name, list(counters)]
+                       for name, counters in schema.engineered],
+    })
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _validate_payload(payload, origin):
+    """Structural validation of a ``detector_to_dict`` payload: layer
+    dimensions must chain from the schema width down to one output, and
+    every number must be finite — a model that passes cannot silently
+    misclassify because of a torn or hand-edited file."""
+    try:
+        schema_dims = (len(payload["schema"]["base"])
+                       + len(payload["schema"]["engineered"]))
+        layers = payload["layers"]
+        threshold = payload["threshold"]
+        normalizer = payload["normalizer_max"]
+    except (KeyError, TypeError) as exc:
+        raise ModelSchemaError(
+            f"model artifact {origin} missing field: {exc}") from exc
+    if not layers:
+        raise ModelSchemaError(f"model artifact {origin} has no layers")
+    expected_in = schema_dims
+    for i, layer in enumerate(layers):
+        weights = np.asarray(layer.get("weights", []), dtype=float)
+        bias = np.asarray(layer.get("bias", []), dtype=float)
+        if weights.ndim != 2 or weights.shape[0] != expected_in or \
+                weights.shape[1] != bias.shape[0]:
+            raise ModelSchemaError(
+                f"model artifact {origin}: layer {i} dimensions "
+                f"{weights.shape} do not chain from input width "
+                f"{expected_in}")
+        if not np.isfinite(weights).all() or not np.isfinite(bias).all():
+            raise ModelSchemaError(
+                f"model artifact {origin}: non-finite weights in layer {i}")
+        expected_in = weights.shape[1]
+    if expected_in != 1:
+        raise ModelSchemaError(
+            f"model artifact {origin}: final layer width {expected_in}, "
+            f"expected 1")
+    if not isinstance(threshold, (int, float)) \
+            or not np.isfinite(threshold) or not 0.0 <= threshold <= 1.0:
+        raise ModelSchemaError(
+            f"model artifact {origin}: threshold {threshold!r} outside "
+            f"[0, 1]")
+    if normalizer is not None:
+        norm = np.asarray(normalizer, dtype=float)
+        if norm.shape != (schema_dims,) or not np.isfinite(norm).all():
+            raise ModelSchemaError(
+                f"model artifact {origin}: normalizer length "
+                f"{norm.shape} does not match feature width {schema_dims}")
+
+
 def save_detector(detector, path):
-    """Write a detector's full deployable state to a JSON file."""
-    with open(path, "w") as f:
-        json.dump(detector_to_dict(detector), f)
+    """Atomically write a detector's full deployable state.
+
+    The artifact is a versioned envelope around ``detector_to_dict``:
+    the payload's canonical-JSON SHA-256 plus the feature-schema
+    fingerprint, written via temp-file + ``os.replace`` — a kill at any
+    instant leaves the previous artifact or none, never a torn one.
+    """
+    from repro.runtime.atomic import atomic_write_bytes
+    payload = detector_to_dict(detector)
+    envelope = {
+        "format": MODEL_FORMAT,
+        "sha256": hashlib.sha256(
+            _canonical_json(payload).encode()).hexdigest(),
+        "schema_fingerprint": schema_fingerprint(detector.schema),
+        "feature_count": detector.schema.dim,
+        "detector": payload,
+    }
+    atomic_write_bytes(path, json.dumps(envelope, indent=1).encode())
 
 
 def load_detector(path):
-    """Load a detector written by :func:`save_detector`."""
-    with open(path) as f:
-        return detector_from_dict(json.load(f))
+    """Load and fully verify a detector written by :func:`save_detector`.
+
+    Raises a typed :class:`ModelError` subclass on a missing file,
+    unparseable JSON, checksum mismatch, fingerprint drift or structural
+    inconsistency.  Legacy (version-1, envelope-less) artifacts still
+    load, with structural validation only.
+    """
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except FileNotFoundError:
+        raise ModelMissingError(f"model file not found: {path}") from None
+    try:
+        data = json.loads(raw.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ModelCorruptError(
+            f"unparseable model file {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ModelCorruptError(f"model file {path} is not a JSON object")
+    if "format" not in data:
+        # legacy pre-envelope artifact: the bare payload
+        _validate_payload(data, path)
+        return detector_from_dict(data)
+    if data["format"] != MODEL_FORMAT:
+        raise ModelSchemaError(
+            f"unsupported model format {data['format']!r} in {path}")
+    payload = data.get("detector")
+    if not isinstance(payload, dict):
+        raise ModelSchemaError(f"model file {path} has no detector payload")
+    digest = hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+    if digest != data.get("sha256"):
+        raise ModelChecksumError(
+            f"checksum mismatch for {path}: payload does not match its "
+            f"embedded digest (torn write, bit rot or tampering)")
+    _validate_payload(payload, path)
+    detector = detector_from_dict(payload)
+    if schema_fingerprint(detector.schema) != data.get("schema_fingerprint"):
+        raise ModelSchemaError(
+            f"feature-schema fingerprint mismatch in {path}: the stored "
+            f"schema does not match the one the artifact declares")
+    return detector
 
 
 def classifier_to_dict(classifier):

@@ -92,9 +92,20 @@ class HardwareDetector:
         return (self.scores_raw(X_raw) >= self.threshold).astype(int)
 
     def classify_window(self, deltas):
-        """Classify one counter-delta window (the hardware fast path)."""
+        """Classify one counter-delta window (the hardware fast path).
+
+        A non-finite score is raised, never compared: ``NaN >= t`` is
+        ``False``, so a silently degraded model would otherwise pass
+        every attack.  The secure-mode controller's watchdog turns the
+        raise into a fail-secure latch.
+        """
         raw = self.schema.raw_vector(deltas)
-        return bool(self.scores_raw(raw[None, :])[0] >= self.threshold)
+        score = self.scores_raw(raw[None, :])[0]
+        if not np.isfinite(score):
+            raise ValueError(
+                f"detector {self.name!r} produced non-finite score "
+                f"{score!r}")
+        return bool(score >= self.threshold)
 
     def as_hook(self):
         """A ``detector_hook`` for :class:`repro.sim.Machine`."""

@@ -94,20 +94,36 @@ def build_augmented_training_set(gan, dataset, schema, samples_per_class=40):
     return X_aug, y_aug, norm_full, generated_counts
 
 
-def fit_on_normalized(detector, X, y, epochs=40, seed=0):
+def fit_on_normalized(detector, X, y, epochs=40, seed=0, guard=None):
     """Train a detector directly on already-normalized features (its
     normalizer must be set separately for deployment)."""
-    return _fit_normalized(detector, X, y, epochs, seed)
+    return _fit_normalized(detector, X, y, epochs, seed, guard=guard)
 
 
 def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
               gan_hidden=(96, 96, 96), engineer_features=True, top_hpcs=12,
               detector_hidden=(), epochs=40, seed=0, threshold=0.5,
-              style_tracking=True, adversarial_hardening=True):
+              style_tracking=True, adversarial_hardening=True,
+              guard=None, checkpointer=None, chaos=None):
     """Run the full EVAX pipeline on a labelled dataset.
 
     Returns a :class:`VaccinationResult` whose ``detector`` classifies raw
     counter-delta windows through the widened 145-feature schema.
+
+    Resilience hooks (see ``docs/training_resilience.md``):
+
+    * ``guard`` — a :class:`repro.ml.resilience.TrainingGuard` watching
+      both the AM-GAN loop and the detector fit for NaN parameters,
+      gradient spikes and loss divergence;
+    * ``checkpointer`` — a
+      :class:`repro.ml.resilience.TrainingCheckpointer`; the GAN stage
+      (the long one) is periodically persisted and, when the
+      checkpointer was opened with ``resume=True``, training continues
+      from the stored iteration — bit-exact versus an uninterrupted
+      run, because parameters, optimizer moments *and* RNG states are
+      restored;
+    * ``chaos`` — a :class:`repro.runtime.chaos.TrainingChaos` fault
+      injector (tests only).
     """
     base_schema = FeatureSchema(engineered=(), base=BASE_FEATURES)
     raw_base = dataset.raw_matrix(base_schema)
@@ -121,6 +137,16 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
     obs_event("vaccinate.stage", stage="gan", windows=len(Xb))
     gan = AMGAN(base_schema.dim, categories, generator_hidden=gan_hidden,
                 seed=seed)
+    start_iteration = 0
+    if checkpointer is not None:
+        start_iteration, payload = gan.restore_checkpoint(checkpointer, "gan")
+        if payload is not None:
+            from repro.obs.context import record_lineage
+            record_lineage(parent_run=payload["extra"].get("run"),
+                           checkpoint_iteration=start_iteration)
+            obs_event("vaccinate.resumed", stage="gan",
+                      iteration=start_iteration,
+                      parent_run=payload["extra"].get("run"))
     style_ref = None
     if style_tracking:
         style_ref = {}
@@ -130,7 +156,9 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
                 style_ref[cat] = Xb[mask][:64]
     with time_block("vaccinate.gan.seconds"):
         gan.train(Xb, cats, y, iterations=gan_iterations,
-                  style_reference=style_ref)
+                  style_reference=style_ref, guard=guard,
+                  checkpointer=checkpointer, chaos=chaos,
+                  start_iteration=start_iteration)
 
     # --- 2. engineer security HPCs from the generator ------------------------
     obs_event("vaccinate.stage", stage="engineer")
@@ -166,7 +194,7 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
                                 seed=seed, threshold=threshold, name="evax")
     detector.normalizer = norm_full
     with time_block("vaccinate.fit.seconds"):
-        _fit_normalized(detector, X_aug, y_aug, epochs, seed)
+        _fit_normalized(detector, X_aug, y_aug, epochs, seed, guard=guard)
     # --- 5. tune the operating point on the real benign windows ----------------
     obs_event("vaccinate.stage", stage="calibrate")
     with time_block("vaccinate.calibrate.seconds"):
@@ -184,14 +212,32 @@ def vaccinate(dataset, samples_per_class=40, gan_iterations=400,
     )
 
 
-def _fit_normalized(detector, X, y, epochs, seed):
+def _fit_normalized(detector, X, y, epochs, seed, guard=None):
     """Train a detector directly on already-normalized features (its
-    normalizer must be fitted separately for deployment)."""
+    normalizer must be fitted separately for deployment).
+
+    When a :class:`~repro.ml.resilience.TrainingGuard` is given, every
+    batch loss is inspected; an anomalous epoch is rewound to its start
+    (parameters, optimizer moments and RNG restored) and retried.
+    """
     rng = np.random.default_rng(seed)
     y = np.asarray(y, dtype=float)
-    for _ in range(epochs):
+    if guard is not None:
+        guard.watch(stage="fit", detector=detector.net)
+        guard.attach_rng(rng)
+    epoch = 0
+    while epoch < epochs:
+        if guard is not None:
+            guard.take_snapshot(epoch)
         order = rng.permutation(len(y))
+        rewound = False
         for i in range(0, len(y), 32):
             batch = order[i:i + 32]
-            detector.net.train_batch(X[batch], y[batch])
+            loss = detector.net.train_batch(X[batch], y[batch])
+            if guard is not None and \
+                    guard.inspect(epoch, loss=loss) is not None:
+                rewound = True        # epoch replays from restored state
+                break
+        if not rewound:
+            epoch += 1
     return detector

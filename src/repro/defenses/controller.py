@@ -6,7 +6,20 @@ the detector classifies every HPC sampling window; on a positive flag the
 core switches to the configured mitigation for ``secure_window`` committed
 instructions, re-armed by further flags, then drops back to full
 performance.
+
+The controller is also the system's last line of defense against a
+*degraded detector* — an HMD whose inference path fails silently is worse
+than no detector at all (an attacker who can crash or NaN the model would
+otherwise disable the defense).  A built-in health watchdog therefore
+validates every window end to end: feature vectors must be finite and
+dimension-stable, the detector must not raise, and its scores must be
+finite.  Any violation **latches the core into always-secure mode**
+(policy-configurable via ``fail_secure``), records the event, and keeps
+the mitigation on for the remainder of the run — the defense fails
+*secure*, never silent.
 """
+
+import math
 
 from repro.obs import metrics, obs_event
 from repro.sim.config import DefenseMode
@@ -25,22 +38,77 @@ class SecureModeController:
     secure_window:
         Committed instructions to stay in secure mode after the last flag
         (paper evaluates 10k / 100k / 1M).
+    fail_secure:
+        When ``True`` (default), a detector fault — an exception, a
+        non-finite score, or a malformed feature vector — latches the
+        controller into always-secure mode for the rest of the run.
+        When ``False`` the fault propagates to the caller instead;
+        there is no mode in which faults are silently ignored.
     """
 
-    def __init__(self, detector_fn, secure_mode, secure_window=10_000):
+    def __init__(self, detector_fn, secure_mode, secure_window=10_000,
+                 fail_secure=True):
         self.detector_fn = detector_fn
         self.secure_mode = secure_mode
         self.secure_window = secure_window
+        self.fail_secure = fail_secure
         self.active = False
         self.secure_until = 0
         self.flags = 0
         self.windows_secure = 0
         self.windows_total = 0
+        self.latched = False
+        self.latch_reason = None
+        self.detector_errors = 0
+        self._expected_dim = None
+
+    # -- health watchdog ----------------------------------------------------
+
+    def _validate_sample(self, sample):
+        """Feature-vector sanity: finite deltas, stable width."""
+        deltas = getattr(sample, "deltas", None)
+        if not deltas:
+            return
+        for value in deltas:
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ValueError(
+                    f"non-finite counter delta {value!r} in sampling window")
+        if self._expected_dim is None:
+            self._expected_dim = len(deltas)
+        elif len(deltas) != self._expected_dim:
+            raise ValueError(
+                f"feature vector width changed mid-run "
+                f"({len(deltas)} vs {self._expected_dim})")
+
+    def _latch(self, machine, reason, detail):
+        """Detector health violation: fail secure, permanently."""
+        reg = metrics()
+        self.detector_errors += 1
+        reg.inc("adaptive.detector.errors")
+        if not self.fail_secure:
+            raise RuntimeError(
+                f"detector health violation ({reason}): {detail}")
+        if not self.latched:
+            self.latched = True
+            self.latch_reason = f"{reason}: {detail}"
+            reg.inc("adaptive.fail_secure.latches")
+            obs_event("adaptive.fail_secure", level="error",
+                      reason=reason, detail=str(detail))
+        self.active = True
+        self.secure_until = float("inf")
+        machine.set_defense(self.secure_mode)
 
     def __call__(self, machine, sample):
         reg = metrics()
         self.windows_total += 1
         reg.inc("adaptive.windows.total")
+        if self.latched:
+            # fail-secure latch: every remaining window runs mitigated;
+            # the wedged detector is not consulted again
+            self.windows_secure += 1
+            reg.inc("adaptive.windows.secure")
+            return False
+        counted_secure = self.active
         if self.active:
             self.windows_secure += 1
             reg.inc("adaptive.windows.secure")
@@ -50,7 +118,18 @@ class SecureModeController:
                 reg.inc("adaptive.secure.exits")
                 obs_event("adaptive.secure_exit", level="debug",
                           commit_index=sample.commit_index)
-        flagged = bool(self.detector_fn(sample))
+        try:
+            self._validate_sample(sample)
+            verdict = self.detector_fn(sample)
+            if isinstance(verdict, float) and not math.isfinite(verdict):
+                raise ValueError(f"non-finite detector score {verdict!r}")
+            flagged = bool(verdict)
+        except Exception as exc:                       # noqa: BLE001
+            self._latch(machine, type(exc).__name__, exc)
+            if not counted_secure:   # the faulted window itself runs secure
+                self.windows_secure += 1
+                reg.inc("adaptive.windows.secure")
+            return False
         if flagged:
             self.flags += 1
             reg.inc("adaptive.flags")

@@ -26,6 +26,12 @@ from repro.ml.metrics import (
     false_positive_rate,
 )
 from repro.ml.crossval import kfold_indices, leave_one_group_out
+from repro.ml.resilience import (
+    GRAD_SPIKE, LOSS_DIVERGENCE, NAN, POLICIES, TRAINING_FAILURE_KINDS,
+    TrainingCheckpointer, TrainingDivergedError, TrainingGuard,
+    mlp_state, optimizer_state, rng_state, set_mlp_state,
+    set_optimizer_state, set_rng_state,
+)
 
 __all__ = [
     "he_init",
@@ -50,4 +56,9 @@ __all__ = [
     "false_positive_rate",
     "kfold_indices",
     "leave_one_group_out",
+    "GRAD_SPIKE", "LOSS_DIVERGENCE", "NAN", "POLICIES",
+    "TRAINING_FAILURE_KINDS", "TrainingCheckpointer",
+    "TrainingDivergedError", "TrainingGuard",
+    "mlp_state", "optimizer_state", "rng_state", "set_mlp_state",
+    "set_optimizer_state", "set_rng_state",
 ]

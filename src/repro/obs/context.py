@@ -35,6 +35,28 @@ def _command_options(args):
             if k not in _NON_CONFIG_OPTIONS}
 
 
+#: the RunContext currently wrapping the process's CLI command, if any
+_ACTIVE = None
+
+
+def current_run_id():
+    """Run id of the active CLI command (``None`` outside the CLI).
+    Training checkpoints embed it so a resumed run can name its parent."""
+    return _ACTIVE.run_id if _ACTIVE is not None else None
+
+
+def record_lineage(parent_run=None, checkpoint_iteration=None):
+    """Mark the active run as resumed from a training checkpoint.
+
+    Called by the vaccination pipeline when it restores GAN state; the
+    manifest's ``lineage`` section then distinguishes a resumed ``train``
+    from a fresh one (parent run id + the iteration resumed from).
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.lineage = {"parent_run": parent_run,
+                           "resumed_from_iteration": checkpoint_iteration}
+
+
 class RunContext:
     """Observability wrapper for one CLI command invocation."""
 
@@ -47,11 +69,14 @@ class RunContext:
         self.error = None
         self.started = None
         self.manifest_path = None
+        self.lineage = None
         self._profiler = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def __enter__(self):
+        global _ACTIVE
+        _ACTIVE = self
         self.started = time.time()
         metrics().reset()
         log = get_log()
@@ -69,6 +94,9 @@ class RunContext:
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
         if self._profiler is not None:
             self._profiler.disable()
             self._profiler.dump_stats(self.args.profile)
@@ -120,7 +148,8 @@ class RunContext:
             command=self.command, argv=self.argv, run_id=self.run_id,
             started=self.started, finished=finished,
             exit_code=self.exit_code, error=self.error,
-            options=_command_options(self.args), snapshot=snapshot)
+            options=_command_options(self.args), snapshot=snapshot,
+            lineage=self.lineage)
         try:
             self.manifest_path = write_manifest(path, manifest)
             obs_event("manifest.written", path=path)

@@ -71,19 +71,32 @@ def _stage_timings(snapshot):
 
 
 def _failure_taxonomy(snapshot):
-    """Quarantine counts by kind, from the runner's failure counters."""
+    """Quarantine counts by kind, from the runner's failure counters,
+    plus the training-guard trip taxonomy when any trips occurred."""
     counters = snapshot.get("counters", {})
     prefix = "runner.failures."
     taxonomy = {name[len(prefix):]: value
                 for name, value in counters.items()
                 if name.startswith(prefix) and value}
     taxonomy["quarantined"] = counters.get("runner.tasks.quarantined", 0)
+    guard_prefix = "guard.trips."
+    training = {name[len(guard_prefix):]: value
+                for name, value in counters.items()
+                if name.startswith(guard_prefix) and value}
+    if training:
+        training["rollbacks"] = counters.get("guard.rollbacks", 0)
+        taxonomy["training"] = training
     return taxonomy
 
 
 def build_manifest(*, command, argv, run_id, started, finished, exit_code,
-                   error=None, options=None, snapshot=None):
-    """Assemble the manifest dict (see ``docs/observability.md``)."""
+                   error=None, options=None, snapshot=None, lineage=None):
+    """Assemble the manifest dict (see ``docs/observability.md``).
+
+    ``lineage`` is ``None`` for a fresh run, or ``{"parent_run": ...,
+    "resumed_from_iteration": ...}`` when training resumed from a
+    checkpoint written by an earlier run.
+    """
     snapshot = snapshot if snapshot is not None else {}
     options = dict(options or {})
     return {
@@ -107,6 +120,7 @@ def build_manifest(*, command, argv, run_id, started, finished, exit_code,
             "exit_code": exit_code,
             "error": error,
         },
+        "lineage": lineage,
         "stages": _stage_timings(snapshot),
         "failures": _failure_taxonomy(snapshot),
         "metrics": snapshot,

@@ -53,6 +53,21 @@ CATALOG = {
         "ml.train.batches": ("counter", "optimizer steps taken"),
         "ml.train.batch.seconds": ("timer", "wall-clock per train_batch"),
         "ml.train.loss": ("gauge", "most recent batch loss"),
+        "guard.trips": ("counter", "training anomalies detected, any kind"),
+        "guard.trips.nan":
+            ("counter", "trips: non-finite loss or parameters"),
+        "guard.trips.grad_spike":
+            ("counter", "trips: gradient magnitude explosion"),
+        "guard.trips.loss_divergence":
+            ("counter", "trips: loss detached from its EMA"),
+        "guard.rollbacks":
+            ("counter", "snapshot rollbacks taken by the guard"),
+        "guard.clips":
+            ("counter", "in-place parameter sanitizations (clip policy)"),
+        "guard.checkpoints.written":
+            ("counter", "durable training checkpoints persisted"),
+        "guard.checkpoints.restored":
+            ("counter", "training states restored from checkpoint"),
     },
     "core": {
         "amgan.train.seconds": ("timer", "AM-GAN adversarial training"),
@@ -78,6 +93,10 @@ CATALOG = {
             ("counter", "sampling windows spent in secure mode"),
         "adaptive.windows.total":
             ("counter", "sampling windows observed by the controller"),
+        "adaptive.fail_secure.latches":
+            ("counter", "watchdog latches into always-secure mode"),
+        "adaptive.detector.errors":
+            ("counter", "detector faults seen by the health watchdog"),
     },
     "cli": {
         "stage.collect.build": ("timer", "collect: corpus simulation"),
@@ -91,6 +110,7 @@ CATALOG = {
         "stage.explain.load": ("timer", "explain: artifact load"),
         "stage.explain.weights": ("timer", "explain: hyperplane report"),
         "stage.explain.windows": ("timer", "explain: window explanations"),
+        "stage.adaptive.load": ("timer", "adaptive: saved detector load"),
         "stage.adaptive.train": ("timer", "adaptive: corpus + vaccination"),
         "stage.adaptive.run": ("timer", "adaptive: gated attack runs"),
     },
@@ -111,8 +131,16 @@ EVENTS = {
     "task.quarantined": "task failed permanently (key, kind, message)",
     "amgan.round": "style-loss probe (iteration, style_loss)",
     "vaccinate.stage": "vaccination stage boundary (stage)",
+    "vaccinate.resumed":
+        "training resumed from checkpoint (iteration, parent_run)",
+    "guard.trip": "training anomaly detected (stage, step, kind, action)",
+    "guard.rollback": "training rolled back to snapshot (step, to_step)",
+    "guard.checkpoint": "training checkpoint written (stage, iteration)",
+    "guard.restore": "training checkpoint restored (stage, iteration)",
     "adaptive.secure_enter": "secure mode enabled (commit_index, mode)",
     "adaptive.secure_exit": "secure mode disabled (commit_index)",
+    "adaptive.fail_secure":
+        "watchdog latched always-secure mode (reason, detail)",
     "manifest.written": "run manifest persisted (path)",
 }
 

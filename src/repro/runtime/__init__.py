@@ -12,8 +12,9 @@ the above testable in CI.
 
 from repro.runtime.atomic import atomic_write_bytes, sha256_bytes, sha256_file
 from repro.runtime.chaos import (
-    CRASH_FAULT, GARBAGE_FAULT, HANG_FAULT, ChaosCrash, ChaosSource,
-    FaultSpec, inject_faults,
+    CRASH_FAULT, GARBAGE_FAULT, HANG_FAULT, KILL_FAULT, LOSS_SPIKE_FAULT,
+    NAN_GRAD_FAULT, TRAINING_FAULT_KINDS, ChaosCrash, ChaosKill,
+    ChaosSource, FaultSpec, TrainingChaos, TrainingFault, inject_faults,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
@@ -27,8 +28,10 @@ from repro.runtime.runner import (
 
 __all__ = [
     "atomic_write_bytes", "sha256_bytes", "sha256_file",
-    "CRASH_FAULT", "GARBAGE_FAULT", "HANG_FAULT", "ChaosCrash",
-    "ChaosSource", "FaultSpec", "inject_faults",
+    "CRASH_FAULT", "GARBAGE_FAULT", "HANG_FAULT", "KILL_FAULT",
+    "LOSS_SPIKE_FAULT", "NAN_GRAD_FAULT", "TRAINING_FAULT_KINDS",
+    "ChaosCrash", "ChaosKill", "ChaosSource", "FaultSpec",
+    "TrainingChaos", "TrainingFault", "inject_faults",
     "CheckpointStore",
     "CRASH", "DIVERGENT", "FAILURE_KINDS", "TIMEOUT", "CheckpointError",
     "CoverageError", "DivergentTraceError", "RuntimeTaskError",

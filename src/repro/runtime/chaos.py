@@ -1,4 +1,5 @@
-"""Deterministic fault injection for the corpus pipeline.
+"""Deterministic fault injection for the corpus pipeline *and* the
+training loop.
 
 Wrapping any attack/workload source in a :class:`ChaosSource` lets the
 test suite (and operators rehearsing failure drills) inject the three
@@ -10,6 +11,14 @@ week-long corpus build.
 Fault activation is keyed off the *attempt number* the runner passes
 into the task function, so "fail twice then succeed" scenarios are
 fully deterministic with no shared state between worker processes.
+
+:class:`TrainingChaos` is the training-stage counterpart: passed into
+``AMGAN.train``/``vaccinate`` it poisons gradients with NaN, scales
+parameters to provoke a loss spike, or kills the process between
+checkpoints (:class:`ChaosKill`), at exact iteration numbers.  Each
+fault fires **once** — after the guard rolls back and replays the
+iteration, the retry runs clean, exactly like a transient hardware or
+numeric glitch.
 """
 
 import random
@@ -22,9 +31,22 @@ CRASH_FAULT = "crash"
 HANG_FAULT = "hang"
 GARBAGE_FAULT = "garbage"
 
+#: injectable training-stage fault kinds
+NAN_GRAD_FAULT = "nan_grad"
+LOSS_SPIKE_FAULT = "loss_spike"
+KILL_FAULT = "kill"
+
+TRAINING_FAULT_KINDS = (NAN_GRAD_FAULT, LOSS_SPIKE_FAULT, KILL_FAULT)
+
 
 class ChaosCrash(RuntimeTaskError):
     """The exception a crash-fault raises inside the worker."""
+
+
+class ChaosKill(RuntimeTaskError):
+    """Raised by a ``kill`` training fault: simulates the process dying
+    mid-training (between two checkpoints).  Tests catch it and then
+    exercise the resume path."""
 
 
 class FaultSpec:
@@ -101,6 +123,68 @@ class ChaosSource:
             record.deltas = deltas
             corrupted.append(record)
         return corrupted
+
+
+class TrainingFault:
+    """One training-stage fault: ``kind`` at iteration ``at``.
+
+    ``nan_grad`` poisons one parameter of the target network with NaN
+    right after the iteration's optimizer steps (indistinguishable from
+    a NaN that propagated out of an exploded gradient); ``loss_spike``
+    multiplies the parameters by ``scale`` so the next loss detaches
+    from its EMA; ``kill`` raises :class:`ChaosKill` before the
+    iteration runs.
+    """
+
+    def __init__(self, kind, at, scale=1e4):
+        if kind not in TRAINING_FAULT_KINDS:
+            raise ValueError(f"unknown training fault kind {kind!r}")
+        self.kind = kind
+        self.at = at
+        self.scale = scale
+
+
+class TrainingChaos:
+    """Deterministic fault injector for guarded training loops.
+
+    The training loop calls :meth:`maybe_kill` at the top of each
+    iteration and :meth:`corrupt` after its optimizer steps.  Every
+    fault fires exactly once (keyed by its position in ``faults``), so
+    a guard rollback that replays the faulted iteration sees a clean
+    retry — the deterministic analogue of a transient glitch.
+    """
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+        self.fired = set()
+
+    def _due(self, iteration, kinds):
+        for i, fault in enumerate(self.faults):
+            if i not in self.fired and fault.at == iteration \
+                    and fault.kind in kinds:
+                self.fired.add(i)
+                return fault
+        return None
+
+    def maybe_kill(self, iteration):
+        fault = self._due(iteration, (KILL_FAULT,))
+        if fault is not None:
+            raise ChaosKill(f"injected kill at iteration {iteration}")
+
+    def corrupt(self, iteration, networks):
+        """Apply any due nan_grad / loss_spike fault to ``networks``
+        (a mapping of name -> MLP); returns the fault or ``None``."""
+        fault = self._due(iteration, (NAN_GRAD_FAULT, LOSS_SPIKE_FAULT))
+        if fault is None:
+            return None
+        net = next(iter(networks.values()))
+        if fault.kind == NAN_GRAD_FAULT:
+            params = net.parameters
+            params[0].flat[0] = float("nan")
+        else:
+            for p in net.parameters:
+                p *= fault.scale
+        return fault
 
 
 def inject_faults(sources, plan, seed=0):

@@ -1,0 +1,244 @@
+"""TrainingGuard, bit-exact state snapshots and TrainingCheckpointer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml import MLP
+from repro.ml.optim import SGD
+from repro.ml.resilience import (
+    GRAD_SPIKE, LOSS_DIVERGENCE, NAN, TrainingCheckpointer,
+    TrainingDivergedError, TrainingGuard, mlp_state, rng_state,
+    set_mlp_state, set_rng_state,
+)
+from repro.runtime import CheckpointError
+
+
+def _net(seed=0, optimizer=None):
+    kwargs = {"optimizer": optimizer} if optimizer is not None else {}
+    return MLP([4, 6, 1], ["relu", "sigmoid"], seed=seed, **kwargs)
+
+
+def _batches(seed=3, n=8):
+    rng = np.random.default_rng(seed)
+    return [(rng.random((16, 4)), rng.integers(0, 2, (16, 1)).astype(float))
+            for _ in range(n)]
+
+
+def _train(net, batches):
+    for x, y in batches:
+        net.train_batch(x, y)
+
+
+def _assert_params_equal(a, b):
+    for pa, pb in zip(a.parameters, b.parameters):
+        assert np.array_equal(pa, pb)
+
+
+# -- state round-trips -------------------------------------------------------
+
+@pytest.mark.parametrize("optimizer", [None, SGD(lr=0.05, momentum=0.9)],
+                         ids=["adam", "sgd-momentum"])
+def test_mlp_state_roundtrip_is_bit_exact(optimizer):
+    """Snapshot -> JSON -> restore, then further identical training must
+    track a never-snapshotted twin exactly (params AND optimizer state)."""
+    batches = _batches()
+    net = _net(optimizer=optimizer)
+    twin = _net(optimizer=None if optimizer is None
+                else SGD(lr=0.05, momentum=0.9))
+    _train(net, batches[:4])
+    _train(twin, batches[:4])
+    saved = json.loads(json.dumps(mlp_state(net)))
+    _train(net, batches[4:])             # walk the state away...
+    set_mlp_state(net, saved)            # ...and back
+    _assert_params_equal(net, twin)
+    _train(net, batches[4:])
+    _train(twin, batches[4:])
+    _assert_params_equal(net, twin)
+
+
+def test_mlp_state_restore_rejects_shape_mismatch():
+    saved = mlp_state(_net())
+    other = MLP([5, 6, 1], ["relu", "sigmoid"], seed=0)
+    with pytest.raises(ValueError):
+        set_mlp_state(other, saved)
+    with pytest.raises(ValueError):
+        set_mlp_state(MLP([4, 1], ["sigmoid"], seed=0), saved)
+
+
+def test_rng_state_roundtrip_is_bit_exact():
+    rng = np.random.default_rng(11)
+    rng.normal(size=100)
+    saved = json.loads(json.dumps(rng_state(rng)))
+    first = rng.normal(size=16)
+    set_rng_state(rng, saved)
+    assert np.array_equal(rng.normal(size=16), first)
+
+
+# -- the guard ---------------------------------------------------------------
+
+def test_guard_healthy_steps_are_untouched():
+    net = _net()
+    guard = TrainingGuard().watch(stage="t", net=net)
+    guard.snapshot_if_due(0)
+    _train(net, _batches(n=2))
+    assert guard.inspect(0, loss=0.5) is None
+    assert guard.inspect(1, loss=0.6) is None
+    assert guard.trips == []
+    assert guard.failure_counts() == {NAN: 0, GRAD_SPIKE: 0,
+                                      LOSS_DIVERGENCE: 0}
+
+
+def test_guard_raise_policy_classifies_nan():
+    net = _net()
+    guard = TrainingGuard(policy="raise").watch(stage="fit", net=net)
+    net.parameters[0].flat[0] = float("nan")
+    with pytest.raises(TrainingDivergedError) as err:
+        guard.inspect(7, loss=0.5)
+    assert err.value.kind == NAN
+    assert err.value.step == 7
+    assert err.value.stage == "fit"
+
+
+def test_guard_nonfinite_loss_trips_nan():
+    net = _net()
+    guard = TrainingGuard(policy="raise").watch(net=net)
+    with pytest.raises(TrainingDivergedError) as err:
+        guard.inspect(0, loss=float("inf"))
+    assert err.value.kind == NAN
+
+
+def test_guard_clip_policy_repairs_in_place():
+    net = _net()
+    guard = TrainingGuard(policy="clip", clip_limit=10.0).watch(net=net)
+    net.parameters[0].flat[0] = float("nan")
+    net.parameters[0].flat[1] = 1e9
+    assert guard.inspect(3, loss=0.5) is None     # repaired, no rewind
+    for p in net.parameters:
+        assert np.isfinite(p).all()
+        assert np.abs(p).max() <= 10.0
+    assert guard.failure_counts()[NAN] == 1
+
+
+def test_guard_grad_spike_detection():
+    net = _net()
+    guard = TrainingGuard(policy="raise", grad_limit=1e-12).watch(net=net)
+    _train(net, _batches(n=1))           # any real gradient exceeds 1e-12
+    with pytest.raises(TrainingDivergedError) as err:
+        guard.inspect(0, loss=0.5)
+    assert err.value.kind == GRAD_SPIKE
+
+
+def test_guard_loss_divergence_needs_established_ema():
+    net = _net()
+    guard = TrainingGuard(policy="raise", loss_window=4,
+                          loss_factor=3.0).watch(net=net)
+    assert guard.inspect(0, loss=90.0) is None    # no EMA yet: tolerated
+    for step in range(1, 7):
+        assert guard.inspect(step, loss=1.0) is None
+    with pytest.raises(TrainingDivergedError) as err:
+        guard.inspect(7, loss=50.0)
+    assert err.value.kind == LOSS_DIVERGENCE
+
+
+def test_guard_rollback_restores_snapshot_and_rewinds():
+    net = _net()
+    rng = np.random.default_rng(1)
+    guard = TrainingGuard(snapshot_every=10).watch(net=net)
+    guard.attach_rng(rng)
+    guard.snapshot_if_due(0)
+    at_snapshot = [p.copy() for p in net.parameters]
+    rng_before = json.dumps(rng_state(rng))
+    _train(net, _batches(n=3))
+    net.parameters[0].flat[0] = float("nan")
+    assert guard.inspect(5, loss=0.5) == 0        # rewound to the snapshot
+    for live, saved in zip(net.parameters, at_snapshot):
+        assert np.array_equal(live, saved)
+    # the RNG was restored then perturbed by one draw (the reseeded step)
+    assert json.dumps(rng_state(rng)) != rng_before
+    assert guard.failure_counts()[NAN] == 1
+
+
+def test_guard_rollback_budget_exhausts_into_typed_error():
+    net = _net()
+    guard = TrainingGuard(max_rollbacks=2, snapshot_every=100).watch(net=net)
+    guard.snapshot_if_due(0)
+    for _ in range(2):
+        net.parameters[0].flat[0] = float("nan")
+        assert guard.inspect(1, loss=0.5) == 0
+    net.parameters[0].flat[0] = float("nan")
+    with pytest.raises(TrainingDivergedError) as err:
+        guard.inspect(1, loss=0.5)
+    assert "exhausted" in str(err.value)
+    assert err.value.kind == NAN
+
+
+def test_guard_rollback_without_snapshot_falls_back_to_raise():
+    net = _net()
+    guard = TrainingGuard(policy="rollback").watch(net=net)
+    net.parameters[0].flat[0] = float("nan")
+    with pytest.raises(TrainingDivergedError):
+        guard.inspect(0, loss=0.5)
+
+
+def test_guard_progress_resets_rollback_budget():
+    net = _net()
+    guard = TrainingGuard(max_rollbacks=1, snapshot_every=1).watch(net=net)
+    for step in range(4):                 # a fresh snapshot every step...
+        guard.snapshot_if_due(step)
+        net.parameters[0].flat[0] = float("nan")
+        assert guard.inspect(step, loss=0.5) == step   # ...resets the budget
+    assert guard.failure_counts()[NAN] == 4
+
+
+def test_guard_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        TrainingGuard(policy="ignore")
+
+
+# -- durable checkpoints -----------------------------------------------------
+
+def test_checkpointer_roundtrip_is_bit_exact(tmp_path):
+    net = _net(seed=4)
+    rng = np.random.default_rng(9)
+    _train(net, _batches(n=3))
+    rng.normal(size=7)
+    ck = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1}, interval=5)
+    assert not ck.due(0) and not ck.due(3) and ck.due(5) and ck.due(10)
+    ck.save("gan", 5, {"net": net}, rngs={"r": rng},
+            extra={"style_history": [[0, 0.5]]})
+
+    twin, twin_rng = _net(seed=999), np.random.default_rng(0)
+    resumed = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1},
+                                   interval=5, resume=True)
+    payload = resumed.restore("gan", {"net": twin}, rngs={"r": twin_rng})
+    assert payload["iteration"] == 5
+    assert payload["extra"]["style_history"] == [[0, 0.5]]
+    _assert_params_equal(net, twin)
+    assert np.array_equal(rng.normal(size=8), twin_rng.normal(size=8))
+
+
+def test_checkpointer_without_resume_ignores_stored_state(tmp_path):
+    ck = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1}, interval=5)
+    ck.save("gan", 5, {"net": _net()})
+    fresh = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1},
+                                 interval=5, resume=False)
+    assert fresh.load("gan") is None
+    assert fresh.restore("gan", {"net": _net()}) is None
+
+
+def test_checkpointer_context_mismatch_refuses_resume(tmp_path):
+    ck = TrainingCheckpointer(str(tmp_path / "ck"), {"seed": 0}, interval=5)
+    ck.save("gan", 5, {"net": _net()})
+    with pytest.raises(CheckpointError):
+        TrainingCheckpointer(str(tmp_path / "ck"), {"seed": 1},
+                             interval=5, resume=True)
+
+
+def test_checkpointer_missing_stage_returns_none(tmp_path):
+    ck = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1}, interval=5)
+    ck.save("gan", 5, {"net": _net()})
+    resumed = TrainingCheckpointer(str(tmp_path / "ck"), {"cfg": 1},
+                                   interval=5, resume=True)
+    assert resumed.load("other-stage") is None

@@ -11,7 +11,7 @@ DOCS = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
 
 #: first name segments that mark a backticked token as a metric/event
 _LAYER_PREFIXES = {"sim", "runner", "data", "ml", "amgan", "vaccinate",
-                   "adaptive", "stage", "cli", "task", "manifest"}
+                   "adaptive", "stage", "cli", "task", "manifest", "guard"}
 #: backticked dotted tokens that are file names, not metric names
 _FILE_SUFFIXES = {"json", "jsonl", "md", "py", "pstats", "npz"}
 

@@ -118,3 +118,64 @@ def test_explain_corrupt_corpus_exits_2(tmp_path, capsys, small_dataset):
     (tmp_path / "corpus.meta.json").write_text("[]")
     _expect_exit2(["explain", detector, "--corpus", str(corpus)],
                   capsys, str(corpus))
+
+
+def test_train_resume_context_mismatch_exits_2(tmp_path, capsys,
+                                               small_dataset):
+    """Resuming someone else's checkpoints must refuse, not corrupt."""
+    from repro.data import save_dataset
+    corpus = str(tmp_path / "corpus")
+    save_dataset(small_dataset, corpus)
+    ck = str(tmp_path / "ck")
+    assert main(["train", corpus, "--iterations", "10",
+                 "--checkpoint-dir", ck, "--checkpoint-every", "5",
+                 "--seed", "0", "--no-manifest"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit) as err:
+        main(["train", corpus, "--iterations", "10",
+              "--checkpoint-dir", ck, "--checkpoint-every", "5",
+              "--seed", "1", "--resume", "--no-manifest"])
+    assert err.value.code == 2
+    assert "checkpoint" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_train_resume_is_bit_exact_end_to_end(tmp_path, capsys,
+                                              small_dataset):
+    """`repro train --resume` continues from the durable checkpoint and
+    produces a byte-identical detector artifact to an uninterrupted run
+    with the same corpus, seed and final iteration count."""
+    from repro.data import save_dataset
+    from repro.obs import read_manifest
+
+    corpus = str(tmp_path / "corpus")
+    save_dataset(small_dataset, corpus)
+    ck = str(tmp_path / "ck")
+    uninterrupted = str(tmp_path / "a.json")
+    halfway = str(tmp_path / "b.json")
+    resumed = str(tmp_path / "c.json")
+
+    assert main(["train", corpus, "--out", uninterrupted,
+                 "--iterations", "50", "--checkpoint-every", "0",
+                 "--no-manifest"]) == 0
+    first_manifest = str(tmp_path / "m1.json")
+    assert main(["train", corpus, "--out", halfway,
+                 "--iterations", "25", "--checkpoint-dir", ck,
+                 "--checkpoint-every", "25",
+                 "--manifest-out", first_manifest]) == 0
+    resumed_manifest = str(tmp_path / "m2.json")
+    assert main(["train", corpus, "--out", resumed,
+                 "--iterations", "50", "--checkpoint-dir", ck,
+                 "--checkpoint-every", "25", "--resume",
+                 "--manifest-out", resumed_manifest]) == 0
+    capsys.readouterr()
+
+    assert open(resumed, "rb").read() == open(uninterrupted, "rb").read()
+    first = read_manifest(first_manifest)
+    second = read_manifest(resumed_manifest)
+    assert first["lineage"] is None
+    assert second["lineage"] == {
+        "parent_run": first["run"]["id"],
+        "resumed_from_iteration": 25,
+    }
+    assert second["metrics"]["counters"]["guard.checkpoints.restored"] == 1

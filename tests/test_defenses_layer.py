@@ -73,6 +73,88 @@ class TestController:
         assert 0 < ctrl.secure_fraction < 1
 
 
+class TestFailSecure:
+    """The controller's health watchdog: a degraded detector latches the
+    core into always-secure mode instead of silently disabling defense."""
+
+    def test_raising_detector_latches_always_secure(self):
+        m = FakeMachine()
+        calls = []
+
+        def broken(sample):
+            calls.append(sample)
+            raise RuntimeError("detector wedged")
+
+        ctrl = SecureModeController(broken, DefenseMode.FENCE_SPECTRE,
+                                    secure_window=100)
+        assert ctrl(m, window(100)) is False
+        assert ctrl.latched
+        assert "RuntimeError" in ctrl.latch_reason
+        assert m.defense is DefenseMode.FENCE_SPECTRE
+        # every later window runs secure; the dead detector is never
+        # consulted again and the mitigation never expires
+        for commit in (10_000, 10_000_000):
+            ctrl(m, window(commit))
+        assert len(calls) == 1
+        assert m.defense is DefenseMode.FENCE_SPECTRE
+        assert ctrl.secure_fraction == 1.0
+
+    def test_nan_score_latches(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: float("nan"),
+                                    DefenseMode.FENCE_SPECTRE)
+        ctrl(m, window(100))
+        assert ctrl.latched
+        assert ctrl.secure_fraction == 1.0
+
+    def test_nonfinite_feature_vector_latches(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: False,
+                                    DefenseMode.FENCE_SPECTRE)
+        sample = Sample(window_index=0, commit_index=100, cycle=0,
+                        deltas=[1.0, float("nan"), 3.0], phase=0)
+        ctrl(m, sample)
+        assert ctrl.latched
+        assert ctrl.detector_errors == 1
+
+    def test_feature_width_change_latches(self):
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: False,
+                                    DefenseMode.FENCE_SPECTRE)
+        ctrl(m, Sample(window_index=0, commit_index=100, cycle=0,
+                       deltas=[1, 2, 3], phase=0))
+        assert not ctrl.latched
+        ctrl(m, Sample(window_index=1, commit_index=200, cycle=0,
+                       deltas=[1, 2], phase=0))
+        assert ctrl.latched
+
+    def test_fail_secure_off_propagates_fault(self):
+        import pytest
+        m = FakeMachine()
+        ctrl = SecureModeController(lambda s: float("nan"),
+                                    DefenseMode.FENCE_SPECTRE,
+                                    fail_secure=False)
+        with pytest.raises(RuntimeError):
+            ctrl(m, window(100))
+
+    def test_latch_mid_run_counts_remaining_windows_secure(self):
+        m = FakeMachine()
+        verdicts = iter([False, False])
+
+        def flaky(sample):
+            return next(verdicts)        # third call raises StopIteration
+
+        ctrl = SecureModeController(flaky, DefenseMode.FENCE_SPECTRE)
+        ctrl(m, window(100))
+        ctrl(m, window(200))
+        assert ctrl.secure_fraction == 0.0
+        for commit in (300, 400, 500):
+            ctrl(m, window(commit))
+        assert ctrl.latched
+        assert ctrl.windows_total == 5
+        assert ctrl.windows_secure == 3  # the faulted window + both after
+
+
 class TestPolicies:
     def test_catalogue_covers_figure16(self):
         names = {p.name for p in DEFENSE_CONFIGS}
