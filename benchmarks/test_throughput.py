@@ -21,7 +21,12 @@ def test_simulator_throughput(benchmark):
     cycles_per_sec = result.cycles / benchmark.stats["mean"]
     print(f"\nsimulated cycles/sec: {cycles_per_sec:,.0f} "
           f"({result.cycles} cycles, IPC {result.ipc:.2f})")
-    assert cycles_per_sec > 5_000
+    # Locks in the hot-loop overhaul (preresolved counter slots, eager
+    # operand capture, wakeup lists, completion heap): the seed scheduler
+    # measured ~19k c/s on this workload, the optimized core ~55-75k
+    # (host-dependent).  3x the old 5k floor keeps headroom for slow CI
+    # hosts while making a return to per-cycle scans fail loudly.
+    assert cycles_per_sec > 15_000
 
 
 def test_detector_window_latency(benchmark, evax, corpus):

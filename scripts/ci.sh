@@ -16,6 +16,15 @@ export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-180}"
 
 python scripts/check_docs.py
 
+# every counter-name literal under src/repro/sim/ must exist in
+# COUNTER_NAMES (typos on cold paths otherwise survive until they fire)
+python scripts/check_counters.py
+
+# fast bit-exactness smoke: optimized scheduler vs reference spec on a
+# workload, an attack, and an InvisiSpec mode (~2s; full matrix +
+# throughput numbers: python scripts/bench_sim.py)
+python scripts/bench_sim.py --check-only
+
 # fast resume smoke: the guarded/checkpointed training path end to end
 # (toy GAN, a couple of seconds) — kill, resume, assert bit-exactness
 python scripts/resume_smoke.py

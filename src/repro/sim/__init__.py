@@ -17,9 +17,11 @@ cache state, deferred faults, stale store forwarding, DRAM row hammering).
 from repro.sim.isa import Op, Instruction, KERNEL_BASE, ASSIST_BIT
 from repro.sim.program import Program, ProgramBuilder
 from repro.sim.config import SimConfig, DefenseMode
+from repro.sim.cpu import O3Core
 from repro.sim.hpc import CounterBank
 from repro.sim.machine import Machine, RunResult
 from repro.sim.multiprog import TimeSharedMachine
+from repro.sim.reference import ReferenceO3Core
 from repro.sim.sampler import Sampler, Sample
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "SimConfig",
     "DefenseMode",
     "CounterBank",
+    "O3Core",
+    "ReferenceO3Core",
     "Machine",
     "RunResult",
     "TimeSharedMachine",

@@ -7,6 +7,17 @@ structure Spectre-PHT mistrains.  The BTB caches indirect/taken targets
 desynchronizes it from the in-memory return address).
 """
 
+from repro.sim.hpc import CounterBank
+
+_IX = CounterBank.index_of
+
+_C_LOOKUPS = _IX("branchPred.lookups")
+_C_CONDPREDICTED = _IX("branchPred.condPredicted")
+_C_BTBLOOKUPS = _IX("branchPred.BTBLookups")
+_C_BTBHITS = _IX("branchPred.BTBHits")
+_C_BTBMISSES = _IX("branchPred.BTBMisses")
+_C_RASUSED = _IX("branchPred.RASUsed")
+
 
 def _saturate(counter, taken, bits=2):
     """Update a saturating counter."""
@@ -43,8 +54,9 @@ class TournamentPredictor:
         """Predicted direction for the conditional branch at ``pc``."""
         li, gi, ci = self._indices(pc)
         if self.counters is not None:
-            self.counters.bump("branchPred.lookups")
-            self.counters.bump("branchPred.condPredicted")
+            v = self.counters.values
+            v[_C_LOOKUPS] += 1
+            v[_C_CONDPREDICTED] += 1
         if self.choice_table[ci] >= 2:
             return self.global_table[gi] >= 2
         return self.local_table[li] >= 2
@@ -73,14 +85,15 @@ class BTB:
     def lookup(self, pc):
         """Predicted target for ``pc`` or None on a BTB miss."""
         idx = pc % self.entries
-        if self.counters is not None:
-            self.counters.bump("branchPred.BTBLookups")
+        counters = self.counters
+        if counters is not None:
+            counters.values[_C_BTBLOOKUPS] += 1
         if self.tags[idx] == pc:
-            if self.counters is not None:
-                self.counters.bump("branchPred.BTBHits")
+            if counters is not None:
+                counters.values[_C_BTBHITS] += 1
             return self.targets[idx]
-        if self.counters is not None:
-            self.counters.bump("branchPred.BTBMisses")
+        if counters is not None:
+            counters.values[_C_BTBMISSES] += 1
         return None
 
     def update(self, pc, target):
@@ -107,7 +120,7 @@ class RAS:
     def pop(self):
         """Predicted return target (None when empty)."""
         if self.counters is not None:
-            self.counters.bump("branchPred.RASUsed")
+            self.counters.values[_C_RASUSED] += 1
         if self.count == 0:
             return None
         self.top = (self.top - 1) % self.entries

@@ -5,9 +5,50 @@ Cache *state* (which lines are present) is first-class here because the
 attacks measure it: Flush+Reload times a reload after a flush, Prime+Probe
 observes evictions from a primed set, and InvisiSpec's security property is
 exactly that speculative loads do not change this state.
+
+Counter increments on the demand path use slot indices preresolved at
+construction/import time (see :class:`repro.sim.hpc.CounterBank`) instead
+of per-event name lookups; a name typo therefore fails when the hierarchy
+is built, not when the event first fires.
 """
 
+from repro.sim.hpc import CounterBank
 from repro.sim.isa import LINE_BYTES
+
+_IX = CounterBank.index_of
+
+_C_DC_ACCESSES = _IX("dcache.accesses")
+_C_DC_HITS = _IX("dcache.hits")
+_C_DC_MISSES = _IX("dcache.misses")
+_C_DC_MSHRMISSES = _IX("dcache.mshrMisses")
+_C_DC_MSHRFULL = _IX("dcache.mshrFullEvents")
+_C_DC_FLUSHES = _IX("dcache.flushes")
+_C_DC_FLUSHHITS = _IX("dcache.flushHits")
+_C_DC_PREFETCHES = _IX("dcache.prefetches")
+_C_DC_RD_MSHR_LAT = _IX("dcache.ReadReq_mshr_miss_latency")
+_C_DC_AVGMISSLAT = _IX("dcache.demandAvgMissLatency")
+#: (read, write) pairs so the request kind selects a slot, not a name
+_C_DC_KIND_HITS = (_IX("dcache.ReadReq_hits"), _IX("dcache.WriteReq_hits"))
+_C_DC_KIND_MISSES = (_IX("dcache.ReadReq_misses"), _IX("dcache.WriteReq_misses"))
+
+_C_L2_ACCESSES = _IX("l2.accesses")
+_C_L2_HITS = _IX("l2.hits")
+_C_L2_MISSES = _IX("l2.misses")
+_C_L2_MSHRMISSES = _IX("l2.mshrMisses")
+_C_L2_RDSHARED_HITS = _IX("l2.ReadSharedReq_hits")
+_C_L2_RDSHARED_MISSES = _IX("l2.ReadSharedReq_misses")
+_C_L2_FLUSHES = _IX("l2.flushes")
+
+_C_IC_ACCESSES = _IX("icache.accesses")
+_C_IC_HITS = _IX("icache.hits")
+_C_IC_MISSES = _IX("icache.misses")
+
+_C_MEMBUS_RDSHARED = _IX("membus.transDist_ReadSharedReq")
+_C_MEMBUS_FLUSHREQ = _IX("membus.transDist_FlushReq")
+_C_MEMBUS_PKTCOUNT = _IX("membus.pktCount")
+_C_MEMBUS_DATA = _IX("membus.dataThroughBus")
+
+_C_SPECBUF_FILLS = _IX("specbuf.fills")
 
 
 class Cache:
@@ -28,6 +69,17 @@ class Cache:
         self.prefix = prefix
         self.mshrs = mshrs
         self.write_buffers = write_buffers
+        # Eviction stats, resolved once per prefix.  The instruction cache
+        # has no writeback path (it is read-only), so only ``replacements``
+        # exists in its namespace; the old name-per-event code would have
+        # raised KeyError on the first L1I eviction in a large program.
+        self._ix_replacements = _IX(f"{prefix}.replacements")
+        self._ix_writebacks = (_IX(f"{prefix}.writebacks")
+                               if CounterBank.has(f"{prefix}.writebacks")
+                               else None)
+        self._ix_clean_evicts = (_IX(f"{prefix}.cleanEvicts")
+                                 if CounterBank.has(f"{prefix}.cleanEvicts")
+                                 else None)
         # per-set: list of line addrs in LRU order (last = most recent)
         self._sets = [[] for _ in range(self.num_sets)]
         self._dirty = set()
@@ -48,7 +100,7 @@ class Cache:
         """Tag lookup; moves the line to MRU position on hit."""
         ways = self._sets[self._set_index(line_addr)]
         if line_addr in ways:
-            if update_lru:
+            if update_lru and ways[-1] != line_addr:
                 ways.remove(line_addr)
                 ways.append(line_addr)
             return True
@@ -68,11 +120,11 @@ class Cache:
             victim = ways.pop(0)
             was_dirty = victim in self._dirty
             self._dirty.discard(victim)
-            self.bump("replacements")
-            if was_dirty:
-                self.bump("writebacks")
-            else:
-                self.bump("cleanEvicts")
+            v = self.counters.values
+            v[self._ix_replacements] += 1
+            breakdown = self._ix_writebacks if was_dirty else self._ix_clean_evicts
+            if breakdown is not None:
+                v[breakdown] += 1
             evicted = (victim, was_dirty)
         ways.append(line_addr)
         if dirty:
@@ -123,6 +175,11 @@ class CacheHierarchy:
                         write_buffers=config.l2_write_buffers)
         #: completion times of outstanding L1D misses (the MSHR occupancy)
         self._l1_miss_completions = []
+        #: last instruction line fetched — it is in L1I and at MRU, so a
+        #: refetch from the same line (the common case: 8 insts/line) can
+        #: skip the tag lookup entirely.  Only access_inst touches L1I, so
+        #: tracking it here is exact; flush_line never targets L1I.
+        self._last_iline = None
 
     @staticmethod
     def line_of(addr):
@@ -132,49 +189,48 @@ class CacheHierarchy:
 
     def access_data(self, addr, is_write, cycle, invisible=False):
         """Access the data hierarchy; returns latency in cycles."""
-        line = self.line_of(addr)
-        c = self.counters
-        c.bump("dcache.accesses")
-        kind = "WriteReq" if is_write else "ReadReq"
+        line = addr // LINE_BYTES
+        v = self.counters.values
+        v[_C_DC_ACCESSES] += 1
         if invisible:
             return self._invisible_access(line, cycle)
         if self.l1d.lookup(line):
-            c.bump("dcache.hits")
-            c.bump(f"dcache.{kind}_hits")
+            v[_C_DC_HITS] += 1
+            v[_C_DC_KIND_HITS[is_write]] += 1
             if is_write:
                 self.l1d.mark_dirty(line)
             return self.config.l1d_latency
         # L1 miss
-        c.bump("dcache.misses")
-        c.bump(f"dcache.{kind}_misses")
-        c.bump("dcache.mshrMisses")
+        v[_C_DC_MISSES] += 1
+        v[_C_DC_KIND_MISSES[is_write]] += 1
+        v[_C_DC_MSHRMISSES] += 1
         latency = self.config.l1d_latency
         # MSHR occupancy: a full miss-handling file delays the new miss
         self._l1_miss_completions = [t for t in self._l1_miss_completions
                                      if t > cycle]
         if len(self._l1_miss_completions) >= self.l1d.mshrs:
-            c.bump("dcache.mshrFullEvents")
+            v[_C_DC_MSHRFULL] += 1
             latency += 4
-        c.bump("l2.accesses")
+        v[_C_L2_ACCESSES] += 1
         if self.l2.lookup(line):
-            c.bump("l2.hits")
-            c.bump("l2.ReadSharedReq_hits")
+            v[_C_L2_HITS] += 1
+            v[_C_L2_RDSHARED_HITS] += 1
             latency += self.config.l2_latency
         else:
-            c.bump("l2.misses")
-            c.bump("l2.ReadSharedReq_misses")
-            c.bump("l2.mshrMisses")
-            c.bump("membus.transDist_ReadSharedReq")
-            c.bump("membus.pktCount")
-            c.bump("membus.dataThroughBus", self.config.line_bytes)
+            v[_C_L2_MISSES] += 1
+            v[_C_L2_RDSHARED_MISSES] += 1
+            v[_C_L2_MSHRMISSES] += 1
+            v[_C_MEMBUS_RDSHARED] += 1
+            v[_C_MEMBUS_PKTCOUNT] += 1
+            v[_C_MEMBUS_DATA] += self.config.line_bytes
             latency += self.config.l2_latency
             latency += self.dram.access(addr, is_write=False, cycle=cycle)
             self._fill(self.l2, line)
         self._fill(self.l1d, line, dirty=is_write)
         self._l1_miss_completions.append(cycle + latency)
         if not is_write:
-            c.bump("dcache.ReadReq_mshr_miss_latency", latency)
-            c.bump("dcache.demandAvgMissLatency", latency)
+            v[_C_DC_RD_MSHR_LAT] += latency
+            v[_C_DC_AVGMISSLAT] += latency
         return latency
 
     def _fill(self, cache, line, dirty=False):
@@ -185,8 +241,7 @@ class CacheHierarchy:
 
     def _invisible_access(self, line, cycle):
         """InvisiSpec speculative access: observe latency, change nothing."""
-        c = self.counters
-        c.bump("specbuf.fills")
+        self.counters.values[_C_SPECBUF_FILLS] += 1
         if self.l1d.contains(line):
             return self.config.l1d_latency
         if self.l2.contains(line):
@@ -199,18 +254,23 @@ class CacheHierarchy:
     def access_inst(self, pc, cycle):
         """Instruction fetch for the line containing ``pc``; returns latency
         (0 extra on an L1I hit)."""
-        line = pc // 8  # 8 instructions per I-cache "line"
-        c = self.counters
-        c.bump("icache.accesses")
-        if self.l1i.lookup(line):
-            c.bump("icache.hits")
+        line = pc >> 3  # 8 instructions per I-cache "line"
+        v = self.counters.values
+        v[_C_IC_ACCESSES] += 1
+        if line == self._last_iline:
+            v[_C_IC_HITS] += 1     # still present and MRU: guaranteed hit
             return 0
-        c.bump("icache.misses")
+        if self.l1i.lookup(line):
+            v[_C_IC_HITS] += 1
+            self._last_iline = line
+            return 0
+        v[_C_IC_MISSES] += 1
         latency = self.config.l2_latency
         if not self.l2.lookup(line + (1 << 40)):   # disjoint tag space from data
             latency += self.dram.peek_latency(pc)
             self.l2.fill(line + (1 << 40))
         self.l1i.fill(line)
+        self._last_iline = line
         return latency
 
     # -- maintenance ops -----------------------------------------------------------
@@ -222,15 +282,15 @@ class CacheHierarchy:
         (the Flush+Flush signal) and higher still when dirty.
         """
         line = self.line_of(addr)
-        c = self.counters
-        c.bump("dcache.flushes")
-        c.bump("membus.transDist_FlushReq")
+        v = self.counters.values
+        v[_C_DC_FLUSHES] += 1
+        v[_C_MEMBUS_FLUSHREQ] += 1
         present1, dirty1 = self.l1d.invalidate(line)
-        c.bump("l2.flushes")
+        v[_C_L2_FLUSHES] += 1
         present2, dirty2 = self.l2.invalidate(line)
         latency = 4
         if present1 or present2:
-            c.bump("dcache.flushHits")
+            v[_C_DC_FLUSHHITS] += 1
             latency += 14
         if dirty1 or dirty2:
             latency += self.dram.access(addr, is_write=True, cycle=cycle)
@@ -238,7 +298,7 @@ class CacheHierarchy:
 
     def prefetch(self, addr, cycle):
         """Software prefetch into L1D (normal fill path, no result)."""
-        self.counters.bump("dcache.prefetches")
+        self.counters.values[_C_DC_PREFETCHES] += 1
         return self.access_data(addr, is_write=False, cycle=cycle)
 
     def data_line_present(self, addr):

@@ -9,6 +9,27 @@ channel; reads serviced by the write queue increment ``dram.bytesReadWrQ``
 (one of the features the paper highlights for TRRespass detection).
 """
 
+from repro.sim.hpc import CounterBank
+
+_IX = CounterBank.index_of
+
+_C_WRITEREQS = _IX("dram.writeReqs")
+_C_MEMBUS_WRITEREQ = _IX("membus.transDist_WriteReq")
+_C_WRQ_OCCUPANCY = _IX("wrqueue.occupancy")
+_C_WRQ_DRAINS = _IX("wrqueue.drains")
+_C_READREQS = _IX("dram.readReqs")
+_C_BYTESREADWRQ = _IX("dram.bytesReadWrQ")
+_C_WRQ_BYTESREAD = _IX("wrqueue.bytesRead")
+_C_ROWHITS = _IX("dram.rowHits")
+_C_BYTESPERACT = _IX("dram.bytesPerActivate")
+_C_PRECHARGES = _IX("dram.precharges")
+_C_ROWMISSES = _IX("dram.rowMisses")
+_C_ACTIVATIONS = _IX("dram.activations")
+_C_ACTRATE = _IX("dram.actRate")
+_C_REFRESHES = _IX("dram.refreshes")
+_C_SELFREFRESH = _IX("dram.selfRefreshEnergy")
+_C_BITFLIPS = _IX("dram.bitflips")
+
 
 class DRAM:
     """Single-channel, multi-bank DRAM with open-row policy."""
@@ -55,37 +76,37 @@ class DRAM:
         """Service a demand access; returns latency and updates row/refresh
         and Rowhammer state."""
         self._maybe_refresh(cycle)
-        c = self.counters
+        v = self.counters.values
         line = addr // 64
         if is_write:
-            c.bump("dram.writeReqs")
-            c.bump("membus.transDist_WriteReq")
+            v[_C_WRITEREQS] += 1
+            v[_C_MEMBUS_WRITEREQ] += 1
             if line not in self._write_queue:
                 self._write_queue.append(line)
-                c.bump("wrqueue.occupancy")
+                v[_C_WRQ_OCCUPANCY] += 1
                 if len(self._write_queue) > self._write_queue_cap:
                     self._write_queue.pop(0)
-                    c.bump("wrqueue.drains")
+                    v[_C_WRQ_DRAINS] += 1
             # writes are posted: cheap from the CPU's perspective
             return 6
-        c.bump("dram.readReqs")
+        v[_C_READREQS] += 1
         if line in self._write_queue:
             # read serviced by the write queue — no bank access at all
-            c.bump("dram.bytesReadWrQ", 64)
-            c.bump("wrqueue.bytesRead", 64)
+            v[_C_BYTESREADWRQ] += 64
+            v[_C_WRQ_BYTESREAD] += 64
             return 8
         bank, row = self.bank_row(addr)
         if self.open_rows[bank] == row:
-            c.bump("dram.rowHits")
-            c.bump("dram.bytesPerActivate", 64)
+            v[_C_ROWHITS] += 1
+            v[_C_BYTESPERACT] += 64
             return self.config.dram_row_hit_latency
         # row conflict: precharge + activate
         if self.open_rows[bank] is not None:
-            c.bump("dram.precharges")
+            v[_C_PRECHARGES] += 1
         self.open_rows[bank] = row
-        c.bump("dram.rowMisses")
-        c.bump("dram.activations")
-        c.bump("dram.actRate")
+        v[_C_ROWMISSES] += 1
+        v[_C_ACTIVATIONS] += 1
+        v[_C_ACTRATE] += 1
         self._record_activation(bank, row)
         return self.config.dram_row_miss_latency
 
@@ -95,8 +116,9 @@ class DRAM:
         if cycle - self._last_refresh_cycle >= self.config.dram_refresh_interval:
             self._last_refresh_cycle = cycle
             self.activations_since_refresh.clear()
-            self.counters.bump("dram.refreshes")
-            self.counters.bump("dram.selfRefreshEnergy", 100)
+            v = self.counters.values
+            v[_C_REFRESHES] += 1
+            v[_C_SELFREFRESH] += 100
 
     def _record_activation(self, bank, row):
         if not self.config.rowhammer_enabled:
@@ -120,7 +142,7 @@ class DRAM:
             victim_addr = self.row_base_address(bank, victim_row)
             self.memory.flip_bit(victim_addr, bit=row % 8)
             self.flipped_addresses.append(victim_addr)
-            self.counters.bump("dram.bitflips")
+            self.counters.values[_C_BITFLIPS] += 1
 
     # -- observability -------------------------------------------------------------
 

@@ -94,8 +94,23 @@ _COUNTER_SET = frozenset(COUNTER_NAMES)
 _COUNTER_INDEX = {name: i for i, name in enumerate(COUNTER_NAMES)}
 
 
+def _unknown_counter(name):
+    import difflib
+    close = difflib.get_close_matches(str(name), COUNTER_NAMES, n=3)
+    hint = f" (did you mean {', '.join(close)}?)" if close else ""
+    return KeyError(f"unknown counter {name!r}{hint}")
+
+
 class CounterBank:
-    """A flat bank of named monotonically-increasing event counters."""
+    """A flat bank of named monotonically-increasing event counters.
+
+    Hot paths do not go through :meth:`bump`'s name lookup: they resolve a
+    name to its slot once (``CounterBank.index_of``, at import or
+    construction time, where a typo fails immediately) and then increment
+    ``bank.values[idx]`` directly or via :meth:`bump_idx`.  Because of
+    those cached references, ``values`` must never be rebound to a new
+    list — use :meth:`reset` to zero it in place.
+    """
 
     __slots__ = ("values",)
 
@@ -107,10 +122,22 @@ class CounterBank:
         try:
             self.values[_COUNTER_INDEX[name]] += amount
         except KeyError:
-            raise KeyError(f"unknown counter {name!r}") from None
+            raise _unknown_counter(name) from None
+
+    def bump_idx(self, index, amount=1):
+        """Fast path: increment the counter at a preresolved index."""
+        self.values[index] += amount
 
     def get(self, name):
-        return self.values[_COUNTER_INDEX[name]]
+        try:
+            return self.values[_COUNTER_INDEX[name]]
+        except KeyError:
+            raise _unknown_counter(name) from None
+
+    def reset(self):
+        """Zero every counter in place (keeps ``values`` identity, so
+        preresolved fast-path references stay valid)."""
+        self.values[:] = [0] * len(COUNTER_NAMES)
 
     def snapshot(self):
         """A copy of all counter values, ordered as COUNTER_NAMES."""
@@ -125,7 +152,11 @@ class CounterBank:
 
     @staticmethod
     def index_of(name):
-        return _COUNTER_INDEX[name]
+        """Slot index of ``name`` — resolve once, then use the index."""
+        try:
+            return _COUNTER_INDEX[name]
+        except KeyError:
+            raise _unknown_counter(name) from None
 
     @staticmethod
     def has(name):

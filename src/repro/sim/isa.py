@@ -87,6 +87,70 @@ BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.JMP, Op.JMPI, Op.CALL, Op.RET
 COND_BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT})
 #: Serializing ops.
 SERIALIZING_OPS = frozenset({Op.FENCE, Op.LFENCE, Op.TRY})
+#: Branch kinds that can actually mispredict (direct JMP/CALL cannot) and
+#: therefore shadow younger speculative work until they resolve.
+MISPREDICTABLE_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.JMPI, Op.RET})
+
+#: Execution latency (cycles) per op kind, excluding memory time.
+#: (Lives here rather than in ``units`` so :class:`Instruction` can cache
+#: its latency at build time; ``repro.sim.units`` re-exports it.)
+OP_LATENCY = {
+    Op.ADD: 1, Op.SUB: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1,
+    Op.SHL: 1, Op.SHR: 1, Op.MOV: 1, Op.MOVI: 1,
+    Op.MUL: 4, Op.DIV: 16,
+    Op.BEQ: 1, Op.BNE: 1, Op.BLT: 1, Op.JMP: 1, Op.JMPI: 1,
+    Op.CALL: 1, Op.RET: 1,
+    Op.FENCE: 1, Op.LFENCE: 1, Op.TRY: 1, Op.MARK: 1, Op.NOP: 1,
+    Op.HALT: 1, Op.RDTSC: 1, Op.PREFETCH: 1,
+    # LOAD/STORE/CLFLUSH/RDRAND latencies are computed dynamically.
+}
+
+#: Issue-port class indices (see :class:`repro.sim.units.ExecPorts`, whose
+#: per-cycle capacity/usage tables are lists indexed by these).
+PORT_INT = 0
+PORT_MULDIV = 1
+PORT_MEM = 2
+
+PORT_OF_OP = {
+    Op.MUL: PORT_MULDIV, Op.DIV: PORT_MULDIV, Op.RDRAND: PORT_MULDIV,
+    Op.LOAD: PORT_MEM, Op.STORE: PORT_MEM, Op.STOREU: PORT_MEM,
+    Op.CLFLUSH: PORT_MEM, Op.PREFETCH: PORT_MEM,
+}
+
+# Small-int dispatch codes precomputed per instruction so the simulator's
+# hot loop branches on integer compares instead of chains of enum
+# identity checks (each of which costs a global + attribute lookup).
+
+#: Execute-stage handler selector (mirrors the dispatch order the original
+#: if/elif chain in O3Core._execute used): 0 ALU/simple, 1 load-like
+#: (LOAD/RET), 2 store-like (STORE/STOREU/CALL), 3 branch, 4 CLFLUSH,
+#: 5 PREFETCH, 6 RDRAND, 7 RDTSC.
+EXEC_KIND_OF = {
+    Op.LOAD: 1, Op.RET: 1,
+    Op.STORE: 2, Op.STOREU: 2, Op.CALL: 2,
+    Op.BEQ: 3, Op.BNE: 3, Op.BLT: 3, Op.JMP: 3, Op.JMPI: 3,
+    Op.CLFLUSH: 4, Op.PREFETCH: 5, Op.RDRAND: 6, Op.RDTSC: 7,
+}
+
+#: ALU operation selector for O3Core._execute_alu (0 = ADD first: most
+#: common in the workloads).
+ALU_CODE_OF = {
+    Op.ADD: 0, Op.SUB: 1, Op.AND: 2, Op.OR: 3, Op.XOR: 4,
+    Op.SHL: 5, Op.SHR: 6, Op.MUL: 7, Op.DIV: 8, Op.MOVI: 9, Op.MOV: 10,
+}
+
+#: Fetch-time prediction selector: 0 not a branch, 1 conditional,
+#: 2 direct JMP, 3 CALL, 4 indirect JMPI, 5 RET.
+PRED_KIND_OF = {
+    Op.BEQ: 1, Op.BNE: 1, Op.BLT: 1,
+    Op.JMP: 2, Op.CALL: 3, Op.JMPI: 4, Op.RET: 5,
+}
+
+#: Commit-time special handling: 0 none, 1 MARK, 2 TRY, 3 FENCE/LFENCE,
+#: 4 HALT.
+RETIRE_KIND_OF = {
+    Op.MARK: 1, Op.TRY: 2, Op.FENCE: 3, Op.LFENCE: 3, Op.HALT: 4,
+}
 
 
 @dataclass
@@ -95,6 +159,13 @@ class Instruction:
 
     ``target`` holds a label name until :meth:`Program.finalize` resolves it
     to an instruction index.
+
+    Pipeline-static properties (ROB classification flags, execution latency
+    and issue-port class) are precomputed once here so the simulator's hot
+    loop reads plain attributes instead of hashing :class:`Op` members into
+    frozensets/dicts on every dispatch.  The flags use the ROB's semantics:
+    CALL *is* a store (it pushes the return address) and RET *is* a load
+    (it pops it).
     """
 
     op: Op
@@ -103,6 +174,33 @@ class Instruction:
     rs2: int = None
     imm: int = 0
     target: object = None  # label str before finalize, int PC after
+
+    def __post_init__(self):
+        op = self.op
+        self.is_load = op in LOAD_OPS or op is Op.RET
+        self.is_store = op in STORE_OPS or op is Op.CALL
+        self.is_branch = op in BRANCH_OPS
+        self.is_cond_branch = op in COND_BRANCH_OPS
+        self.is_shadowing = op in MISPREDICTABLE_OPS
+        self.is_memop = op is Op.LOAD or op is Op.STORE or op is Op.STOREU
+        self.is_halt = op is Op.HALT
+        self.exec_latency = OP_LATENCY.get(op, 1)
+        self.port = PORT_OF_OP.get(op, PORT_INT)
+        self.exec_kind = EXEC_KIND_OF.get(op, 0)
+        self.alu_code = ALU_CODE_OF.get(op, -1)  # -1: no result (NOP etc.)
+        self.pred_kind = PRED_KIND_OF.get(op, 0)
+        self.retire_kind = RETIRE_KIND_OF.get(op, 0)
+        self.srcs = tuple(r for r in (self.rs1, self.rs2) if r is not None)
+        # dispatch-stage bookkeeping mask: 0 for plain ALU ops, so the hot
+        # dispatch loop skips five flag checks with one integer test
+        # (1 store, 2 load, 4 shadowing, 8 memop, 16 fence/lfence)
+        self.disp_flags = (
+            (1 if self.is_store else 0)
+            | (2 if self.is_load else 0)
+            | (4 if self.is_shadowing else 0)
+            | (8 if self.is_memop else 0)
+            | (16 if self.retire_kind == 3 else 0)
+        )
 
     def source_regs(self):
         """Architectural registers this op reads."""

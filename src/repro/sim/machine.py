@@ -47,7 +47,7 @@ class Machine:
     """
 
     def __init__(self, program, config=None, sample_period=1000, actors=None,
-                 detector_hook=None):
+                 detector_hook=None, core_cls=None):
         self.program = program
         self.config = config if config is not None else SimConfig()
         self.counters = CounterBank()
@@ -84,7 +84,9 @@ class Machine:
         #: quarantine / migration response to a detected contention attack)
         self.actors_suspended = False
         self.cycle = 0
-        self.cpu = O3Core(self)
+        #: ``core_cls`` lets callers swap the scheduler implementation —
+        #: the equivalence tests run ReferenceO3Core against the default.
+        self.cpu = (core_cls or O3Core)(self)
         for reg, value in program.initial_regs.items():
             self.cpu.arch_regs[reg] = value
         self._warm_instruction_path()
@@ -99,8 +101,9 @@ class Machine:
         for pc in range(0, len(self.program), 8):
             self.hierarchy.access_inst(pc, 0)
             self.itlb.access(pc * 4)
-        # reset the counters the warm-up touched
-        self.counters.values = [0] * len(self.counters.values)
+        # reset the counters the warm-up touched (in place: fast-path code
+        # holds preresolved references into the bank — see CounterBank)
+        self.counters.reset()
 
     # -- hooks called by the core ------------------------------------------------
 
@@ -125,7 +128,7 @@ class Machine:
         wall_start = time.perf_counter()
         while not cpu.halted and self.cycle < max_cycles:
             cpu.step(self.cycle)
-            if not self.actors_suspended:
+            if actors and not self.actors_suspended:
                 for actor in actors:
                     if self.cycle % actor.period == 0:
                         actor.tick(self, self.cycle)

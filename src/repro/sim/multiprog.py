@@ -68,7 +68,9 @@ class TimeSharedMachine:
         # warm program B's instruction path too (A's was warmed by Machine)
         for pc in range(0, len(program_b), 8):
             self.machine.hierarchy.access_inst(pc, 0)
-        self.machine.counters.values = [0] * len(self.machine.counters.values)
+        # in-place reset: fast-path code holds preresolved references into
+        # the bank, so ``values`` must keep its identity (see CounterBank)
+        self.machine.counters.reset()
         self.current = 0
         self._load_context(0)
         self.switches = 0

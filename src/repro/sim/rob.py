@@ -2,10 +2,6 @@
 
 import enum
 
-from repro.sim.isa import (
-    Op, BRANCH_OPS, COND_BRANCH_OPS, LOAD_OPS, STORE_OPS,
-)
-
 
 class EntryState(enum.Enum):
     """Lifecycle of an in-flight ROB entry."""
@@ -13,6 +9,9 @@ class EntryState(enum.Enum):
     DISPATCHED = "dispatched"   # in the ROB/IQ, waiting for operands/port
     EXECUTING = "executing"     # issued; result arrives at done_cycle
     DONE = "done"               # result available, awaiting commit
+    SQUASHED = "squashed"       # removed from the ROB (terminal); lets the
+    #                             core's lazy lists detect dead entries with
+    #                             one identity check instead of a dict probe
 
 
 class FaultKind(enum.Enum):
@@ -26,44 +25,63 @@ class FaultKind(enum.Enum):
 class RobEntry:
     """One in-flight micro-op.
 
-    ``sources`` maps each source register to either ``("val", value)`` when
-    the operand was read from the architectural file at dispatch, or
-    ``("rob", seq)`` when it is produced by an older in-flight entry.
+    Operand values live in the ``v1``/``v2`` slots (for rs1/rs2).  The
+    optimized core captures them eagerly: at dispatch when the value is
+    already architectural or the producer is DONE (results are write-once,
+    and any younger writer of the same register commits after this entry
+    executes, so early capture reads the same value the execute stage
+    would), otherwise at the producer's completion via the producer's
+    ``waiters`` list of ``(consumer, slot)`` pairs.
+    The reference scheduler instead keeps the seed's ``sources`` dict —
+    register -> ``("val", value)`` | ``("rob", seq)`` — resolved lazily at
+    execute; the slot is left unset here and created by its dispatch.
     """
 
     __slots__ = (
-        "seq", "pc", "inst", "state", "sources", "result", "done_cycle",
-        "fault", "addr", "store_value", "is_load", "is_store", "is_branch",
-        "is_cond_branch", "predicted_taken", "predicted_target",
-        "actual_taken", "actual_target", "forwarded_from", "read_memory",
-        "invisible", "needs_expose", "issue_cycle", "under_shadow",
+        "seq", "pc", "inst", "state", "sources", "v1", "v2", "waiters",
+        "result", "done_cycle", "fault", "addr", "store_value", "is_load",
+        "is_store", "is_branch", "is_cond_branch", "predicted_taken",
+        "predicted_target", "actual_taken", "actual_target",
+        "forwarded_from", "read_memory", "invisible", "needs_expose",
+        "issue_cycle", "under_shadow", "pending_sources",
     )
 
-    def __init__(self, seq, pc, inst):
+    def __init__(self, seq, pc, inst, predicted_taken=None,
+                 predicted_target=None):
         self.seq = seq
         self.pc = pc
         self.inst = inst
         self.state = EntryState.DISPATCHED
-        self.sources = {}
+        self.waiters = None   # lazily created [(consumer, slot), ...]
         self.result = None
-        self.done_cycle = None
-        self.issue_cycle = None
         self.fault = FaultKind.NONE
-        self.addr = None            # effective address once computed
-        self.store_value = None     # value an in-flight store will write
-        self.is_load = inst.op in LOAD_OPS or inst.op is Op.RET
-        self.is_store = inst.op in STORE_OPS or inst.op is Op.CALL
-        self.is_branch = inst.op in BRANCH_OPS
-        self.is_cond_branch = inst.op in COND_BRANCH_OPS
-        self.predicted_taken = None
-        self.predicted_target = None
-        self.actual_taken = None
-        self.actual_target = None
-        self.forwarded_from = None  # seq of the store that forwarded to this load
-        self.read_memory = False    # load value came from memory, not forwarding
-        self.invisible = False      # issued as an InvisiSpec speculative access
         self.needs_expose = False
-        self.under_shadow = False   # issued under an unresolved branch
+        self.predicted_taken = predicted_taken
+        self.predicted_target = predicted_target
+        # classification flags precomputed by Instruction.__post_init__
+        is_load = inst.is_load
+        is_store = inst.is_store
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_branch = inst.is_branch
+        self.is_cond_branch = inst.is_cond_branch
+        # Kind-specific fields are only initialized where some reader can
+        # reach them before the execute stage assigns them:
+        #   loads  — addr/forwarded_from/read_memory/invisible are read by
+        #            the memory-order check and squash accounting,
+        #   stores — addr/store_value are scanned by the forwarding and
+        #            dependence logic while the store is still DISPATCHED.
+        # done_cycle / issue_cycle / under_shadow / actual_taken /
+        # actual_target are assigned at issue/execute before any read;
+        # v1/v2/pending_sources are assigned at dispatch.
+        if is_load:
+            self.addr = None
+            self.forwarded_from = None
+            self.read_memory = False
+            self.invisible = False
+        elif is_store:
+            self.addr = None
+            self.store_value = None
 
     @property
     def resolved(self):

@@ -34,7 +34,20 @@ class PhaseMark:
 
 
 class Sampler:
-    """Collects counter-delta windows every ``period`` committed insts."""
+    """Collects counter-delta windows every ``period`` committed insts.
+
+    Window boundaries lie on the period lattice: window *k* closes at the
+    commit of instruction ``(k+1) * period`` exactly.  The core calls
+    :meth:`on_commit` once per retired instruction, so regular windows are
+    always exact; :attr:`next_boundary` is public so the commit path can
+    skip the call entirely between boundaries.  Should a caller ever jump
+    ``committed`` past a boundary (e.g. direct use in tests), the boundary
+    advance below re-aligns to the lattice instead of drifting to
+    ``committed + period`` — the overshoot is recorded in that window's
+    ``commit_index`` but the next window still closes on the grid.  The
+    only sample whose ``commit_index`` may sit off the lattice is the
+    final partial window emitted by :meth:`flush`.
+    """
 
     def __init__(self, counters, period=1000):
         if period <= 0:
@@ -45,7 +58,8 @@ class Sampler:
         self.phase_marks: List[PhaseMark] = []
         self._current_phase = 0
         self._last_snapshot = counters.snapshot()
-        self._next_boundary = period
+        #: next committed-instruction count at which a window closes
+        self.next_boundary = period
         self._window_index = 0
         # cached instrument handles: one attribute increment per emitted
         # window (windows are >= ``period`` commits apart, so this is
@@ -59,7 +73,7 @@ class Sampler:
         self.phase_marks.append(PhaseMark(commit_index, phase))
 
     def on_commit(self, committed, cycle):
-        if committed < self._next_boundary:
+        if committed < self.next_boundary:
             return
         snap = self.counters.snapshot()
         deltas = [now - before for now, before
@@ -73,7 +87,12 @@ class Sampler:
         ))
         self._last_snapshot = snap
         self._window_index += 1
-        self._next_boundary = committed + self.period
+        # advance along the period lattice (never ``committed + period``,
+        # which would let one overshoot shift every later boundary)
+        boundary = self.next_boundary
+        while boundary <= committed:
+            boundary += self.period
+        self.next_boundary = boundary
         self._obs_windows.inc()
 
     def flush(self, committed, cycle):

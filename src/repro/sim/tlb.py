@@ -1,5 +1,9 @@
 """Translation lookaside buffers (LRU, page-granular)."""
 
+from repro.sim.hpc import CounterBank
+
+_IX = CounterBank.index_of
+
 
 class TLB:
     """Fully-associative LRU TLB over page numbers.
@@ -7,6 +11,11 @@ class TLB:
     ``prefix`` selects the counter namespace (``dtlb`` or ``itlb``); the
     data TLB distinguishes read and write accesses (``dtlb.rdMisses`` is one
     of the features in the paper's engineered security HPCs, Table I).
+
+    Recency is a dict in insertion order (first key = LRU victim): a hit
+    deletes and re-inserts its page, both O(1), exactly reproducing the
+    old list's move-to-back / pop-front behaviour without its O(entries)
+    scans on every translation.
     """
 
     def __init__(self, entries, page_bytes, miss_latency, counters, prefix):
@@ -15,31 +24,49 @@ class TLB:
         self.miss_latency = miss_latency
         self.counters = counters
         self.prefix = prefix
-        self._pages = []  # LRU order, last = most recent
+        self._is_dtlb = prefix == "dtlb"
+        if self._is_dtlb:
+            self._ix_accesses = (_IX("dtlb.rdAccesses"), _IX("dtlb.wrAccesses"))
+            self._ix_misses = (_IX("dtlb.rdMisses"), _IX("dtlb.wrMisses"))
+            self._ix_walk = _IX("dtlb.walkCycles")
+        else:
+            self._ix_accesses = (_IX("itlb.accesses"), _IX("itlb.accesses"))
+            self._ix_misses = (_IX("itlb.misses"), _IX("itlb.misses"))
+            self._ix_walk = None
+        self._pages = {}  # page -> None, insertion order = LRU order
+        #: the most recently translated page: present and at MRU, so a
+        #: repeat translation can skip the dict entirely.  Only valid when
+        #: the TLB holds >1 entry (with 1 entry, MRU == LRU victim); -1
+        #: disables the fast path (pages are never negative, and unlike
+        #: False it cannot compare equal to page 0)
+        self._last_page = None if entries > 1 else -1
 
     def page_of(self, addr):
         return addr // self.page_bytes
 
     def access(self, addr, is_write=False):
         """Translate; returns extra latency (0 on a TLB hit)."""
-        page = self.page_of(addr)
-        c = self.counters
-        if self.prefix == "dtlb":
-            c.bump("dtlb.wrAccesses" if is_write else "dtlb.rdAccesses")
-        else:
-            c.bump("itlb.accesses")
-        if page in self._pages:
-            self._pages.remove(page)
-            self._pages.append(page)
+        page = addr // self.page_bytes
+        v = self.counters.values
+        v[self._ix_accesses[is_write]] += 1
+        if page == self._last_page:
+            return 0               # present and MRU: guaranteed hit
+        pages = self._pages
+        if page in pages:
+            if next(reversed(pages)) != page:
+                del pages[page]    # refresh recency: re-insert at the back
+                pages[page] = None
+            if self._last_page != -1:
+                self._last_page = page
             return 0
-        if self.prefix == "dtlb":
-            c.bump("dtlb.wrMisses" if is_write else "dtlb.rdMisses")
-            c.bump("dtlb.walkCycles", self.miss_latency)
-        else:
-            c.bump("itlb.misses")
-        self._pages.append(page)
-        if len(self._pages) > self.entries:
-            self._pages.pop(0)
+        v[self._ix_misses[is_write]] += 1
+        if self._ix_walk is not None:
+            v[self._ix_walk] += self.miss_latency
+        pages[page] = None
+        if len(pages) > self.entries:
+            del pages[next(iter(pages))]   # evict the least recent
+        if self._last_page != -1:
+            self._last_page = page
         return self.miss_latency
 
     def contains(self, addr):
@@ -47,3 +74,5 @@ class TLB:
 
     def flush(self):
         self._pages.clear()
+        if self._last_page != -1:
+            self._last_page = None

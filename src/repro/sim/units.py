@@ -1,30 +1,21 @@
 """Execution ports, operation latencies, and the shared hardware RNG unit."""
 
-from repro.sim.isa import Op
+from repro.sim.hpc import CounterBank
+from repro.sim.isa import (
+    OP_LATENCY, PORT_INT, PORT_MULDIV, PORT_MEM, PORT_OF_OP,
+)
 
+_IX = CounterBank.index_of
 
-#: Execution latency (cycles) per op kind, excluding memory time.
-OP_LATENCY = {
-    Op.ADD: 1, Op.SUB: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1,
-    Op.SHL: 1, Op.SHR: 1, Op.MOV: 1, Op.MOVI: 1,
-    Op.MUL: 4, Op.DIV: 16,
-    Op.BEQ: 1, Op.BNE: 1, Op.BLT: 1, Op.JMP: 1, Op.JMPI: 1,
-    Op.CALL: 1, Op.RET: 1,
-    Op.FENCE: 1, Op.LFENCE: 1, Op.TRY: 1, Op.MARK: 1, Op.NOP: 1,
-    Op.HALT: 1, Op.RDTSC: 1, Op.PREFETCH: 1,
-    # LOAD/STORE/CLFLUSH/RDRAND latencies are computed dynamically.
-}
+_C_PORTCONTENTION = _IX("iew.portContentionCycles")
+_C_INTALU = _IX("iew.intAluAccesses")
+_C_MULDIV = _IX("iew.mulDivAccesses")
+_C_RNG_REFILLS = _IX("rng.refills")
+_C_RNG_READS = _IX("rng.reads")
+_C_RNG_UNDERFLOWS = _IX("rng.underflows")
+_C_RNG_CONTENTION = _IX("rng.contentionCycles")
 
-#: Port class per op kind.
-PORT_INT = "int"
-PORT_MULDIV = "muldiv"
-PORT_MEM = "mem"
-
-_PORT_OF = {
-    Op.MUL: PORT_MULDIV, Op.DIV: PORT_MULDIV, Op.RDRAND: PORT_MULDIV,
-    Op.LOAD: PORT_MEM, Op.STORE: PORT_MEM, Op.STOREU: PORT_MEM,
-    Op.CLFLUSH: PORT_MEM, Op.PREFETCH: PORT_MEM,
-}
+_PORT_OF = PORT_OF_OP
 
 
 def port_of(op):
@@ -40,20 +31,20 @@ class ExecPorts:
     """
 
     def __init__(self, config, counters):
-        self.capacity = {
-            PORT_INT: config.int_alu_units,
-            PORT_MULDIV: config.mul_div_units,
-            PORT_MEM: config.mem_ports,
-        }
+        # lists indexed by PORT_INT / PORT_MULDIV / PORT_MEM (0/1/2)
+        self.capacity = [config.int_alu_units, config.mul_div_units,
+                         config.mem_ports]
         self.counters = counters
-        self._used = {PORT_INT: 0, PORT_MULDIV: 0, PORT_MEM: 0}
-        self._stolen = {PORT_INT: 0, PORT_MULDIV: 0, PORT_MEM: 0}
+        self._used = [0, 0, 0]
+        self._stolen = [0, 0, 0]
 
     def new_cycle(self):
         """Reset per-cycle usage; stolen ports apply to the new cycle."""
-        for k in self._used:
-            self._used[k] = self._stolen[k]
-            self._stolen[k] = 0
+        used, stolen = self._used, self._stolen
+        used[PORT_INT] = stolen[PORT_INT]
+        used[PORT_MULDIV] = stolen[PORT_MULDIV]
+        used[PORT_MEM] = stolen[PORT_MEM]
+        stolen[PORT_INT] = stolen[PORT_MULDIV] = stolen[PORT_MEM] = 0
 
     def steal(self, port, count=1):
         """Reserve ``count`` ports of a class for the next cycle."""
@@ -61,15 +52,21 @@ class ExecPorts:
 
     def try_issue(self, op):
         """Claim a port for ``op`` this cycle; False when saturated."""
-        port = port_of(op)
-        if self._used[port] >= self.capacity[port]:
-            self.counters.bump("iew.portContentionCycles")
+        return self.try_issue_port(_PORT_OF.get(op, PORT_INT))
+
+    def try_issue_port(self, port):
+        """Port-direct variant of :meth:`try_issue` for callers that cached
+        the port class (``Instruction.port``); identical accounting."""
+        used = self._used
+        v = self.counters.values
+        if used[port] >= self.capacity[port]:
+            v[_C_PORTCONTENTION] += 1
             return False
-        self._used[port] += 1
+        used[port] += 1
         if port == PORT_INT:
-            self.counters.bump("iew.intAluAccesses")
+            v[_C_INTALU] += 1
         elif port == PORT_MULDIV:
-            self.counters.bump("iew.mulDivAccesses")
+            v[_C_MULDIV] += 1
         return True
 
     def pressure(self, port):
@@ -98,21 +95,21 @@ class RngUnit:
             refilled = min(self.level + gained,
                            self.config.rng_buffer_entries) - self.level
             if refilled > 0:
-                self.counters.bump("rng.refills", refilled)
+                self.counters.values[_C_RNG_REFILLS] += refilled
             self.level += refilled
             self._last_refill = cycle
 
     def read(self, cycle):
         """Consume one entropy word; returns (value, latency)."""
         self._refill(cycle)
-        self.counters.bump("rng.reads")
+        self.counters.values[_C_RNG_READS] += 1
         # deterministic "random" value: mixed cycle bits
         value = (cycle * 2654435761) & 0xFFFF
         if self.level > 0:
             self.level -= 1
             return value, self.config.rng_fast_latency
-        self.counters.bump("rng.underflows")
-        self.counters.bump("rng.contentionCycles", self.config.rng_slow_latency)
+        self.counters.values[_C_RNG_UNDERFLOWS] += 1
+        self.counters.values[_C_RNG_CONTENTION] += self.config.rng_slow_latency
         return value, self.config.rng_slow_latency
 
     def drain(self, cycle, amount):
@@ -121,5 +118,5 @@ class RngUnit:
         consumed = min(self.level, amount)
         self.level -= consumed
         if consumed:
-            self.counters.bump("rng.reads", consumed)
+            self.counters.values[_C_RNG_READS] += consumed
         return consumed

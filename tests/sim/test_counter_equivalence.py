@@ -1,0 +1,111 @@
+"""Bit-exactness of the optimized scheduler against the reference spec.
+
+The counters ARE the dataset: every detector feature is a
+:class:`~repro.sim.hpc.CounterBank` delta, so the hot-loop overhaul
+(preresolved counter slots, eager operand capture, wakeup lists, the
+completion heap) must not move a single event by a single window.  These
+tests run the optimized :class:`~repro.sim.cpu.O3Core` and the seed
+:class:`~repro.sim.reference.ReferenceO3Core` over identical programs and
+require identical sampler delta streams, final counter snapshots, cycle
+counts, committed counts and halt reasons.  The full matrix (all defense
+modes on both benign and attack programs) lives in
+``scripts/bench_sim.py``; this suite keeps the fast representative slice
+in tier-1.
+"""
+
+import pytest
+
+from repro.attacks import ATTACKS_BY_NAME
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.config import DefenseMode
+from repro.sim.cpu import O3Core
+from repro.sim.reference import ReferenceO3Core
+from repro.workloads import WORKLOAD_BUILDERS
+
+
+def _counter_stream(core_cls, program, config, sample_period=500,
+                    max_cycles=60_000):
+    machine = Machine(program, config, sample_period=sample_period,
+                      core_cls=core_cls)
+    machine.run(max_cycles=max_cycles)
+    return {
+        "sampler_deltas": tuple(tuple(s.deltas)
+                                for s in machine.sampler.samples),
+        "window_commits": tuple(s.commit_index
+                                for s in machine.sampler.samples),
+        "snapshot": tuple(machine.counters.values),
+        "cycle": machine.cpu.cycle,
+        "committed": machine.cpu.committed,
+        "halt_reason": machine.cpu.halt_reason,
+    }
+
+
+def _assert_bit_identical(program, config, **kwargs):
+    reference = _counter_stream(ReferenceO3Core, program, config, **kwargs)
+    optimized = _counter_stream(O3Core, program, config, **kwargs)
+    # compare field by field so a failure names what diverged
+    for key, expected in reference.items():
+        assert optimized[key] == expected, f"{key} diverged from reference"
+
+
+@pytest.mark.parametrize("workload", ["astar", "stream", "pointer-chase"])
+def test_seeded_workloads_bit_identical(workload):
+    program = WORKLOAD_BUILDERS[workload](scale=2, seed=1)
+    _assert_bit_identical(program, SimConfig())
+
+
+@pytest.mark.parametrize("attack", ["spectre-pht", "meltdown"])
+def test_attacks_bit_identical(attack):
+    program, _ = ATTACKS_BY_NAME[attack]().build()
+    _assert_bit_identical(program, SimConfig())
+
+
+@pytest.mark.parametrize("mode", [DefenseMode.FENCE_SPECTRE,
+                                  DefenseMode.FENCE_FUTURISTIC,
+                                  DefenseMode.INVISISPEC_SPECTRE,
+                                  DefenseMode.INVISISPEC_FUTURISTIC])
+def test_defense_modes_bit_identical(mode):
+    program, _ = ATTACKS_BY_NAME["spectre-pht"]().build()
+    _assert_bit_identical(program, SimConfig(defense=mode))
+
+
+def test_no_stl_speculation_bit_identical():
+    # stl_speculation=False takes the blockedLoads path in _load_may_issue
+    program = WORKLOAD_BUILDERS["astar"](scale=2, seed=1)
+    _assert_bit_identical(program, SimConfig(stl_speculation=False))
+
+
+def test_sampler_windows_close_on_period_lattice():
+    """Regression for the window-boundary overshoot: with commit_width > 1
+    a window used to close several instructions past the period.  Every
+    regular window must now end exactly on the 100-instruction lattice
+    (only the final partial window may sit off it)."""
+    program = WORKLOAD_BUILDERS["astar"](scale=2, seed=1)
+    config = SimConfig()
+    assert config.commit_width > 1  # the overshoot needs superscalar commit
+    machine = Machine(program, config, sample_period=100)
+    machine.run(max_cycles=60_000)
+    samples = machine.sampler.samples
+    assert len(samples) > 3
+    for sample in samples[:-1]:
+        assert sample.commit_index % 100 == 0, (
+            f"window {sample.window_index} closed at "
+            f"commit {sample.commit_index}, off the 100-inst lattice")
+
+
+def test_icache_eviction_does_not_crash():
+    """Regression: the first L1I eviction used to raise KeyError because
+    the instruction cache has no ``cleanEvicts``/``writebacks`` counters
+    in its namespace.  A straight-line program larger than L1I forces
+    evictions on both cores."""
+    builder = ProgramBuilder()
+    builder.movi(1, 0)
+    for _ in range(9000):  # > 32KB of code: overflows the L1I
+        builder.addi(1, 1, 1)
+    builder.halt()
+    program = builder.build()
+    for core_cls in (O3Core, ReferenceO3Core):
+        machine = Machine(program, SimConfig(), core_cls=core_cls)
+        machine.run(max_cycles=200_000)
+        assert machine.cpu.halt_reason == "halt"
+        assert machine.counters.get("icache.replacements") > 0

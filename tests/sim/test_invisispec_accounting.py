@@ -1,0 +1,61 @@
+"""InvisiSpec expose-stall accounting contract.
+
+Regression for the commit-path bug where the early ``return`` on
+``needs_expose`` skipped the idle-cycle bookkeeping and re-counted the
+expose on every stalled commit attempt: ``specbuf.exposes`` must count
+expose *events* exactly once per exposed load, and
+``specbuf.validationStalls`` the commit cycles stalled by validation, so
+
+    validationStalls == exposes * invisispec_expose_latency
+
+holds for any run (the contract documented on ``O3Core._expose``).
+"""
+
+import pytest
+
+from repro.attacks import ATTACKS_BY_NAME
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.config import DefenseMode
+from repro.sim.cpu import O3Core
+from repro.sim.reference import ReferenceO3Core
+
+
+def _single_load_program():
+    builder = ProgramBuilder()
+    builder.data(0x9000, 42)
+    builder.movi(1, 0x9000)
+    builder.load(2, 1, 0)
+    builder.halt()
+    return builder.build()
+
+
+def test_single_exposed_load_counts_once():
+    """Under the futuristic model every load is serviced invisibly, so one
+    committed load means exactly one expose and exactly one stall block —
+    no double counting while the stalled commit port re-polls the head."""
+    config = SimConfig(defense=DefenseMode.INVISISPEC_FUTURISTIC)
+    machine = Machine(_single_load_program(), config)
+    machine.run(max_cycles=10_000)
+    counters = machine.counters
+    assert machine.cpu.halt_reason == "halt"
+    assert counters.get("specbuf.exposes") == 1
+    assert (counters.get("specbuf.validationStalls")
+            == config.invisispec_expose_latency)
+    # the stalled commit cycles surface as idle cycles via the
+    # no-retirement path in O3Core.step
+    assert counters.get("cpu.idleCycles") >= config.invisispec_expose_latency
+
+
+@pytest.mark.parametrize("mode", [DefenseMode.INVISISPEC_SPECTRE,
+                                  DefenseMode.INVISISPEC_FUTURISTIC])
+@pytest.mark.parametrize("core_cls", [O3Core, ReferenceO3Core])
+def test_stalls_track_exposes_exactly(mode, core_cls):
+    program, _ = ATTACKS_BY_NAME["spectre-pht"]().build()
+    config = SimConfig(defense=mode)
+    machine = Machine(program, config, core_cls=core_cls)
+    machine.run(max_cycles=60_000)
+    counters = machine.counters
+    exposes = counters.get("specbuf.exposes")
+    assert exposes > 0, "attack run should expose at least one load"
+    assert (counters.get("specbuf.validationStalls")
+            == exposes * config.invisispec_expose_latency)
