@@ -10,15 +10,15 @@ crash a long collection run.  The hot loop no longer even goes through
 fails at import for the optimized core but not for any string literal
 that only a cold path touches.
 
-This script closes the gap: it AST-walks every module under
-``src/repro/sim/`` and extracts the first-argument string literal of
-every ``*.bump(...)``, ``*.get(...)``, ``*.index_of(...)`` / ``_IX(...)``
-and ``CounterBank.has(...)`` call, then fails if any literal is not in
-``COUNTER_NAMES``.  Dynamically built names (f-strings such as the
-per-cache ``f"{prefix}.cleanEvicts"``) cannot be checked statically and
-are skipped — keep those behind a ``CounterBank.has`` guard.
+This script is now a thin wrapper over the ``catalog-counters`` rule of
+``repro.analysis.lint`` (the extraction logic moved there verbatim —
+see ``docs/static_analysis.md``); CLI and exit behaviour are unchanged.
+Dynamically built names (f-strings such as the per-cache
+``f"{prefix}.cleanEvicts"``) cannot be checked statically and are
+skipped — keep those behind a ``CounterBank.has`` guard.
 
-Run from the repo root (wired into scripts/ci.sh):
+Run from the repo root (scripts/ci.sh runs the full linter, which
+includes this rule):
 
     PYTHONPATH=src python scripts/check_counters.py
 """
@@ -32,58 +32,25 @@ SIM_DIR = REPO / "src" / "repro" / "sim"
 
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.analysis.lint import run_lint  # noqa: E402
+from repro.analysis.lint.rules.catalog import (  # noqa: E402
+    iter_counter_literals,
+)
 from repro.sim.hpc import COUNTER_NAMES  # noqa: E402
-
-#: method/function names whose first string-literal argument is a counter
-#: name.  ``get`` is only counter-related on a CounterBank, but a plain
-#: string literal that *happens* to be a counter name is harmless to
-#: accept, and dict ``.get("other")`` calls pass non-counter strings we
-#: can recognize and skip only by the unknown-name failure itself — so
-#: ``get`` literals are checked only when they contain a dot (every
-#: counter name is namespaced, no dict key under sim/ is).
-_CHECKED_CALLS = {"bump", "index_of", "has", "_IX"}
-_DOTTED_ONLY_CALLS = {"get"}
-
-
-def _callee_name(func):
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
-
-
-def extract_counter_literals(tree):
-    """Yield (name, lineno) for every statically-visible counter literal."""
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call) or not node.args:
-            continue
-        callee = _callee_name(node.func)
-        if callee not in _CHECKED_CALLS and callee not in _DOTTED_ONLY_CALLS:
-            continue
-        arg = node.args[0]
-        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
-            continue  # dynamic name (f-string etc.): not statically checkable
-        if callee in _DOTTED_ONLY_CALLS and "." not in arg.value:
-            continue  # un-namespaced literal: a dict .get, not a counter
-        yield arg.value, node.lineno
 
 
 def main():
-    known = frozenset(COUNTER_NAMES)
-    unknown = []
+    result = run_lint([SIM_DIR], root=REPO, select=["catalog-counters"])
+    if result.findings:
+        print("check_counters: unknown counter names:", file=sys.stderr)
+        for finding in result.findings:
+            print(f"  {finding.path}:{finding.line}: "
+                  f"{finding.data['name']!r}", file=sys.stderr)
+        return 1
     checked = 0
     for path in sorted(SIM_DIR.rglob("*.py")):
         tree = ast.parse(path.read_text(), filename=str(path))
-        for name, lineno in extract_counter_literals(tree):
-            checked += 1
-            if name not in known:
-                unknown.append((path.relative_to(REPO), lineno, name))
-    if unknown:
-        print("check_counters: unknown counter names:", file=sys.stderr)
-        for path, lineno, name in unknown:
-            print(f"  {path}:{lineno}: {name!r}", file=sys.stderr)
-        return 1
+        checked += sum(1 for _ in iter_counter_literals(tree))
     print(f"check_counters: {checked} counter-name literals under "
           f"src/repro/sim/ all resolve against COUNTER_NAMES "
           f"({len(COUNTER_NAMES)} defined)")

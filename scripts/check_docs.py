@@ -2,56 +2,40 @@
 """Docs link checker: fail on broken relative links in the repo's
 Markdown files.
 
-Scans every tracked ``*.md`` (repo root, ``docs/``, ``benchmarks/``,
-``examples/`` — anything except virtualenv/cache directories), extracts
-``[text](target)`` links, and verifies that each relative target exists
-on disk.  External links (``http(s)://``, ``mailto:``) and pure anchors
-(``#section``) are skipped; an anchor suffix on a relative link is
-stripped before the existence check.
+Now a thin wrapper over the ``docs-links`` rule of
+``repro.analysis.lint`` (see ``docs/static_analysis.md``); CLI and exit
+behaviour are unchanged.  Scans every tracked ``*.md`` (repo root,
+``docs/``, ``benchmarks/``, ``examples/`` — anything except
+virtualenv/cache directories), extracts ``[text](target)`` links, and
+verifies that each relative target exists on disk.  External links
+(``http(s)://``, ``mailto:``) and pure anchors (``#section``) are
+skipped; an anchor suffix on a relative link is stripped before the
+existence check.
 
 Exit status 0 when every relative link resolves, 1 otherwise (one line
-per broken link: ``file:line: target``).
+per broken link: ``file:line: broken link -> target``).
 """
 
-import re
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
-SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
-             ".venv", "venv", ".eggs"}
-LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+sys.path.insert(0, str(ROOT / "src"))
 
-def markdown_files():
-    for path in sorted(ROOT.rglob("*.md")):
-        if not SKIP_DIRS.intersection(path.relative_to(ROOT).parts):
-            yield path
-
-
-def broken_links(path):
-    for lineno, line in enumerate(path.read_text().splitlines(), 1):
-        for target in LINK.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
-                continue
-            relative = target.split("#", 1)[0]
-            if relative and not (path.parent / relative).exists():
-                yield lineno, target
+from repro.analysis.lint import run_lint  # noqa: E402
 
 
 def main():
-    failures = 0
-    checked = 0
-    for path in markdown_files():
-        checked += 1
-        for lineno, target in broken_links(path):
-            rel = path.relative_to(ROOT)
-            print(f"{rel}:{lineno}: broken link -> {target}")
-            failures += 1
-    if failures:
-        print(f"docs check: {failures} broken link(s)", file=sys.stderr)
+    result = run_lint([ROOT], root=ROOT, select=["docs-links"])
+    for finding in result.findings:
+        print(f"{finding.path}:{finding.line}: {finding.message}")
+    if result.findings:
+        print(f"docs check: {len(result.findings)} broken link(s)",
+              file=sys.stderr)
         return 1
-    print(f"docs check: {checked} markdown files, all relative links ok")
+    print(f"docs check: {result.files['markdown']} markdown files, "
+          f"all relative links ok")
     return 0
 
 

@@ -16,9 +16,12 @@ export REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-180}"
 
 python scripts/check_docs.py
 
-# every counter-name literal under src/repro/sim/ must exist in
-# COUNTER_NAMES (typos on cold paths otherwise survive until they fire)
-python scripts/check_counters.py
+# static contract lint over the whole tree: determinism, atomic IO,
+# catalog hygiene (subsumes the old check_counters.py invocation),
+# error contracts — see docs/static_analysis.md.  JSON findings land
+# next to the run so manifests/ops tooling can ingest them.
+python -m repro.analysis.lint src tests scripts --format text \
+    --json-out "${REPRO_LINT_JSON:-.lint-findings.json}"
 
 # fast bit-exactness smoke: optimized scheduler vs reference spec on a
 # workload, an attack, and an InvisiSpec mode (~2s; full matrix +

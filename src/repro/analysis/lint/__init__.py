@@ -1,0 +1,48 @@
+"""``repro.analysis.lint`` — AST-based contract linter.
+
+A reusable static-analysis engine (rule registry, per-rule severity and
+path scoping, inline ``# repro-lint: disable=<rule>`` suppressions,
+text/JSON reporters, a strict exit-code contract) plus the shipped
+ruleset encoding this repo's invariants:
+
+* **determinism** — no wall-clock reads, module-level/unseeded RNG, or
+  bare-set iteration in ``sim/``, ``ml/``, ``core/``, ``data/``;
+* **atomic IO** — no raw write-mode ``open`` outside
+  ``runtime/atomic.py`` and ``obs/``;
+* **catalog hygiene** — counter/metric/event name literals must exist
+  in ``repro.sim.hpc.COUNTER_NAMES`` / ``repro.obs.names``;
+* **error contracts** — no swallowing ``except Exception``;
+* **docs links** — relative Markdown links must resolve.
+
+Run it: ``python -m repro.analysis.lint src tests scripts``.
+Design, rule table, and how to add a rule: ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.lint.engine import (
+    FileContext, LintEngine, LintResult, run_lint,
+)
+from repro.analysis.lint.findings import ERROR, WARNING, Finding
+from repro.analysis.lint.registry import (
+    LintUsageError, Rule, default_rules, register, resolve_rules,
+)
+from repro.analysis.lint.reporters import (
+    JSON_SCHEMA, render_json, render_text,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "FileContext",
+    "JSON_SCHEMA",
+    "LintEngine",
+    "LintResult",
+    "LintUsageError",
+    "Rule",
+    "default_rules",
+    "register",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_lint",
+]

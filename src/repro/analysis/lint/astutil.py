@@ -1,0 +1,39 @@
+"""Small AST helpers shared by the rule implementations."""
+
+import ast
+
+
+def dotted_name(node):
+    """Render a pure ``Name``/``Attribute`` chain as ``"a.b.c"``.
+
+    Returns ``None`` for anything else (subscripts, calls, literals) —
+    rules treat those as dynamic and skip them.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_callee(call):
+    """The last component of a call target (method or function name)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def first_str_arg(call):
+    """The first positional argument if it is a string literal, else
+    ``None`` (f-strings and variables are dynamic — not checkable)."""
+    if call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None

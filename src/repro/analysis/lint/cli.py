@@ -1,0 +1,98 @@
+"""``python -m repro.analysis.lint`` — the linter's command line.
+
+Exit-code contract (relied on by ``scripts/ci.sh`` and the wrapper
+scripts):
+
+* ``0`` — no findings at or above the ``--fail-on`` gate;
+* ``1`` — at least one gated finding (each printed as
+  ``path:line:col``);
+* ``2`` — usage error (unknown rule, nonexistent path, bad flags).
+
+``--json-out`` always writes the machine-readable payload (atomically,
+via :mod:`repro.runtime.atomic`) regardless of ``--format``, so CI can
+show text to humans and hand JSON to manifests/ops tooling in one run.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lint.engine import LintEngine
+from repro.analysis.lint.findings import ERROR, WARNING
+from repro.analysis.lint.registry import LintUsageError, resolve_rules
+from repro.analysis.lint.reporters import render_json, render_text
+
+
+def _csv(value):
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.lint",
+        description="AST-based contract linter: determinism, atomic IO, "
+                    "catalog hygiene, error contracts, docs links "
+                    "(see docs/static_analysis.md)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(e.g. src tests scripts)")
+    parser.add_argument("--root", default=".",
+                        help="engine root for rule path scoping "
+                             "(default: cwd; run from the repo root)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", help="stdout report format")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the JSON payload to this file "
+                             "(atomic write)")
+    parser.add_argument("--select", type=_csv, default=None,
+                        metavar="RULE[,RULE]",
+                        help="run only these rules")
+    parser.add_argument("--ignore", type=_csv, default=None,
+                        metavar="RULE[,RULE]",
+                        help="skip these rules")
+    parser.add_argument("--fail-on", choices=[ERROR, WARNING],
+                        default=ERROR,
+                        help="lowest severity that fails the run "
+                             "(default: error)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _list_rules():
+    for rule in resolve_rules():
+        scope = ", ".join(rule.include) if rule.include else "(everywhere)"
+        print(f"{rule.name:18s} {rule.severity:7s} "
+              f"[{'/'.join(rule.file_kinds)}] {scope}")
+        print(f"{'':18s} {rule.description}")
+    return 0
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    if not args.paths:
+        parser.error("no paths given (try: src tests scripts)")
+    try:
+        rules = resolve_rules(select=args.select, ignore=args.ignore)
+        engine = LintEngine(rules=rules, root=args.root)
+        result = engine.run(args.paths)
+    except LintUsageError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    payload = render_json(result, root=engine.root)
+    if args.json_out:
+        from repro.runtime.atomic import atomic_write_bytes
+        atomic_write_bytes(args.json_out,
+                           (json.dumps(payload, indent=2) + "\n").encode())
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(result))
+    return 1 if result.failing(args.fail_on) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

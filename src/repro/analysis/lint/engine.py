@@ -1,0 +1,162 @@
+"""The lint engine: file discovery, parsing, rule dispatch.
+
+One :class:`LintEngine` owns a ruleset and an engine root (the repo
+root in normal use).  :meth:`LintEngine.run` walks the given paths,
+builds one :class:`FileContext` per discovered file, parses Python
+files once (shared by every AST rule), applies inline suppressions,
+and returns a :class:`LintResult` with deterministically sorted
+findings.
+
+Scoped rules (``Rule.include``/``exclude``) key off paths relative to
+the engine root, e.g. ``src/repro/sim/`` — run the engine from the
+repo root (or pass ``root=``) so those prefixes line up.
+"""
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.findings import ERROR, Finding, severity_rank
+from repro.analysis.lint.registry import LintUsageError, resolve_rules
+from repro.analysis.lint.suppress import is_suppressed, suppressions
+
+#: directories never descended into during discovery
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
+             ".venv", "venv", ".eggs", ".hypothesis", ".mypy_cache",
+             ".ruff_cache"}
+
+#: file suffix -> kind handed to rules via ``Rule.file_kinds``
+KINDS = {".py": "python", ".md": "markdown"}
+
+#: engine-level pseudo-rule for unparseable Python files
+PARSE_ERROR_RULE = "parse-error"
+
+
+class FileContext:
+    """Everything a rule may need about one file (AST built lazily,
+    shared across rules)."""
+
+    def __init__(self, path, root, kind):
+        self.path = Path(path)
+        self.root = Path(root)
+        self.kind = kind
+        self.relpath = _relpath(self.path, self.root)
+        self.text = self.path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self._tree = None
+
+    @property
+    def tree(self):
+        """The parsed AST (raises ``SyntaxError`` on a broken file)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list
+    files: dict                 # kind -> count of files checked
+    suppressed: int
+    rules: list = field(default_factory=list)
+
+    def counts_by_severity(self):
+        counts = {}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
+    def failing(self, fail_on=ERROR):
+        """Findings at or above the gate severity."""
+        gate = severity_rank(fail_on)
+        return [f for f in self.findings
+                if severity_rank(f.severity) >= gate]
+
+
+def _relpath(path, root):
+    return os.path.relpath(os.path.abspath(path),
+                           os.path.abspath(root)).replace(os.sep, "/")
+
+
+def _skip(path):
+    return bool(SKIP_DIRS.intersection(path.parts)) or \
+        any(part.endswith(".egg-info") for part in path.parts)
+
+
+class LintEngine:
+    """Run a ruleset over a file tree."""
+
+    def __init__(self, rules=None, root=None):
+        self.rules = list(rules) if rules is not None else resolve_rules()
+        self.root = Path(root or os.getcwd()).resolve()
+        #: only discover kinds some active rule can act on
+        self.kinds = {kind for rule in self.rules
+                      for kind in rule.file_kinds}
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(self, paths):
+        """Yield ``(path, kind)`` for every lintable file under
+        ``paths`` (files or directories), sorted for determinism."""
+        found = []
+        for raw in paths:
+            path = Path(raw)
+            if not path.exists():
+                raise LintUsageError(f"no such path: {raw}")
+            if path.is_file():
+                kind = KINDS.get(path.suffix)
+                if kind in self.kinds:
+                    found.append((path, kind))
+                continue
+            for suffix, kind in KINDS.items():
+                if kind not in self.kinds:
+                    continue
+                for child in path.rglob(f"*{suffix}"):
+                    if not _skip(child.relative_to(path)):
+                        found.append((child, kind))
+        unique = {os.path.abspath(p): (Path(p), kind) for p, kind in found}
+        return [unique[key] for key in sorted(unique)]
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, paths):
+        findings = []
+        files = {kind: 0 for kind in sorted(self.kinds)}
+        suppressed = 0
+        for path, kind in self.discover(paths):
+            ctx = FileContext(path, self.root, kind)
+            files[kind] += 1
+            active = [rule for rule in self.rules
+                      if kind in rule.file_kinds
+                      and rule.applies_to(ctx.relpath)]
+            if not active:
+                continue
+            if kind == "python":
+                try:
+                    ctx.tree
+                except SyntaxError as exc:
+                    findings.append(Finding(
+                        rule=PARSE_ERROR_RULE, severity=ERROR,
+                        path=ctx.relpath, line=exc.lineno or 1,
+                        col=exc.offset or 1,
+                        message=f"syntax error: {exc.msg}"))
+                    continue
+            table = suppressions(ctx.text)
+            for rule in active:
+                for finding in rule.check(ctx):
+                    if is_suppressed(table, finding):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+        findings.sort(key=Finding.sort_key)
+        return LintResult(findings=findings, files=files,
+                          suppressed=suppressed, rules=self.rules)
+
+
+def run_lint(paths, root=None, select=None, ignore=None):
+    """One-call convenience: resolve rules, build an engine, run it."""
+    rules = resolve_rules(select=select, ignore=ignore)
+    return LintEngine(rules=rules, root=root).run(paths)

@@ -1,0 +1,54 @@
+"""Finding and severity model for the contract linter.
+
+A :class:`Finding` is one rule violation pinned to a ``path:line:col``
+location.  ``path`` is always relative to the engine root and uses
+POSIX separators, so findings serialize identically regardless of where
+the engine was invoked from.  The optional ``data`` dict carries
+machine-readable fields (the offending counter name, the broken link
+target) so wrappers and ops tooling never have to parse ``message``.
+"""
+
+from dataclasses import dataclass, field
+
+#: severity levels, ordered; the CLI ``--fail-on`` gate compares ranks
+ERROR = "error"
+WARNING = "warning"
+
+_SEVERITY_RANK = {WARNING: 0, ERROR: 1}
+
+
+def severity_rank(severity):
+    """Numeric rank for gate comparisons (higher = more severe)."""
+    return _SEVERITY_RANK[severity]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str            # engine-root-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    data: dict = field(default=None, compare=False)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+    def location(self):
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self):
+        record = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.data:
+            record["data"] = dict(self.data)
+        return record

@@ -1,0 +1,100 @@
+"""Rule base class and the global rule registry.
+
+Rules register themselves at import time with the :func:`register`
+decorator; :func:`default_rules` imports the shipped ruleset package
+(``repro.analysis.lint.rules``) so registration is a side effect of the
+first call, and returns one fresh instance per registered rule, sorted
+by name for deterministic engine output.
+"""
+
+from repro.analysis.lint.findings import ERROR, Finding
+
+
+class LintUsageError(ValueError):
+    """Bad engine input (unknown rule name, nonexistent path)."""
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: add a :class:`Rule` subclass to the registry."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+class Rule:
+    """One lintable contract.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    a generator of :class:`Finding` objects for one file context.
+
+    ``include``/``exclude`` are engine-root-relative POSIX path
+    prefixes: a rule applies to a file when the file is under some
+    ``include`` prefix (or ``include`` is empty) and under no
+    ``exclude`` prefix.  ``file_kinds`` selects which discovered file
+    kinds (``"python"``, ``"markdown"``) the rule sees at all.
+    """
+
+    name = None
+    severity = ERROR
+    description = ""          # one line, shown by --list-rules / JSON
+    rationale = ""            # why the contract exists (docs)
+    file_kinds = ("python",)
+    include = ()
+    exclude = ()
+
+    def applies_to(self, relpath):
+        """Whether this rule runs on the file at ``relpath``."""
+        if any(relpath == p or relpath.startswith(p) for p in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(relpath == p or relpath.startswith(p)
+                   for p in self.include)
+
+    def check(self, ctx):
+        """Yield :class:`Finding` objects for one :class:`FileContext`."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses --------------------------------------------
+
+    def finding(self, ctx, line, col, message, data=None):
+        return Finding(rule=self.name, severity=self.severity,
+                       path=ctx.relpath, line=line, col=col,
+                       message=message, data=data)
+
+    def finding_at(self, ctx, node, message, data=None):
+        """Finding anchored at an AST node (1-based column)."""
+        return self.finding(ctx, node.lineno, node.col_offset + 1,
+                            message, data=data)
+
+
+def default_rules():
+    """Fresh instances of every registered rule, sorted by name."""
+    from repro.analysis.lint import rules as _rules  # noqa: F401 (registers)
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def resolve_rules(select=None, ignore=None):
+    """The default ruleset narrowed by ``--select`` / ``--ignore``.
+
+    Raises :class:`LintUsageError` on a name that matches no rule, so a
+    typo'd filter fails loudly instead of silently linting nothing.
+    """
+    rules = default_rules()
+    known = {r.name for r in rules}
+    for requested in list(select or ()) + list(ignore or ()):
+        if requested not in known:
+            raise LintUsageError(
+                f"unknown rule {requested!r}; known rules: "
+                f"{', '.join(sorted(known))}")
+    if select:
+        rules = [r for r in rules if r.name in set(select)]
+    if ignore:
+        rules = [r for r in rules if r.name not in set(ignore)]
+    return rules

@@ -1,0 +1,53 @@
+"""Text and JSON renderers for a :class:`LintResult`.
+
+The JSON payload is schema-versioned (``repro-lint/1``) so run
+manifests and ops tooling can ingest findings without parsing the
+human-oriented text output; ``tests/analysis/test_lint_rules.py`` pins
+the schema.
+"""
+
+from repro.analysis.lint.findings import ERROR, WARNING
+
+JSON_SCHEMA = "repro-lint/1"
+
+
+def render_text(result):
+    """Human-readable report: one ``path:line:col`` line per finding
+    plus a one-line summary."""
+    lines = [f"{f.location()}: [{f.severity}] {f.rule}: {f.message}"
+             for f in result.findings]
+    files = sum(result.files.values())
+    by_kind = ", ".join(f"{n} {kind}" for kind, n in
+                        sorted(result.files.items()))
+    counts = result.counts_by_severity()
+    if result.findings:
+        lines.append(
+            f"repro-lint: {len(result.findings)} finding(s) "
+            f"({counts.get(ERROR, 0)} error, {counts.get(WARNING, 0)} "
+            f"warning) in {files} files ({by_kind}); "
+            f"{result.suppressed} suppressed")
+    else:
+        lines.append(
+            f"repro-lint: clean — {files} files ({by_kind}), "
+            f"{len(result.rules)} rules, {result.suppressed} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(result, root=None):
+    """JSON-serializable dict of the full run outcome."""
+    counts = result.counts_by_severity()
+    return {
+        "schema": JSON_SCHEMA,
+        "root": str(root) if root is not None else None,
+        "files": dict(result.files),
+        "rules": [{"name": rule.name, "severity": rule.severity,
+                   "description": rule.description}
+                  for rule in result.rules],
+        "summary": {
+            "findings": len(result.findings),
+            "error": counts.get(ERROR, 0),
+            "warning": counts.get(WARNING, 0),
+            "suppressed": result.suppressed,
+        },
+        "findings": [f.to_dict() for f in result.findings],
+    }

@@ -1,0 +1,16 @@
+"""The shipped ruleset.
+
+Importing this package registers every rule with the global registry
+(see :mod:`repro.analysis.lint.registry`).  To add a rule: implement a
+:class:`~repro.analysis.lint.registry.Rule` subclass in a module here
+(or anywhere), decorate it with ``@register``, and import the module
+below.  ``docs/static_analysis.md`` documents the full recipe.
+"""
+
+from repro.analysis.lint.rules import (  # noqa: F401  (registration)
+    atomic_io,
+    catalog,
+    determinism,
+    docs,
+    errors,
+)

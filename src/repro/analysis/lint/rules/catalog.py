@@ -1,0 +1,155 @@
+"""Catalog-hygiene rules.
+
+Three name catalogs are contracts between code, docs, and ops tooling:
+
+* ``repro.sim.hpc.COUNTER_NAMES`` — every HPC the simulator may bump;
+* ``repro.obs.names.ALL_METRICS`` — every metric the instrumentation
+  may emit;
+* ``repro.obs.names.EVENTS`` — every structured-log event name.
+
+``CounterBank.bump`` and the registry raise on unknown names, but only
+when the site first *fires* — a typo on a cold path (a trap counter, a
+defense-mode-only stall, an error-path event) survives the whole test
+suite and then crashes a long collection run.  These rules resolve
+every statically-visible name literal against its catalog at lint
+time.  Dynamically built names (f-strings such as the per-cache
+``f"{prefix}.cleanEvicts"`` or ``f"runner.failures.{kind}"``) cannot be
+checked statically and are skipped — keep counter ones behind a
+``CounterBank.has`` guard.
+"""
+
+import ast
+import difflib
+
+from repro.analysis.lint.astutil import call_callee, first_str_arg
+from repro.analysis.lint.registry import Rule, register
+
+#: method/function names whose first string-literal argument is a
+#: counter name.  ``get`` is only counter-related on a CounterBank; a
+#: dict ``.get("other")`` is recognizable because every counter name is
+#: namespaced (dotted) and no dict key under sim/ is — so ``get``
+#: literals are checked only when they contain a dot.
+COUNTER_CALLS = frozenset({"bump", "index_of", "has", "_IX"})
+COUNTER_DOTTED_ONLY = frozenset({"get"})
+
+#: registry methods whose first string-literal argument is a metric
+#: name (``set`` is dotted-only: ``Gauge.set(value)`` takes no name,
+#: but ``MetricsRegistry.set("a.b", value)`` does).
+METRIC_CALLS = frozenset({"inc", "counter", "gauge", "timer", "time_block"})
+METRIC_DOTTED_ONLY = frozenset({"set"})
+
+#: emitters whose first string-literal argument is an event name
+EVENT_CALLS = frozenset({"obs_event"})
+EVENT_DOTTED_ONLY = frozenset({"event"})
+
+
+def iter_name_literals(tree, calls, dotted_only=frozenset()):
+    """Yield ``(literal, node)`` for every statically-visible name
+    literal passed to one of ``calls`` / ``dotted_only``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        callee = call_callee(node)
+        if callee not in calls and callee not in dotted_only:
+            continue
+        literal = first_str_arg(node)
+        if literal is None:
+            continue  # dynamic name (f-string etc.): not checkable
+        if callee in dotted_only and "." not in literal:
+            continue  # un-namespaced literal: not a catalog name
+        yield literal, node
+
+
+def iter_counter_literals(tree):
+    """``(name, lineno)`` pairs of counter-name literals — the exact
+    extraction ``scripts/check_counters.py`` has always performed."""
+    for literal, node in iter_name_literals(tree, COUNTER_CALLS,
+                                            COUNTER_DOTTED_ONLY):
+        yield literal, node.lineno
+
+
+def _suggest(name, known):
+    close = difflib.get_close_matches(name, sorted(known), n=2)
+    return f" (did you mean {' or '.join(map(repr, close))}?)" if close \
+        else ""
+
+
+class _CatalogRule(Rule):
+    """Shared machinery: resolve extracted literals against a catalog."""
+
+    calls = frozenset()
+    dotted_only = frozenset()
+    catalog_label = ""
+
+    def known_names(self):
+        raise NotImplementedError
+
+    def check(self, ctx):
+        known = self.known_names()
+        for literal, node in iter_name_literals(ctx.tree, self.calls,
+                                                self.dotted_only):
+            if literal not in known:
+                yield self.finding_at(
+                    ctx, node,
+                    f"unknown {self.catalog_label} {literal!r}"
+                    f"{_suggest(literal, known)}",
+                    data={"name": literal})
+
+
+@register
+class CatalogCountersRule(_CatalogRule):
+    """Every counter-name literal under sim/ exists in COUNTER_NAMES."""
+
+    name = "catalog-counters"
+    description = ("counter-name literal not in repro.sim.hpc."
+                   "COUNTER_NAMES")
+    rationale = ("the optimized core preresolves names to slots at import "
+                 "time, but any literal only a cold path touches would "
+                 "crash mid-collection the first time it fires")
+    include = ("src/repro/sim/",)
+    calls = COUNTER_CALLS
+    dotted_only = COUNTER_DOTTED_ONLY
+    catalog_label = "counter name (not in COUNTER_NAMES)"
+
+    def known_names(self):
+        from repro.sim.hpc import COUNTER_NAMES
+        return frozenset(COUNTER_NAMES)
+
+
+@register
+class CatalogMetricsRule(_CatalogRule):
+    """Every metric-name literal exists in the obs catalog."""
+
+    name = "catalog-metrics"
+    description = ("metric-name literal not in repro.obs.names."
+                   "ALL_METRICS")
+    rationale = ("docs/observability.md and the manifest tooling are "
+                 "checked against the catalog; an uncataloged literal is a "
+                 "metric dashboards will never find")
+    include = ("src/repro/",)
+    calls = METRIC_CALLS
+    dotted_only = METRIC_DOTTED_ONLY
+    catalog_label = "metric name (not in obs/names.py CATALOG)"
+
+    def known_names(self):
+        from repro.obs.names import ALL_METRICS
+        return frozenset(ALL_METRICS)
+
+
+@register
+class CatalogEventsRule(_CatalogRule):
+    """Every event-name literal exists in the obs event catalog."""
+
+    name = "catalog-events"
+    description = "event-name literal not in repro.obs.names.EVENTS"
+    rationale = ("log consumers join events back to run manifests by "
+                 "cataloged name; an uncataloged event is invisible to "
+                 "every documented query")
+    include = ("src/repro/",)
+    calls = EVENT_CALLS
+    dotted_only = EVENT_DOTTED_ONLY
+    catalog_label = "event name (not in obs/names.py EVENTS)"
+
+    def known_names(self):
+        from repro.obs.names import EVENTS
+        return frozenset(EVENTS)

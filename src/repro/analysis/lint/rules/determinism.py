@@ -1,0 +1,154 @@
+"""Determinism rules.
+
+The reproduction's core claims — bit-identical counter streams between
+the optimized and reference cores, bit-exact checkpoint/resume, stable
+feature matrices — all die the moment simulation, training, or feature
+code reads a wall clock or an unseeded RNG.  PerSpectron-style HPC
+detectors are only as trustworthy as the determinism of the traces that
+feed them (FortuneTeller, Gulmezoglu et al. 2019), so these rules ban
+the nondeterminism sources statically in the layers that produce
+counters, features, and model state: ``sim/``, ``ml/``, ``core/``,
+``data/``.
+
+``time.perf_counter``/``time.monotonic`` stay legal: they feed obs
+timers only, never counters or features.
+"""
+
+import ast
+
+from repro.analysis.lint.astutil import dotted_name
+from repro.analysis.lint.registry import Rule, register
+
+#: the layers whose outputs must be a pure function of (workload, seed)
+DETERMINISTIC_SCOPE = ("src/repro/sim/", "src/repro/ml/",
+                       "src/repro/core/", "src/repro/data/")
+
+
+@register
+class ForbiddenClockRule(Rule):
+    """No wall-clock reads in counter/feature/model-producing code."""
+
+    name = "forbidden-clock"
+    description = ("wall-clock read (time.time / datetime.now / ...) in "
+                   "deterministic code")
+    rationale = ("counter streams and training trajectories must be a pure "
+                 "function of (workload, seed); wall-clock values leak into "
+                 "features and break bit-exact replay/resume")
+    include = DETERMINISTIC_SCOPE
+
+    _WALL_CLOCK = {"time.time", "time.time_ns", "time.ctime",
+                   "time.localtime", "time.gmtime", "time.strftime"}
+    _DATETIME_FNS = {"now", "utcnow", "today"}
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            named = None
+            if dotted in self._WALL_CLOCK:
+                named = dotted
+            elif parts[-1] in self._DATETIME_FNS and (
+                    "datetime" in parts[:-1] or "date" in parts[:-1]):
+                named = dotted
+            if named is not None:
+                yield self.finding_at(
+                    ctx, node,
+                    f"wall-clock read `{named}()` in deterministic code; "
+                    f"timestamps belong to the obs layer (elapsed-time "
+                    f"measurement may use time.perf_counter/monotonic)",
+                    data={"call": named})
+
+
+@register
+class UnseededRngRule(Rule):
+    """No module-level / unseeded RNG in deterministic code."""
+
+    name = "unseeded-rng"
+    description = ("module-level or unseeded RNG (np.random.<fn>, "
+                   "random.<fn>, default_rng()) in deterministic code")
+    rationale = ("the global NumPy/stdlib RNG is shared mutable state: any "
+                 "import-order or call-order change silently reshuffles "
+                 "every downstream draw; all randomness must flow from an "
+                 "explicitly seeded np.random.default_rng(seed)")
+    include = DETERMINISTIC_SCOPE
+
+    _NP_GLOBAL = {"rand", "randn", "randint", "random", "random_sample",
+                  "ranf", "sample", "choice", "shuffle", "permutation",
+                  "uniform", "normal", "standard_normal", "seed", "bytes",
+                  "exponential", "poisson", "binomial", "beta", "gamma"}
+    _PY_RANDOM = {"random", "randint", "randrange", "choice", "choices",
+                  "shuffle", "sample", "uniform", "gauss", "normalvariate",
+                  "expovariate", "betavariate", "triangular", "seed",
+                  "getrandbits", "vonmisesvariate"}
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            unseeded = not node.args and not node.keywords
+            message = None
+            if len(parts) == 3 and parts[0] in ("np", "numpy") \
+                    and parts[1] == "random":
+                fn = parts[2]
+                if fn in ("default_rng", "RandomState"):
+                    if unseeded:
+                        message = (f"unseeded `{dotted}()`; pass an explicit "
+                                   f"seed so runs replay bit-exactly")
+                elif fn in self._NP_GLOBAL:
+                    message = (f"module-level NumPy RNG `{dotted}(...)` "
+                               f"draws from shared global state; use a "
+                               f"seeded np.random.default_rng(seed)")
+            elif len(parts) == 2 and parts[0] == "random":
+                if parts[1] == "Random":
+                    if unseeded:
+                        message = ("unseeded `random.Random()`; pass an "
+                                   "explicit seed")
+                elif parts[1] in self._PY_RANDOM:
+                    message = (f"module-level stdlib RNG `{dotted}(...)` "
+                               f"draws from shared global state; use a "
+                               f"seeded generator")
+            if message is not None:
+                yield self.finding_at(ctx, node, message,
+                                      data={"call": dotted})
+
+
+@register
+class SetIterationRule(Rule):
+    """No iteration over bare sets in counter/feature-producing code."""
+
+    name = "set-iteration"
+    description = ("iteration over an unordered set() / set literal in "
+                   "deterministic code")
+    rationale = ("set iteration order depends on insertion history and (for "
+                 "str keys) on PYTHONHASHSEED, so any counter or feature "
+                 "derived from it differs between runs; wrap in sorted(...)")
+    include = DETERMINISTIC_SCOPE
+
+    def _iterables(self, node):
+        if isinstance(node, ast.For):
+            return [node.iter]
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return [gen.iter for gen in node.generators]
+        return []
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            for it in self._iterables(node):
+                bare = isinstance(it, (ast.Set, ast.SetComp)) or (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id in ("set", "frozenset"))
+                if bare:
+                    yield self.finding_at(
+                        ctx, it,
+                        "iteration over an unordered set in deterministic "
+                        "code; wrap it in sorted(...) for a stable order")

@@ -1,0 +1,39 @@
+"""Documentation hygiene: the one non-AST rule in the shipped set.
+
+Migrated from ``scripts/check_docs.py`` (which remains as a thin
+wrapper): every relative ``[text](target)`` link in a Markdown file
+must resolve on disk.  External links (``http(s)://``, ``mailto:``)
+and pure anchors are skipped; an anchor suffix on a relative link is
+stripped before the existence check.
+"""
+
+import re
+
+from repro.analysis.lint.registry import Rule, register
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+@register
+class DocsLinksRule(Rule):
+    """Relative Markdown links must point at existing files."""
+
+    name = "docs-links"
+    description = "broken relative link in a Markdown file"
+    rationale = ("docs are part of the observability/ops contract; a "
+                 "broken cross-link is a dead runbook step")
+    file_kinds = ("markdown",)
+
+    def check(self, ctx):
+        for lineno, line in enumerate(ctx.lines, 1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL):
+                    continue
+                relative = target.split("#", 1)[0]
+                if relative and not (ctx.path.parent / relative).exists():
+                    yield self.finding(
+                        ctx, lineno, match.start(1) + 1,
+                        f"broken link -> {target}",
+                        data={"target": target})

@@ -1,0 +1,63 @@
+"""Error-contract rule.
+
+The pipeline's failure taxonomy (crash / timeout / divergent, guard
+trips, fail-secure latches) only works because errors surface as typed
+exceptions at the layer that can classify them.  A broad ``except
+Exception`` that swallows — no re-raise, no typed conversion — hides
+faults from that machinery.  The two places broad catches are
+legitimate (the worker-isolation boundary in ``runtime/runner.py``, the
+fail-secure watchdog latch in ``defenses/controller.py``) carry
+documented ``# repro-lint: disable=broad-except`` suppressions.
+"""
+
+import ast
+
+from repro.analysis.lint.astutil import dotted_name
+from repro.analysis.lint.registry import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_name(handler):
+    """The broad exception name a handler catches, or ``None``."""
+    if handler.type is None:
+        return "<bare except>"
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    for node in types:
+        dotted = dotted_name(node)
+        if dotted is not None and dotted.split(".")[-1] in _BROAD:
+            return dotted
+    return None
+
+
+@register
+class BroadExceptRule(Rule):
+    """No swallowing ``except Exception`` / bare ``except``."""
+
+    name = "broad-except"
+    description = ("broad `except Exception` / bare except that swallows "
+                   "(never raises)")
+    rationale = ("the runtime's crash/timeout/divergent taxonomy and the "
+                 "training guard can only classify faults that reach them "
+                 "as exceptions; a swallowed broad catch turns a real fault "
+                 "into silent bad data")
+    include = ("src/repro/",)
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_name(node)
+            if caught is None:
+                continue
+            # a handler that raises (re-raise or typed conversion) is
+            # narrowing, not swallowing
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            yield self.finding(
+                ctx, node.lineno, node.col_offset + 1,
+                f"broad `except {caught}` swallows errors; catch a "
+                f"specific type, or add `# repro-lint: "
+                f"disable=broad-except` with a justification",
+                data={"caught": caught})

@@ -1,0 +1,40 @@
+"""Inline suppression comments.
+
+Syntax::
+
+    stamp = now()  # repro-lint: disable=forbidden-clock
+    # repro-lint: disable=broad-except -- user validator may raise anything
+    except Exception as exc:
+
+A directive on a code line suppresses the named rules on that line; a
+directive on a standalone comment line suppresses them on the next
+line.  ``disable=all`` suppresses every rule.  Anything after the rule
+list (conventionally ``-- why``) is a free-form justification and is
+ignored by the parser — but write one: a suppression without a reason
+is a finding waiting to come back.
+"""
+
+import re
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+
+def suppressions(text):
+    """Map ``{lineno: {rule, ...}}`` of suppressed rules per line."""
+    table = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        rules = {name.strip() for name in match.group(1).split(",")
+                 if name.strip()}
+        # a comment-only line shields the line it precedes
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        table.setdefault(target, set()).update(rules)
+    return table
+
+
+def is_suppressed(table, finding):
+    """Whether ``finding`` is silenced by an inline directive."""
+    rules = table.get(finding.line, ())
+    return finding.rule in rules or "all" in rules

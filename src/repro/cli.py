@@ -262,6 +262,7 @@ def _cmd_explain(args):
 
 def _cmd_report(args):
     from repro.analysis import markdown_report
+    from repro.runtime.atomic import atomic_write_bytes
 
     with time_block("stage.report.load"):
         dataset = _load_corpus_or_die(args.corpus)
@@ -269,8 +270,7 @@ def _cmd_report(args):
     with time_block("stage.report.render"):
         text = markdown_report(dataset, detector)
     if args.out:
-        with open(args.out, "w") as f:
-            f.write(text)
+        atomic_write_bytes(args.out, text.encode("utf-8"))
         print(f"report written to {args.out}")
     else:
         print(text)

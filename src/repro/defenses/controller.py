@@ -124,7 +124,10 @@ class SecureModeController:
             if isinstance(verdict, float) and not math.isfinite(verdict):
                 raise ValueError(f"non-finite detector score {verdict!r}")
             flagged = bool(verdict)
-        except Exception as exc:                       # noqa: BLE001
+        # the documented fail-secure latch path: ANY detector fault —
+        # not a foreseen subset — must flip the machine into permanent
+        # secure mode (docs/training_resilience.md, "fail-secure")
+        except Exception as exc:  # repro-lint: disable=broad-except
             self._latch(machine, type(exc).__name__, exc)
             if not counted_secure:   # the faulted window itself runs secure
                 self.windows_secure += 1

@@ -93,22 +93,28 @@ def _child_entry(conn, fn, payload, attempt):
     """Worker-process entry: run the task and ship the outcome back."""
     try:
         value = fn(payload, attempt)
-    except BaseException as exc:        # noqa: BLE001 - full isolation
+    # the isolation boundary: ANY task failure (incl. SystemExit /
+    # KeyboardInterrupt raised inside the task) must become a reported
+    # crash, never an unexplained silent child death
+    except BaseException as exc:  # repro-lint: disable=broad-except
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}",
                        traceback.format_exc(limit=8)))
-        except Exception:
-            pass
+        except OSError:
+            pass                 # pipe already gone; parent sees a crash
         finally:
             conn.close()
         return
     try:
         conn.send(("ok", value))
-    except Exception as exc:            # unpicklable / broken pipe
+    # pickling an arbitrary task result can raise anything a custom
+    # __reduce__/__getstate__ chooses to; whatever it was, the outcome
+    # is the same: report "result not transferable" over the pipe
+    except Exception as exc:  # repro-lint: disable=broad-except
         try:
             conn.send(("error", f"result not transferable: {exc}", ""))
-        except Exception:
-            pass
+        except OSError:
+            pass                 # pipe already gone; parent sees a crash
     conn.close()
 
 
@@ -263,7 +269,10 @@ class TaskRunner:
         if self.validator is not None:
             try:
                 self.validator(value)
-            except Exception as exc:
+            # a user-supplied validator may raise anything; every
+            # failure means the same thing — the result is DIVERGENT —
+            # and is recorded with its type in the failure taxonomy
+            except Exception as exc:  # repro-lint: disable=broad-except
                 self._resolve_failure(
                     slot, DIVERGENT, f"{type(exc).__name__}: {exc}",
                     pending, resolved, now)

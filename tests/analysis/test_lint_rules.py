@@ -1,0 +1,444 @@
+"""Contract-linter tests: per-rule good/bad fixtures, suppressions,
+reporter schema, CLI exit codes, and the self-lint gate.
+
+Fixture trees are written under ``tmp_path`` using repo-shaped relative
+paths (``src/repro/sim/...``) because scoped rules key off
+engine-root-relative prefixes — which also exercises the scoping
+itself.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    ERROR, JSON_SCHEMA, LintUsageError, render_json, render_text, run_lint,
+)
+from repro.analysis.lint.cli import main as lint_main
+from repro.obs.names import EVENTS
+from repro.sim.hpc import COUNTER_NAMES
+
+REPO = Path(__file__).resolve().parents[2]
+
+A_COUNTER = COUNTER_NAMES[0]
+AN_EVENT = next(iter(sorted(EVENTS)))
+
+
+def lint_tree(tmp_path, files, select=None, ignore=None):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint it."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], root=tmp_path, select=select, ignore=ignore)
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# determinism rules
+
+
+def test_forbidden_clock_flags_wall_clock(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": """\
+        import time
+        stamp = time.time()
+    """})
+    assert rules_of(result) == ["forbidden-clock"]
+    finding = result.findings[0]
+    assert finding.line == 2
+    assert finding.severity == ERROR
+    assert finding.data == {"call": "time.time"}
+
+
+def test_forbidden_clock_flags_datetime_now(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/ml/x.py": """\
+        from datetime import datetime
+        import datetime as dt
+        a = datetime.now()
+        b = dt.datetime.utcnow()
+    """})
+    assert rules_of(result) == ["forbidden-clock", "forbidden-clock"]
+
+
+def test_forbidden_clock_allows_perf_counter(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": """\
+        import time
+        start = time.perf_counter()
+        elapsed = time.monotonic() - start
+    """})
+    assert result.findings == []
+
+
+def test_forbidden_clock_out_of_scope_dirs_are_free(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/obs/x.py": """\
+        import time
+        stamp = time.time()
+    """})
+    assert result.findings == []
+
+
+def test_unseeded_rng_flags_global_numpy(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/core/x.py": """\
+        import numpy as np
+        a = np.random.rand(3)
+        b = np.random.default_rng()
+    """})
+    assert rules_of(result) == ["unseeded-rng", "unseeded-rng"]
+
+
+def test_unseeded_rng_allows_seeded_default_rng(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/core/x.py": """\
+        import numpy as np
+        rng = np.random.default_rng(7)
+        draws = rng.random(8)
+    """})
+    assert result.findings == []
+
+
+def test_unseeded_rng_flags_stdlib_module_rng(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/data/x.py": """\
+        import random
+        pick = random.choice([1, 2])
+        gen = random.Random()
+        ok = random.Random(3)
+    """})
+    assert rules_of(result) == ["unseeded-rng", "unseeded-rng"]
+
+
+def test_set_iteration_flags_bare_sets(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": """\
+        names = ["b", "a"]
+        for n in set(names):
+            print(n)
+        pairs = [x for x in {"u", "v"}]
+    """})
+    assert rules_of(result) == ["set-iteration", "set-iteration"]
+
+
+def test_set_iteration_allows_sorted(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": """\
+        names = ["b", "a"]
+        for n in sorted(set(names)):
+            print(n)
+    """})
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# atomic IO
+
+
+def test_atomic_io_flags_raw_write_open(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/data/x.py": """\
+        def save(path, text):
+            with open(path, "w") as f:
+                f.write(text)
+            with open(path, mode="wb") as f:
+                f.write(b"")
+            Path(path).write_text(text)
+    """})
+    assert rules_of(result) == ["atomic-io"] * 3
+
+
+def test_atomic_io_allows_reads_and_excluded_paths(tmp_path):
+    read_only = """\
+        def load(path):
+            with open(path) as f:
+                return f.read() + open(path, "rb").read().decode()
+    """
+    writer = """\
+        def save(path, text):
+            with open(path, "w") as f:
+                f.write(text)
+    """
+    result = lint_tree(tmp_path, {
+        "src/repro/data/reader.py": read_only,
+        "src/repro/runtime/atomic.py": writer,
+        "src/repro/obs/sink.py": writer,
+    })
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# error contract
+
+
+def test_broad_except_flags_swallowing_handlers(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/runtime/x.py": """\
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+            try:
+                work()
+            except BaseException as exc:
+                log(exc)
+            try:
+                work()
+            except:
+                pass
+    """})
+    assert rules_of(result) == ["broad-except"] * 3
+
+
+def test_broad_except_allows_reraise_and_typed(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/runtime/x.py": """\
+        def f():
+            try:
+                work()
+            except Exception:
+                cleanup()
+                raise
+            try:
+                work()
+            except (OSError, ValueError):
+                pass
+            try:
+                work()
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+    """})
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# catalog rules
+
+
+def test_catalog_counters_flags_unknown_literal(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": f"""\
+        def run(bank):
+            bank.bump({A_COUNTER!r})
+            bank.bump("no.such.counter")
+            bank.bump(f"dyn.{{kind}}")
+    """})
+    assert rules_of(result) == ["catalog-counters"]
+    assert result.findings[0].data == {"name": "no.such.counter"}
+
+
+def test_catalog_counters_dict_get_is_not_a_counter(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": """\
+        def f(options):
+            return options.get("retries"), options.get("a.b.c")
+    """})
+    # un-dotted .get literals are dict keys; dotted ones are checked
+    assert rules_of(result) == ["catalog-counters"]
+    assert result.findings[0].data == {"name": "a.b.c"}
+
+
+def test_catalog_metrics_flags_unknown_literal(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/defenses/x.py": """\
+        def f(reg, kind):
+            reg.inc("sim.runs")
+            reg.inc("not.a.metric")
+            reg.inc(f"runner.failures.{kind}")
+    """})
+    assert rules_of(result) == ["catalog-metrics"]
+    assert result.findings[0].data == {"name": "not.a.metric"}
+
+
+def test_catalog_events_flags_unknown_literal(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/defenses/x.py": f"""\
+        def f():
+            obs_event({AN_EVENT!r})
+            obs_event("no.such.event", level="warn")
+    """})
+    assert rules_of(result) == ["catalog-events"]
+    assert result.findings[0].data == {"name": "no.such.event"}
+
+
+# ---------------------------------------------------------------------------
+# docs links
+
+
+def test_docs_links_flags_broken_relative_link(tmp_path):
+    (tmp_path / "exists.md").write_text("# here\n")
+    result = lint_tree(tmp_path, {"docs/index.md": """\
+        [ok](../exists.md) [also ok](https://example.com) [anchor](#x)
+        [broken](missing.md#section)
+    """})
+    assert rules_of(result) == ["docs-links"]
+    finding = result.findings[0]
+    assert finding.line == 2
+    assert finding.data == {"target": "missing.md#section"}
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+BAD_CLOCK = 'import time\nstamp = time.time()'
+
+
+def test_suppression_same_line(tmp_path):
+    source = BAD_CLOCK + "  # repro-lint: disable=forbidden-clock\n"
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": source})
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_standalone_comment_shields_next_line(tmp_path):
+    source = ("import time\n"
+              "# repro-lint: disable=forbidden-clock -- fixture clock\n"
+              "stamp = time.time()\n")
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": source})
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_disable_all(tmp_path):
+    source = BAD_CLOCK + "  # repro-lint: disable=all\n"
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": source})
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_wrong_rule_does_not_shield(tmp_path):
+    source = BAD_CLOCK + "  # repro-lint: disable=atomic-io\n"
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": source})
+    assert rules_of(result) == ["forbidden-clock"]
+    assert result.suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# engine behaviour
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": "def broken(:\n"})
+    assert rules_of(result) == ["parse-error"]
+    assert result.findings[0].severity == ERROR
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    files = {"src/repro/sim/x.py": """\
+        import time
+        stamp = time.time()
+        with open("out.txt", "w") as f:
+            f.write("x")
+    """}
+    both = lint_tree(tmp_path, files)
+    assert sorted(rules_of(both)) == ["atomic-io", "forbidden-clock"]
+    only = lint_tree(tmp_path, files, select=["forbidden-clock"])
+    assert rules_of(only) == ["forbidden-clock"]
+    without = lint_tree(tmp_path, files, ignore=["forbidden-clock"])
+    assert rules_of(without) == ["atomic-io"]
+
+
+def test_unknown_rule_name_raises(tmp_path):
+    with pytest.raises(LintUsageError):
+        lint_tree(tmp_path, {"src/repro/sim/x.py": "x = 1\n"},
+                  select=["no-such-rule"])
+
+
+def test_nonexistent_path_raises(tmp_path):
+    with pytest.raises(LintUsageError):
+        run_lint([tmp_path / "missing"], root=tmp_path)
+
+
+def test_findings_are_sorted_and_deterministic(tmp_path):
+    files = {
+        "src/repro/sim/b.py": BAD_CLOCK + "\n",
+        "src/repro/sim/a.py": BAD_CLOCK + "\n",
+    }
+    result = lint_tree(tmp_path, files)
+    assert [f.path for f in result.findings] == \
+        ["src/repro/sim/a.py", "src/repro/sim/b.py"]
+
+
+# ---------------------------------------------------------------------------
+# reporters
+
+
+def test_json_reporter_schema(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": BAD_CLOCK + "\n"})
+    payload = render_json(result, root=tmp_path)
+    assert payload["schema"] == JSON_SCHEMA
+    assert set(payload) == {"schema", "root", "files", "rules",
+                            "summary", "findings"}
+    assert payload["summary"] == {"findings": 1, "error": 1,
+                                  "warning": 0, "suppressed": 0}
+    [finding] = payload["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col",
+                            "message", "data"}
+    assert finding["rule"] == "forbidden-clock"
+    assert {"name", "severity", "description"} <= set(payload["rules"][0])
+    json.dumps(payload)  # must be serializable as-is
+
+
+def test_text_reporter_locations_and_summary(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/sim/x.py": BAD_CLOCK + "\n"})
+    text = render_text(result)
+    assert "src/repro/sim/x.py:2:" in text
+    assert "forbidden-clock" in text
+    assert "1 finding(s) (1 error, 0 warning)" in text
+    clean = lint_tree(tmp_path / "clean", {"src/repro/ml/ok.py": "x = 1\n"})
+    assert "repro-lint: clean" in render_text(clean)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit-code contract
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "sim"
+    bad.mkdir(parents=True)
+    (bad / "x.py").write_text(BAD_CLOCK + "\n")
+    json_out = tmp_path / "findings.json"
+    code = lint_main([str(tmp_path), "--root", str(tmp_path),
+                      "--json-out", str(json_out)])
+    assert code == 1
+    assert "forbidden-clock" in capsys.readouterr().out
+    payload = json.loads(json_out.read_text())
+    assert payload["schema"] == JSON_SCHEMA
+    assert payload["summary"]["error"] == 1
+
+    (bad / "x.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path), "--root", str(tmp_path)]) == 0
+    assert lint_main([str(tmp_path), "--select", "bogus"]) == 2
+
+
+def test_cli_json_format(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path), "--root", str(tmp_path),
+                      "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == JSON_SCHEMA
+
+
+# ---------------------------------------------------------------------------
+# the repo's own tree, and the wrapper scripts
+
+
+def test_lint_self():
+    """The repo lints clean under the default severity gate — the same
+    invariant scripts/ci.sh enforces."""
+    result = run_lint([REPO / "src", REPO / "tests", REPO / "scripts"],
+                      root=REPO)
+    assert result.failing() == [], \
+        "\n".join(f.location() + " " + f.message for f in result.failing())
+
+
+def test_check_counters_wrapper_cli():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_counters.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.startswith("check_counters: ")
+    assert "resolve against COUNTER_NAMES" in proc.stdout
+
+
+def test_check_docs_wrapper_cli():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_docs.py")],
+        capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert "all relative links ok" in proc.stdout
