@@ -32,4 +32,10 @@ python scripts/bench_sim.py --check-only
 # (toy GAN, a couple of seconds) — kill, resume, assert bit-exactness
 python scripts/resume_smoke.py
 
+# campaign resumability smoke (~5s): chaos-seeded matrix (worker kill +
+# cache corruption) must degrade to classified holes with exit 1, and
+# --resume must hit >=90% cache and reproduce the clean aggregate
+# bit-for-bit — see docs/campaigns.md
+python -m repro campaign --smoke --no-manifest
+
 exec python -m pytest -x -q -m "not slow" "$@"

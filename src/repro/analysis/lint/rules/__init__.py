@@ -10,6 +10,7 @@ below.  ``docs/static_analysis.md`` documents the full recipe.
 from repro.analysis.lint.rules import (  # noqa: F401  (registration)
     atomic_io,
     catalog,
+    concurrency,
     determinism,
     docs,
     errors,

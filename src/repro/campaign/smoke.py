@@ -1,0 +1,116 @@
+"""The ``repro campaign --smoke`` resumability check.
+
+A self-contained, few-second proof of the whole degradation contract,
+run by ``scripts/ci.sh`` on every push:
+
+1. an **uninterrupted** run of a small {workload x attack x defense x
+   period} matrix completes clean (exit 0) — its aggregate is the
+   reference;
+2. a **chaos-seeded** run of the same matrix (a worker SIGKILLed
+   mid-cell, a cache entry corrupted after write) completes with the
+   failed cells quarantined into the taxonomy (``crash`` +
+   ``cache_corrupt`` holes), exits 1, and never aborts sibling cells;
+3. a ``--resume`` of the chaos run replays every completed cell from
+   the verified cache (hit rate >= 90%), re-executes only the holes,
+   exits 0, and produces a **byte-identical aggregate** to the
+   uninterrupted run.
+
+Any deviation prints a one-line reason and fails (exit 1), so a
+regression in atomicity, cache verification, classification, or
+resume determinism is caught before it can eat a real matrix.
+"""
+
+import os
+import tempfile
+
+from repro.campaign.orchestrator import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.runtime import (
+    CACHE_CORRUPT, CACHE_CORRUPT_FAULT, CRASH, WORKER_KILL_FAULT,
+    CampaignChaos, CampaignFault,
+)
+
+#: the smoke matrix: 4 workloads x 2 defenses x 2 periods = 16 cells
+#: plus 2 attacks x 2 defenses x 2 periods = 8 cells -> 24 cells, so
+#: the 2 chaos holes leave a 22/24 ~ 92% cache-hit resume (>= the 90%
+#: acceptance floor)
+SMOKE_SPEC = {
+    "workloads": ("stream", "pointer-chase", "sort", "crypto"),
+    "attacks": ("meltdown", "spectre-pht"),
+    "defenses": ("none", "fence-spectre"),
+    "periods": (100, 200),
+    "seeds": (0,),
+    "scale": 1,
+    "max_cycles": 6000,
+}
+
+#: matrix cells the chaos faults target (a workload cell and an attack
+#: cell, picked mid-matrix so ordering effects are exercised)
+KILLED_CELL = 5
+CORRUPTED_CELL = 18
+
+
+def _read(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def run_smoke(jobs=None, echo=print):
+    """Run the three-phase resumability check; returns 0 ok / 1 failed."""
+    spec = CampaignSpec(**SMOKE_SPEC)
+    n = len(spec.expand())
+
+    with tempfile.TemporaryDirectory() as clean_dir, \
+            tempfile.TemporaryDirectory() as chaos_dir:
+        clean = run_campaign(spec, clean_dir, processes=jobs, retries=1)
+        if clean.exit_code != 0:
+            echo(f"campaign smoke FAILED: uninterrupted run had "
+                 f"{len(clean.holes)} holes")
+            return 1
+        reference = _read(clean.aggregate_path)
+
+        chaos = CampaignChaos([
+            CampaignFault(WORKER_KILL_FAULT, cell=KILLED_CELL),
+            CampaignFault(CACHE_CORRUPT_FAULT, cell=CORRUPTED_CELL),
+        ])
+        wounded = run_campaign(spec, chaos_dir, processes=jobs,
+                               retries=0, chaos=chaos)
+        if wounded.exit_code != 1:
+            echo(f"campaign smoke FAILED: chaos run exited "
+                 f"{wounded.exit_code}, expected 1 (partial-with-holes)")
+            return 1
+        kinds = wounded.holes_by_kind()
+        if kinds != {CRASH: 1, CACHE_CORRUPT: 1}:
+            echo(f"campaign smoke FAILED: chaos holes classified "
+                 f"{kinds}, expected {{crash: 1, cache_corrupt: 1}}")
+            return 1
+        if wounded.completed != n - 2:
+            echo(f"campaign smoke FAILED: chaos run completed "
+                 f"{wounded.completed}/{n}, expected {n - 2} "
+                 f"(siblings must not be aborted)")
+            return 1
+
+        resumed = run_campaign(spec, chaos_dir, processes=jobs,
+                               retries=1, resume=True)
+        if resumed.exit_code != 0:
+            echo(f"campaign smoke FAILED: resume left "
+                 f"{len(resumed.holes)} holes")
+            return 1
+        if resumed.hit_rate < 0.9:
+            echo(f"campaign smoke FAILED: resume cache-hit rate "
+                 f"{resumed.hit_rate:.0%} below the 90% floor")
+            return 1
+        if _read(resumed.aggregate_path) != reference:
+            echo("campaign smoke FAILED: resumed aggregate is not "
+                 "bit-identical to the uninterrupted run")
+            return 1
+        quarantined = os.path.join(chaos_dir, "cache", "quarantine")
+        if not os.path.isdir(quarantined) or not os.listdir(quarantined):
+            echo("campaign smoke FAILED: corrupt cache entry was not "
+                 "quarantined for forensics")
+            return 1
+
+    echo(f"campaign smoke ok: {n} cells; kill+corruption -> "
+         f"2 classified holes, exit 1; resume -> "
+         f"{resumed.hit_rate:.0%} cache-hit, bit-identical aggregate")
+    return 0

@@ -10,6 +10,7 @@ Commands
 ``adaptive``           train then demo the adaptive architecture
 ``explain <detector>``  interpret a trained detector
 ``report <corpus> <detector>``  markdown system report
+``campaign <dir>``     fault-isolated parallel evaluation-matrix run
 
 Every command accepts the observability options (``--log-file``,
 ``--log-level``, ``--metrics-out``, ``--manifest-out``/``--no-manifest``,
@@ -277,6 +278,53 @@ def _cmd_report(args):
     return 0
 
 
+def _cmd_campaign(args):
+    from repro.campaign import (
+        CampaignSpec, CampaignSpecError, default_spec, run_campaign,
+        run_smoke,
+    )
+    from repro.runtime import CampaignError
+
+    if args.smoke:
+        with time_block("stage.campaign.run"):
+            return run_smoke(jobs=args.jobs)
+    if not args.dir:
+        _die2("error: campaign directory required (or use --smoke)")
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_json_file(args.spec)
+        else:
+            overrides = {}
+            if args.workloads is not None:
+                overrides["workloads"] = tuple(args.workloads)
+            if args.attacks is not None:
+                overrides["attacks"] = tuple(args.attacks)
+            if args.defenses is not None:
+                overrides["defenses"] = tuple(args.defenses)
+            if args.periods is not None:
+                overrides["periods"] = tuple(args.periods)
+            if args.cell_seeds is not None:
+                overrides["seeds"] = tuple(args.cell_seeds)
+            if args.scale is not None:
+                overrides["scale"] = args.scale
+            if args.max_cycles is not None:
+                overrides["max_cycles"] = args.max_cycles
+            spec = default_spec(**overrides)
+    except CampaignSpecError as exc:
+        _die2(f"error: {exc}")
+    with time_block("stage.campaign.run"):
+        try:
+            result = run_campaign(
+                spec, args.dir, processes=args.jobs, retries=args.retries,
+                task_timeout=args.task_timeout or None, resume=args.resume)
+        except CampaignError as exc:
+            _die2(f"error: {exc}")
+    print(result.summary())
+    print(f"aggregate: {result.aggregate_path}")
+    print(f"manifest : {result.manifest_path}")
+    return result.exit_code
+
+
 def _obs_parent():
     """Observability options shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -391,6 +439,50 @@ def build_parser():
                    help="propagate detector faults instead of latching "
                         "always-secure mode (debugging only)")
     p.set_defaults(func=_cmd_adaptive)
+
+    p = sub.add_parser(
+        "campaign", parents=[obs],
+        help="fault-isolated parallel evaluation-matrix run",
+        description="Expand a {workload x attack x defense x "
+                    "sampling-period} matrix, fan it out over isolated "
+                    "workers with a content-addressed result cache, and "
+                    "aggregate incrementally.  Exit 0 = clean, 1 = "
+                    "completed with holes, 2 = fatal.  See "
+                    "docs/campaigns.md.")
+    p.add_argument("dir", nargs="?", default=None,
+                   help="campaign directory (cache + aggregate.md + "
+                        "campaign.json)")
+    p.add_argument("--spec", default=None, metavar="JSON",
+                   help="matrix spec file (overrides the axis flags)")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="workload names (default: all)")
+    p.add_argument("--attacks", nargs="*", default=None,
+                   help="attack names (default: all)")
+    p.add_argument("--defenses", nargs="*", default=None,
+                   help="defense modes (default: none)")
+    p.add_argument("--periods", nargs="*", type=int, default=None,
+                   help="sampling periods (default: 100)")
+    p.add_argument("--cell-seeds", nargs="*", type=int, default=None,
+                   help="per-source seeds (default: 0)")
+    p.add_argument("--scale", type=int, default=None,
+                   help="workload scale factor (default 2)")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="cap each cell's simulated cycles")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel cell workers (default: CPU count)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-attempts per failed cell (default 1)")
+    p.add_argument("--task-timeout", type=float, default=600.0,
+                   help="per-cell wall-clock limit in seconds "
+                        "(0 = unlimited)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay verified cache entries and re-run only "
+                        "incomplete/corrupt cells (bit-identical "
+                        "aggregate)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the CI resumability check (chaos kill + "
+                        "corruption, resume, bit-identity) and exit")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("explain", help="interpret a trained detector",
                        parents=[obs])

@@ -29,6 +29,7 @@ _MANIFEST_ANCHORS = {
     "train": ("out", "corpus"),
     "report": ("out", "corpus"),
     "explain": ("detector",),
+    "campaign": ("dir",),
 }
 
 
@@ -86,6 +87,10 @@ def _failure_taxonomy(snapshot):
     if training:
         training["rollbacks"] = counters.get("guard.rollbacks", 0)
         taxonomy["training"] = training
+    holes = counters.get("campaign.cells.holes", 0)
+    corrupt = counters.get("campaign.cache.corrupt", 0)
+    if holes or corrupt:
+        taxonomy["campaign"] = {"holes": holes, "cache_corrupt": corrupt}
     return taxonomy
 
 

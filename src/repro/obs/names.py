@@ -98,7 +98,25 @@ CATALOG = {
         "adaptive.detector.errors":
             ("counter", "detector faults seen by the health watchdog"),
     },
+    "campaign": {
+        "campaign.cells.total":
+            ("gauge", "cells in the expanded campaign matrix"),
+        "campaign.cells.completed":
+            ("counter", "cells executed and durably cached this run"),
+        "campaign.cells.cache_hits":
+            ("counter", "cells replayed from verified cache entries"),
+        "campaign.cells.holes":
+            ("counter", "cells permanently failed (reported as holes)"),
+        "campaign.cache.corrupt":
+            ("counter", "cache entries quarantined after failed "
+                        "verification"),
+        "campaign.cell.seconds":
+            ("timer", "per-cell wall clock (queue to resolution, "
+                      "across retries)"),
+    },
     "cli": {
+        "stage.campaign.run": ("timer", "campaign: matrix fan-out "
+                                        "(or the --smoke check)"),
         "stage.collect.build": ("timer", "collect: corpus simulation"),
         "stage.collect.save": ("timer", "collect: dataset serialization"),
         "stage.train.load": ("timer", "train: corpus load"),
@@ -142,6 +160,15 @@ EVENTS = {
     "adaptive.fail_secure":
         "watchdog latched always-secure mode (reason, detail)",
     "manifest.written": "run manifest persisted (path)",
+    "campaign.started":
+        "campaign fan-out begun (cells, resume, spec_fingerprint)",
+    "campaign.cell": "cell resolved ok (key, state, cache_hit)",
+    "campaign.hole": "cell quarantined as a hole (key, kind, message)",
+    "campaign.cache.quarantined":
+        "corrupt cache entry moved to quarantine (key, fingerprint, "
+        "reason)",
+    "campaign.finished":
+        "campaign completed (completed, holes, cache_hits, exit_code)",
 }
 
 

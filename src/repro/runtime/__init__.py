@@ -10,15 +10,20 @@ fault-injection harness (:mod:`~repro.runtime.chaos`) that makes all of
 the above testable in CI.
 """
 
-from repro.runtime.atomic import atomic_write_bytes, sha256_bytes, sha256_file
+from repro.runtime.atomic import (
+    atomic_write_bytes, fsync_directory, sha256_bytes, sha256_file,
+)
 from repro.runtime.chaos import (
+    CACHE_CORRUPT_FAULT, CACHE_TRUNCATE_FAULT, CAMPAIGN_FAULT_KINDS,
     CRASH_FAULT, GARBAGE_FAULT, HANG_FAULT, KILL_FAULT, LOSS_SPIKE_FAULT,
-    NAN_GRAD_FAULT, TRAINING_FAULT_KINDS, ChaosCrash, ChaosKill,
-    ChaosSource, FaultSpec, TrainingChaos, TrainingFault, inject_faults,
+    NAN_GRAD_FAULT, TRAINING_FAULT_KINDS, WORKER_KILL_FAULT, CampaignChaos,
+    CampaignFault, ChaosCrash, ChaosKill, ChaosSource, FaultSpec,
+    TrainingChaos, TrainingFault, chaos_kill_self, inject_faults,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
-    CRASH, DIVERGENT, FAILURE_KINDS, TIMEOUT, CheckpointError,
+    CACHE_CORRUPT, CAMPAIGN_FAILURE_KINDS, CRASH, DIVERGENT, FAILURE_KINDS,
+    TIMEOUT, CampaignError, CellCorruptError, CheckpointError,
     CoverageError, DivergentTraceError, RuntimeTaskError,
 )
 from repro.runtime.report import FailureReport
@@ -27,14 +32,18 @@ from repro.runtime.runner import (
 )
 
 __all__ = [
-    "atomic_write_bytes", "sha256_bytes", "sha256_file",
+    "atomic_write_bytes", "fsync_directory", "sha256_bytes", "sha256_file",
+    "CACHE_CORRUPT_FAULT", "CACHE_TRUNCATE_FAULT", "CAMPAIGN_FAULT_KINDS",
     "CRASH_FAULT", "GARBAGE_FAULT", "HANG_FAULT", "KILL_FAULT",
     "LOSS_SPIKE_FAULT", "NAN_GRAD_FAULT", "TRAINING_FAULT_KINDS",
+    "WORKER_KILL_FAULT", "CampaignChaos", "CampaignFault",
     "ChaosCrash", "ChaosKill", "ChaosSource", "FaultSpec",
-    "TrainingChaos", "TrainingFault", "inject_faults",
+    "TrainingChaos", "TrainingFault", "chaos_kill_self", "inject_faults",
     "CheckpointStore",
-    "CRASH", "DIVERGENT", "FAILURE_KINDS", "TIMEOUT", "CheckpointError",
-    "CoverageError", "DivergentTraceError", "RuntimeTaskError",
+    "CACHE_CORRUPT", "CAMPAIGN_FAILURE_KINDS", "CRASH", "DIVERGENT",
+    "FAILURE_KINDS", "TIMEOUT", "CampaignError", "CellCorruptError",
+    "CheckpointError", "CoverageError", "DivergentTraceError",
+    "RuntimeTaskError",
     "FailureReport",
     "Task", "TaskFailure", "TaskResult", "TaskRunner", "backoff_delay",
 ]

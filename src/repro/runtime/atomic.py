@@ -1,10 +1,19 @@
 """Atomic, checksummed file IO primitives.
 
 All durable artifacts of the corpus pipeline (dataset ``.npz`` bundles,
-metadata sidecars, checkpoint shards, manifests) are written with
-write-to-temp + ``os.replace`` so a crash or kill mid-write can never
-leave a half-written file under the final name, plus SHA-256 digests so
-a stale or tampered file is detected at load time.
+metadata sidecars, checkpoint shards, manifests, campaign cache cells)
+are written with write-to-temp + ``os.replace`` so a crash or kill
+mid-write can never leave a half-written file under the final name,
+plus SHA-256 digests so a stale or tampered file is detected at load
+time.
+
+Renames alone only order *metadata* within the page cache: after a
+power-loss-style kill the directory entry may point at the new file
+while neither the data nor the rename has reached the disk.  So the
+write protocol also fsyncs the temp file *and* the parent directory on
+both sides of the rename — data first, then the directory entry that
+names it — which is the full crash-consistency recipe checkpoints and
+campaign caches rely on (exercised by ``tests/test_crash_consistency``).
 """
 
 import hashlib
@@ -29,12 +38,34 @@ def sha256_file(path, chunk=1 << 20):
     return h.hexdigest()
 
 
+def fsync_directory(directory):
+    """Flush a directory's entry table to stable storage.
+
+    A no-op on platforms (or filesystems) where directories cannot be
+    opened or fsynced — durability degrades to plain rename atomicity
+    there, which is still crash-safe within a running kernel.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path, data, fsync=True):
     """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
 
     The temp file lives in the same directory as the target so the
-    replace is a same-filesystem rename.  Returns the SHA-256 digest of
-    the written payload.
+    replace is a same-filesystem rename.  With ``fsync`` (the default)
+    the temp file's data and the parent directory are flushed before
+    *and* after the rename, so the artifact survives power-loss-style
+    kills, not just process death.  Returns the SHA-256 digest of the
+    written payload.
     """
     directory = os.path.dirname(os.path.abspath(path)) or "."
     os.makedirs(directory, exist_ok=True)
@@ -46,7 +77,11 @@ def atomic_write_bytes(path, data, fsync=True):
             f.flush()
             if fsync:
                 os.fsync(f.fileno())
+        if fsync:
+            fsync_directory(directory)
         os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)

@@ -19,8 +19,18 @@ checkpoints (:class:`ChaosKill`), at exact iteration numbers.  Each
 fault fires **once** — after the guard rolls back and replays the
 iteration, the retry runs clean, exactly like a transient hardware or
 numeric glitch.
+
+:class:`CampaignChaos` is the campaign-stage fault set: it SIGKILLs a
+worker mid-cell (the parent sees a silent child death and classifies
+``crash``), corrupts a just-written cache entry in place, or truncates
+it — exactly the disk/process failures a week-long evaluation matrix
+meets in practice.  Cache faults fire once per cell, so a ``--resume``
+run replays the campaign clean and the degradation contract
+(quarantined holes, exit 1, bit-identical resumed aggregate) is
+provable in CI.
 """
 
+import os
 import random
 import time
 
@@ -37,6 +47,14 @@ LOSS_SPIKE_FAULT = "loss_spike"
 KILL_FAULT = "kill"
 
 TRAINING_FAULT_KINDS = (NAN_GRAD_FAULT, LOSS_SPIKE_FAULT, KILL_FAULT)
+
+#: injectable campaign-stage fault kinds
+WORKER_KILL_FAULT = "worker_kill"
+CACHE_CORRUPT_FAULT = "cache_corrupt_entry"
+CACHE_TRUNCATE_FAULT = "cache_truncate_entry"
+
+CAMPAIGN_FAULT_KINDS = (WORKER_KILL_FAULT, CACHE_CORRUPT_FAULT,
+                        CACHE_TRUNCATE_FAULT)
 
 
 class ChaosCrash(RuntimeTaskError):
@@ -185,6 +203,84 @@ class TrainingChaos:
             for p in net.parameters:
                 p *= fault.scale
         return fault
+
+
+class CampaignFault:
+    """One campaign-stage fault aimed at one matrix cell.
+
+    ``cell`` is the cell's position in the expanded matrix (its
+    ``index``).  ``worker_kill`` SIGKILLs the worker process mid-cell on
+    the first ``fail_attempts`` attempts (the default makes it
+    persistent, so the cell quarantines as a ``crash`` hole; set it
+    below the runner's retry budget to rehearse recovery instead).
+    ``cache_corrupt_entry`` flips a byte in the cell's just-written
+    cache entry; ``cache_truncate_entry`` cuts the file short — both
+    fail read-back verification and quarantine the cell
+    ``cache_corrupt``.
+    """
+
+    def __init__(self, kind, cell, fail_attempts=10 ** 9):
+        if kind not in CAMPAIGN_FAULT_KINDS:
+            raise ValueError(f"unknown campaign fault kind {kind!r}")
+        self.kind = kind
+        self.cell = cell
+        self.fail_attempts = fail_attempts
+
+
+class CampaignChaos:
+    """Deterministic fault injector for campaign runs.
+
+    Worker kills are *shipped into* the cell payload (as a plain
+    ``fail_attempts`` count) so the fault fires inside the isolated
+    worker process with no shared state; cache faults run parent-side
+    via :meth:`mangle_entry` right after the orchestrator persists a
+    cell, and fire **once** per fault — a resumed campaign re-executes
+    the quarantined cell clean, like a transient disk glitch.
+    """
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+        self.fired = set()
+
+    def kill_attempts(self, cell_index):
+        """How many leading attempts of this cell the worker must die
+        on (0 = no kill fault aimed here)."""
+        return max((f.fail_attempts for f in self.faults
+                    if f.kind == WORKER_KILL_FAULT and f.cell == cell_index),
+                   default=0)
+
+    def mangle_entry(self, cell_index, path):
+        """Corrupt/truncate the cache entry at ``path`` if a due fault
+        targets this cell; returns the fault or ``None``."""
+        for i, fault in enumerate(self.faults):
+            if i in self.fired or fault.cell != cell_index \
+                    or fault.kind not in (CACHE_CORRUPT_FAULT,
+                                          CACHE_TRUNCATE_FAULT):
+                continue
+            self.fired.add(i)
+            with open(path, "rb") as f:
+                data = f.read()
+            if fault.kind == CACHE_TRUNCATE_FAULT:
+                data = data[: len(data) // 3]
+            else:
+                pos = len(data) // 2
+                data = data[:pos] + bytes([(data[pos] + 1) % 256]) \
+                    + data[pos + 1:]
+            # deliberately torn in place: this *is* the disk corruption
+            # the verified cache must catch, so it must not go through
+            # the atomic writer it is attacking
+            with open(path, "wb") as f:  # repro-lint: disable=atomic-io
+                f.write(data)
+            return fault
+        return None
+
+
+def chaos_kill_self():
+    """SIGKILL the calling process — the worker-side half of a
+    ``worker_kill`` fault.  Dies without unwinding, so the parent sees
+    a silent child death (exit ``-SIGKILL``), exactly like the OOM
+    killer or a segfault."""
+    os.kill(os.getpid(), 9)
 
 
 def inject_faults(sources, plan, seed=0):

@@ -12,14 +12,25 @@ corpus health summary can distinguish *why* sources were lost:
     The worker finished but produced records that fail validation —
     a divergent trace (wrong delta width, negative counters, no
     samples at all).
+
+The campaign layer adds one more terminal kind:
+
+``cache_corrupt``
+    A completed cell could not be durably cached — its cache entry
+    failed read-back verification (checksum/fingerprint mismatch or a
+    truncated/unparseable file) and was quarantined.
 """
 
 #: failure-kind constants (the error taxonomy)
 CRASH = "crash"
 TIMEOUT = "timeout"
 DIVERGENT = "divergent"
+CACHE_CORRUPT = "cache_corrupt"
 
 FAILURE_KINDS = (CRASH, TIMEOUT, DIVERGENT)
+
+#: the campaign layer's cell-failure taxonomy (holes in the matrix)
+CAMPAIGN_FAILURE_KINDS = FAILURE_KINDS + (CACHE_CORRUPT,)
 
 
 class RuntimeTaskError(Exception):
@@ -33,6 +44,21 @@ class DivergentTraceError(RuntimeTaskError):
 class CheckpointError(RuntimeTaskError):
     """The checkpoint directory is unusable (context mismatch,
     unreadable manifest)."""
+
+
+class CellCorruptError(RuntimeTaskError):
+    """A campaign cache entry failed verification (checksum or
+    fingerprint mismatch, truncated or unparseable file).  Carries the
+    machine-readable ``reason``."""
+
+    def __init__(self, message, reason="corrupt"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CampaignError(RuntimeTaskError):
+    """The campaign directory is unusable (spec mismatch on resume,
+    unreadable campaign manifest)."""
 
 
 class CoverageError(RuntimeTaskError):

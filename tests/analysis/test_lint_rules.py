@@ -256,6 +256,63 @@ def test_catalog_events_flags_unknown_literal(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# runner-fanout
+
+
+def test_runner_fanout_flags_pool_and_executor(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/data/x.py": """\
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        def f(tasks):
+            with multiprocessing.Pool(4) as pool:
+                pool.map(len, tasks)
+            with ProcessPoolExecutor() as ex:
+                ex.map(len, tasks)
+    """})
+    assert rules_of(result) == ["runner-fanout", "runner-fanout"]
+    assert result.findings[0].data == {"call": "multiprocessing.Pool"}
+    assert result.findings[1].data == {"call": "ProcessPoolExecutor"}
+
+
+def test_runner_fanout_flags_context_process(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/campaign/x.py": """\
+        import multiprocessing
+
+        def f():
+            ctx = multiprocessing.get_context("fork")
+            proc = ctx.Process(target=len)
+            proc.start()
+    """})
+    assert rules_of(result) == ["runner-fanout"]
+    assert result.findings[0].data == {"call": "ctx.Process"}
+
+
+def test_runner_fanout_runtime_layer_is_exempt(tmp_path):
+    result = lint_tree(tmp_path, {"src/repro/runtime/x.py": """\
+        import multiprocessing
+
+        def f(tasks):
+            with multiprocessing.Pool(4) as pool:
+                pool.map(len, tasks)
+    """})
+    assert result.findings == []
+
+
+def test_runner_fanout_needs_the_import(tmp_path):
+    # a local class named Pool/Process is not fan-out: the rule only
+    # fires in files that import multiprocessing / concurrent.futures
+    result = lint_tree(tmp_path, {"src/repro/data/x.py": """\
+        class Pool:
+            pass
+
+        def f():
+            return Pool()
+    """})
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
 # docs links
 
 

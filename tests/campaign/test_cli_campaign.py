@@ -1,0 +1,76 @@
+"""`repro campaign` CLI: flag plumbing, exit codes, resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.cli import main
+
+ARGS = ["--workloads", "stream", "--attacks", "--defenses", "none",
+        "--periods", "100", "--cell-seeds", "0", "1", "--scale", "1",
+        "--max-cycles", "2000", "--jobs", "2", "--no-manifest"]
+
+
+def test_campaign_flags_run_a_matrix(tmp_path, capsys):
+    directory = str(tmp_path / "camp")
+    assert main(["campaign", directory] + ARGS) == 0
+    out = capsys.readouterr().out
+    assert "campaign: 2/2 cells" in out
+    assert "aggregate:" in out and "manifest :" in out
+    assert os.path.exists(os.path.join(directory, "aggregate.md"))
+    manifest = json.loads(
+        open(os.path.join(directory, "campaign.json")).read())
+    assert manifest["counts"]["completed"] == 2
+
+
+def test_campaign_resume_hits_the_cache(tmp_path, capsys):
+    directory = str(tmp_path / "camp")
+    assert main(["campaign", directory] + ARGS) == 0
+    reference = open(os.path.join(directory, "aggregate.md"), "rb").read()
+    capsys.readouterr()
+    assert main(["campaign", directory, "--resume"] + ARGS) == 0
+    out = capsys.readouterr().out
+    assert "(2 from cache" in out
+    assert open(os.path.join(directory, "aggregate.md"), "rb").read() \
+        == reference
+
+
+def test_campaign_spec_file(tmp_path, capsys):
+    spec = CampaignSpec(workloads=("stream",), defenses=("none",),
+                        periods=(100,), seeds=(0,), scale=1,
+                        max_cycles=2000)
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec.to_dict()))
+    directory = str(tmp_path / "camp")
+    assert main(["campaign", directory, "--spec", str(spec_path),
+                 "--no-manifest"]) == 0
+    assert "campaign: 1/1 cells" in capsys.readouterr().out
+
+
+def test_campaign_requires_a_directory(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["campaign", "--no-manifest"])
+    assert exc.value.code == 2
+    assert "directory required" in capsys.readouterr().err
+
+
+def test_campaign_bad_spec_exits_fatal(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["campaign", str(tmp_path / "camp"), "--workloads", "nope",
+              "--no-manifest"])
+    assert exc.value.code == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_campaign_resume_spec_mismatch_exits_fatal(tmp_path, capsys):
+    directory = str(tmp_path / "camp")
+    assert main(["campaign", directory] + ARGS) == 0
+    with pytest.raises(SystemExit) as exc:
+        main(["campaign", directory, "--resume", "--workloads", "sort",
+              "--attacks", "--defenses", "none", "--periods", "100",
+              "--cell-seeds", "0", "--scale", "1", "--max-cycles", "2000",
+              "--no-manifest"])
+    assert exc.value.code == 2
+    assert "different spec" in capsys.readouterr().err

@@ -11,7 +11,8 @@ DOCS = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
 
 #: first name segments that mark a backticked token as a metric/event
 _LAYER_PREFIXES = {"sim", "runner", "data", "ml", "amgan", "vaccinate",
-                   "adaptive", "stage", "cli", "task", "manifest", "guard"}
+                   "adaptive", "stage", "cli", "task", "manifest", "guard",
+                   "campaign"}
 #: backticked dotted tokens that are file names, not metric names
 _FILE_SUFFIXES = {"json", "jsonl", "md", "py", "pstats", "npz"}
 
@@ -42,7 +43,8 @@ def test_every_catalog_name_is_documented():
 
 
 def test_catalog_is_well_formed():
-    assert set(CATALOG) == {"sim", "runtime", "data", "ml", "core", "cli"}
+    assert set(CATALOG) == {"sim", "runtime", "data", "ml", "core",
+                            "campaign", "cli"}
     for name, (kind, desc) in ALL_METRICS.items():
         assert kind in ("counter", "gauge", "timer"), name
         assert desc
