@@ -38,4 +38,10 @@ python scripts/resume_smoke.py
 # bit-for-bit — see docs/campaigns.md
 python -m repro campaign --smoke --no-manifest
 
+# serving smoke (~5s): batch==single bit-identity, batched-kernel and
+# end-to-end windows/sec floors, and a real CLI run that must exit 0
+# with its report + manifest written — see docs/serving.md (full
+# numbers: python scripts/bench_serve.py)
+python -m repro serve --smoke --no-manifest
+
 exec python -m pytest -x -q -m "not slow" "$@"

@@ -11,6 +11,7 @@ Commands
 ``explain <detector>``  interpret a trained detector
 ``report <corpus> <detector>``  markdown system report
 ``campaign <dir>``     fault-isolated parallel evaluation-matrix run
+``serve``              multi-tenant batched streaming inference
 
 Every command accepts the observability options (``--log-file``,
 ``--log-level``, ``--metrics-out``, ``--manifest-out``/``--no-manifest``,
@@ -325,6 +326,64 @@ def _cmd_campaign(args):
     return result.exit_code
 
 
+def _cmd_serve(args):
+    import json
+
+    from repro.runtime.atomic import atomic_write_bytes
+    from repro.serve import (
+        ServeConfig, demo_detector, run_bench, run_serve,
+        streams_from_dataset, synthetic_streams,
+    )
+    from repro.sim.config import DefenseMode
+
+    if args.smoke:
+        from repro.serve import run_smoke
+        with time_block("stage.serve.run"):
+            return run_smoke()
+    if args.bench:
+        with time_block("stage.serve.run"):
+            run_bench()
+        return 0
+    with time_block("stage.serve.load"):
+        if args.detector:
+            detector = _load_detector_or_die(args.detector)
+        else:
+            detector = demo_detector(seed=args.seed)
+        if args.corpus:
+            dataset = _load_corpus_or_die(args.corpus)
+            streams = streams_from_dataset(dataset, args.tenants,
+                                           period=args.period)
+        else:
+            streams = synthetic_streams(args.tenants, seed=args.seed,
+                                        period=args.period)
+    config = ServeConfig(duration=args.duration,
+                         batch_window=args.batch_window,
+                         queue_limit=args.queue_limit,
+                         secure_mode=DefenseMode(args.defense),
+                         secure_window=args.secure_window)
+    with time_block("stage.serve.run"):
+        _, report = run_serve(detector, streams, config)
+    with time_block("stage.serve.report"):
+        if args.out:
+            payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+            atomic_write_bytes(args.out, payload.encode("utf-8"))
+    w = report["windows"]
+    lat = report["latency_ms"]
+    thr = report["throughput"]
+    print(f"tenants={len(streams)} ingested={w['ingested']} "
+          f"scored={w['scored']} shed={w['shed']} "
+          f"batches={report['batches']['count']} "
+          f"(max {report['batches']['max_windows']})")
+    print(f"latency p50={lat['p50']:.3f}ms p95={lat['p95']:.3f}ms "
+          f"p99={lat['p99']:.3f}ms  throughput="
+          f"{thr['windows_per_sec']:,.0f} windows/s")
+    if report["latched"]:
+        print(f"latched tenants: {', '.join(report['latched'])}")
+    if args.out:
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _obs_parent():
     """Observability options shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -483,6 +542,53 @@ def build_parser():
                    help="run the CI resumability check (chaos kill + "
                         "corruption, resume, bit-identity) and exit")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve", parents=[obs],
+        help="multi-tenant batched streaming inference",
+        description="Stream HPC windows from many simulated tenants "
+                    "through the batched detector (thousands of windows "
+                    "per matrix-matrix pass) with one fail-secure "
+                    "secure-mode controller per tenant and a bounded, "
+                    "shed-to-secure ingest queue.  See docs/serving.md.")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="simulated tenant streams (default 8)")
+    p.add_argument("--duration", type=int, default=200,
+                   help="ticks to drive; each tenant emits one window "
+                        "per tick unless chaos says otherwise "
+                        "(default 200)")
+    p.add_argument("--batch-window", type=int, default=1024,
+                   help="max windows coalesced per score_batch call "
+                        "(default 1024)")
+    p.add_argument("--queue-limit", type=int, default=8192,
+                   help="bounded ingest queue; overflow sheds windows "
+                        "into secure mode (default 8192)")
+    p.add_argument("--period", type=int, default=100,
+                   help="sampling period the streams emulate "
+                        "(default 100)")
+    p.add_argument("--defense", default="fence-futuristic",
+                   help="secure mode entered on a flag "
+                        "(default fence-futuristic)")
+    p.add_argument("--secure-window", type=int, default=10_000,
+                   help="committed instructions per secure-mode re-arm "
+                        "(default 10000)")
+    p.add_argument("--detector", default=None, metavar="JSON",
+                   help="saved detector artifact (default: a quick-fit "
+                        "demo detector)")
+    p.add_argument("--corpus", default=None, metavar="JSON",
+                   help="replay windows from this saved corpus instead "
+                        "of synthetic streams")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="write the run report (and the run manifest "
+                        "next to it)")
+    p.add_argument("--bench", action="store_true",
+                   help="measure batched vs per-window scoring "
+                        "throughput and exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the CI serving check (equivalence, kernel "
+                        "floors, end-to-end CLI run) and exit")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("explain", help="interpret a trained detector",
                        parents=[obs])

@@ -10,7 +10,14 @@ from repro.core.perceptron import HardwareDetector
 
 
 class DeepDetector(HardwareDetector):
-    """An n-hidden-layer MLP detector over the same feature schema."""
+    """An n-hidden-layer MLP detector over the same feature schema.
+
+    Inherits the full detector interface including the vectorized
+    :meth:`~repro.core.perceptron.HardwareDetector.score_batch` serving
+    path, so the deep variants plug into ``repro serve`` unchanged —
+    the batched matrix-matrix pass amortizes the extra layers across
+    thousands of windows per call.
+    """
 
     def __init__(self, schema, depth=16, width=32, seed=0, threshold=0.5,
                  name=None):

@@ -91,6 +91,38 @@ class HardwareDetector:
     def predict_raw(self, X_raw):
         return (self.scores_raw(X_raw) >= self.threshold).astype(int)
 
+    def score_batch(self, deltas):
+        """Vectorized scores for a ``(windows, counters)`` delta matrix.
+
+        The serving fast path (`repro serve`): one gather into the
+        feature schema, one in-place normalization, one matrix-matrix
+        pass per layer — thousands of windows per ``dot``, no per-window
+        Python.  Row *i* is **bit-identical** to scoring window *i*
+        through :meth:`classify_window`'s path regardless of batch
+        size or how the stream was chopped into batches (the whole
+        pipeline is batch-size-invariant per row; see
+        ``MLP.score_batch``).
+
+        Returns the raw score array — non-finite scores are *returned*,
+        not raised, so a batch caller can attribute a poisoned window to
+        its tenant instead of failing the whole batch; per-window
+        callers and the serving layer enforce the fail-secure contract
+        on top (``classify_window``, ``repro.serve``).
+        """
+        raw = self.schema.raw_matrix(deltas)
+        self.normalizer.transform_inplace(raw)
+        return self.net.score_batch(raw)[:, 0]
+
+    def score_window(self, deltas):
+        """Score one counter-delta window via the batched pipeline.
+
+        A one-row :meth:`score_batch`, so the per-window and batched
+        paths are the same code — the equivalence the serving layer's
+        tests pin down.
+        """
+        row = np.asarray(deltas, dtype=float)
+        return float(self.score_batch(row[None, :])[0])
+
     def classify_window(self, deltas):
         """Classify one counter-delta window (the hardware fast path).
 
@@ -99,8 +131,7 @@ class HardwareDetector:
         every attack.  The secure-mode controller's watchdog turns the
         raise into a fail-secure latch.
         """
-        raw = self.schema.raw_vector(deltas)
-        score = self.scores_raw(raw[None, :])[0]
+        score = self.score_window(deltas)
         if not np.isfinite(score):
             raise ValueError(
                 f"detector {self.name!r} produced non-finite score "

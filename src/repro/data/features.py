@@ -72,6 +72,10 @@ class FeatureSchema:
         self._base_idx = [CounterBank.index_of(n) for n in self.base_features]
         self._eng_idx = [tuple(CounterBank.index_of(c) for c in combo)
                          for _, combo in self.engineered]
+        # preresolved index arrays for the vectorized batch path
+        self._base_idx_arr = np.asarray(self._base_idx, dtype=np.intp)
+        self._eng_idx_arrs = [np.asarray(combo, dtype=np.intp)
+                              for combo in self._eng_idx]
 
     @property
     def names(self):
@@ -97,6 +101,29 @@ class FeatureSchema:
         return np.vstack([self.raw_vector(w) for w in windows]) if windows \
             else np.empty((0, self.dim))
 
+    def raw_matrix(self, deltas, out=None):
+        """Vectorized :meth:`raw_vector` over a ``(n, counters)`` array.
+
+        One gather plus one ``np.minimum`` reduction per engineered
+        feature — no per-window Python.  Every output row is bit-identical
+        to ``raw_vector`` on the same window (gather and elementwise min
+        are exact), which is what lets ``score_batch`` and the per-window
+        serving path share one numerical contract; asserted by
+        ``tests/serve/test_score_equivalence.py``.
+        """
+        deltas = np.asarray(deltas, dtype=float)
+        if deltas.ndim != 2:
+            raise ValueError(f"expected a (windows, counters) matrix, "
+                             f"got shape {deltas.shape}")
+        n_base = len(self._base_idx)
+        if out is None:
+            out = np.empty((deltas.shape[0], self.dim))
+        np.take(deltas, self._base_idx_arr, axis=1, out=out[:, :n_base])
+        for j, combo in enumerate(self._eng_idx_arrs):
+            np.minimum.reduce([deltas[:, c] for c in combo],
+                              out=out[:, n_base + j])
+        return out
+
 
 class MaxNormalizer:
     """Per-feature max normalization (paper Section VII)."""
@@ -114,6 +141,19 @@ class MaxNormalizer:
             raise RuntimeError("fit() before transform()")
         return np.clip(np.asarray(matrix, dtype=float) / self.max_values,
                        0.0, 1.0)
+
+    def transform_inplace(self, matrix):
+        """Normalize a float matrix in place (no allocations).
+
+        Elementwise divide + clip, bit-identical to :meth:`transform` on
+        the same rows; the batched scoring path uses it to avoid two
+        temporary ``(windows, features)`` copies per batch.
+        """
+        if self.max_values is None:
+            raise RuntimeError("fit() before transform()")
+        np.divide(matrix, self.max_values, out=matrix)
+        np.clip(matrix, 0.0, 1.0, out=matrix)
+        return matrix
 
     def fit_transform(self, matrix):
         return self.fit(matrix).transform(matrix)

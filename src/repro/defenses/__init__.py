@@ -12,11 +12,15 @@ from repro.defenses.policies import (
     DEFENSE_CONFIGS, DefensePolicy, measure_overhead, run_workload,
 )
 from repro.defenses.controller import SecureModeController
+from repro.defenses.fanout import ControllerFanout, TenantSlot, VirtualCore
 
 __all__ = [
+    "ControllerFanout",
     "DEFENSE_CONFIGS",
     "DefensePolicy",
     "SecureModeController",
+    "TenantSlot",
+    "VirtualCore",
     "measure_overhead",
     "run_workload",
 ]

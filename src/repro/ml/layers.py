@@ -123,6 +123,24 @@ class Dense:
             self._x, self._z, self._y = x, z, y
         return y
 
+    def infer(self, x):
+        """Inference-only forward pass with **batch-size-invariant** rows.
+
+        ``x @ W`` dispatches to BLAS gemm, whose blocking (and therefore
+        accumulation order, and therefore last-ulp rounding) depends on
+        the batch shape: row *i* of a 4096-row product is NOT guaranteed
+        bit-identical to the same row pushed through alone.  The serving
+        layer's contract — ``score_batch`` bit-identical to the
+        per-window path, however the stream gets chopped into batches —
+        needs each output row to be a pure function of that row alone,
+        so this path uses ``np.einsum`` (fixed-order accumulation over
+        the contraction axis, no batch-shape-dependent blocking).
+        Caches nothing; never use for training.
+        """
+        z = np.einsum("nk,km->nm", x, self.weights)
+        z += self.bias
+        return self._act(z)
+
     def backward(self, grad_out):
         """Backpropagate ``dL/dy``; stores dL/dW, dL/db, returns dL/dx."""
         if self._x is None:

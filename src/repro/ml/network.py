@@ -92,6 +92,23 @@ class MLP:
         """Forward pass without caching; returns the raw outputs."""
         return self.forward(x, train=False)
 
+    def score_batch(self, x):
+        """Batch-size-invariant inference over a ``(n, in_dim)`` matrix.
+
+        Row *i* of the result is bit-identical whether ``x`` holds one
+        window or thousands (see :meth:`Dense.infer`), so detector scores
+        do not depend on how a stream was coalesced into batches.  This
+        is the matrix-matrix serving path behind
+        ``HardwareDetector.score_batch`` / ``repro serve``; training and
+        evaluation keep the BLAS-backed :meth:`predict`.
+        """
+        out = np.asarray(x, dtype=float)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.infer(out)
+        return out
+
     def predict_label(self, x, threshold=0.5):
         """Binary labels from the first output column."""
         return (self.predict(x)[:, 0] >= threshold).astype(int)

@@ -30,6 +30,7 @@ _MANIFEST_ANCHORS = {
     "report": ("out", "corpus"),
     "explain": ("detector",),
     "campaign": ("dir",),
+    "serve": ("out",),
 }
 
 

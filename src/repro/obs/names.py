@@ -114,6 +114,33 @@ CATALOG = {
             ("timer", "per-cell wall clock (queue to resolution, "
                       "across retries)"),
     },
+    "serve": {
+        "serve.windows.ingested":
+            ("counter", "windows accepted into the serving queue"),
+        "serve.windows.scored":
+            ("counter", "windows scored through the batched detector"),
+        "serve.windows.shed":
+            ("counter", "windows dropped by backpressure (forced secure)"),
+        "serve.batches": ("counter", "matrix-matrix score_batch calls"),
+        "serve.batch.seconds": ("timer", "wall-clock per scored batch"),
+        "serve.batch.max_windows":
+            ("gauge", "largest batch scored this run"),
+        "serve.queue.depth": ("gauge", "queued windows after the last "
+                                       "batch was formed"),
+        "serve.queue.peak": ("gauge", "high-water mark of queued windows"),
+        "serve.latency.p50_ms":
+            ("gauge", "median enqueue-to-verdict latency"),
+        "serve.latency.p95_ms":
+            ("gauge", "95th-percentile enqueue-to-verdict latency"),
+        "serve.latency.p99_ms":
+            ("gauge", "99th-percentile enqueue-to-verdict latency"),
+        "serve.tenants": ("gauge", "tenant streams seen this run"),
+        "serve.tenants.latched":
+            ("counter", "tenants latched into always-secure mode"),
+        "serve.detector.faults":
+            ("counter", "detector exceptions or non-finite scores "
+                        "attributed to a tenant window"),
+    },
     "cli": {
         "stage.campaign.run": ("timer", "campaign: matrix fan-out "
                                         "(or the --smoke check)"),
@@ -131,6 +158,9 @@ CATALOG = {
         "stage.adaptive.load": ("timer", "adaptive: saved detector load"),
         "stage.adaptive.train": ("timer", "adaptive: corpus + vaccination"),
         "stage.adaptive.run": ("timer", "adaptive: gated attack runs"),
+        "stage.serve.load": ("timer", "serve: detector + stream setup"),
+        "stage.serve.run": ("timer", "serve: the streaming drive loop"),
+        "stage.serve.report": ("timer", "serve: report serialization"),
     },
 }
 
@@ -169,6 +199,18 @@ EVENTS = {
         "reason)",
     "campaign.finished":
         "campaign completed (completed, holes, cache_hits, exit_code)",
+    "serve.started":
+        "streaming service begun (tenants, duration, batch_window, "
+        "queue_limit)",
+    "serve.shed":
+        "backpressure drop: queued windows forced secure (tenant, "
+        "commit_index, depth)",
+    "serve.tenant_latched":
+        "tenant latched always-secure (tenant, reason)",
+    "serve.detector_fault":
+        "detector fault attributed to a window (tenant, kind)",
+    "serve.finished":
+        "streaming service completed (ingested, scored, shed, latched)",
 }
 
 

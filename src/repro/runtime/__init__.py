@@ -14,11 +14,14 @@ from repro.runtime.atomic import (
     atomic_write_bytes, fsync_directory, sha256_bytes, sha256_file,
 )
 from repro.runtime.chaos import (
-    CACHE_CORRUPT_FAULT, CACHE_TRUNCATE_FAULT, CAMPAIGN_FAULT_KINDS,
-    CRASH_FAULT, GARBAGE_FAULT, HANG_FAULT, KILL_FAULT, LOSS_SPIKE_FAULT,
-    NAN_GRAD_FAULT, TRAINING_FAULT_KINDS, WORKER_KILL_FAULT, CampaignChaos,
-    CampaignFault, ChaosCrash, ChaosKill, ChaosSource, FaultSpec,
-    TrainingChaos, TrainingFault, chaos_kill_self, inject_faults,
+    BURST_ARRIVAL_FAULT, CACHE_CORRUPT_FAULT, CACHE_TRUNCATE_FAULT,
+    CAMPAIGN_FAULT_KINDS, CRASH_FAULT, DETECTOR_EXCEPTION_FAULT,
+    DETECTOR_POISON_SENTINEL, GARBAGE_FAULT, HANG_FAULT, KILL_FAULT,
+    LOSS_SPIKE_FAULT, NAN_GRAD_FAULT, NAN_WINDOW_FAULT, SERVE_FAULT_KINDS,
+    SLOW_TENANT_FAULT, TRAINING_FAULT_KINDS, WORKER_KILL_FAULT,
+    CampaignChaos, CampaignFault, ChaosCrash, ChaosKill, ChaosSource,
+    FaultSpec, ServeChaos, ServeFault, TrainingChaos, TrainingFault,
+    chaos_kill_self, inject_faults,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
@@ -33,12 +36,15 @@ from repro.runtime.runner import (
 
 __all__ = [
     "atomic_write_bytes", "fsync_directory", "sha256_bytes", "sha256_file",
-    "CACHE_CORRUPT_FAULT", "CACHE_TRUNCATE_FAULT", "CAMPAIGN_FAULT_KINDS",
-    "CRASH_FAULT", "GARBAGE_FAULT", "HANG_FAULT", "KILL_FAULT",
-    "LOSS_SPIKE_FAULT", "NAN_GRAD_FAULT", "TRAINING_FAULT_KINDS",
+    "BURST_ARRIVAL_FAULT", "CACHE_CORRUPT_FAULT", "CACHE_TRUNCATE_FAULT",
+    "CAMPAIGN_FAULT_KINDS", "CRASH_FAULT", "DETECTOR_EXCEPTION_FAULT",
+    "DETECTOR_POISON_SENTINEL", "GARBAGE_FAULT", "HANG_FAULT", "KILL_FAULT",
+    "LOSS_SPIKE_FAULT", "NAN_GRAD_FAULT", "NAN_WINDOW_FAULT",
+    "SERVE_FAULT_KINDS", "SLOW_TENANT_FAULT", "TRAINING_FAULT_KINDS",
     "WORKER_KILL_FAULT", "CampaignChaos", "CampaignFault",
     "ChaosCrash", "ChaosKill", "ChaosSource", "FaultSpec",
-    "TrainingChaos", "TrainingFault", "chaos_kill_self", "inject_faults",
+    "ServeChaos", "ServeFault", "TrainingChaos", "TrainingFault",
+    "chaos_kill_self", "inject_faults",
     "CheckpointStore",
     "CACHE_CORRUPT", "CAMPAIGN_FAILURE_KINDS", "CRASH", "DIVERGENT",
     "FAILURE_KINDS", "TIMEOUT", "CampaignError", "CellCorruptError",

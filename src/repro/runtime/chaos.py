@@ -34,6 +34,8 @@ import os
 import random
 import time
 
+import numpy as np
+
 from repro.runtime.errors import RuntimeTaskError
 
 #: injectable fault kinds
@@ -55,6 +57,21 @@ CACHE_TRUNCATE_FAULT = "cache_truncate_entry"
 
 CAMPAIGN_FAULT_KINDS = (WORKER_KILL_FAULT, CACHE_CORRUPT_FAULT,
                         CACHE_TRUNCATE_FAULT)
+
+#: injectable serving-stage fault kinds
+SLOW_TENANT_FAULT = "slow_tenant"
+BURST_ARRIVAL_FAULT = "burst_arrival"
+NAN_WINDOW_FAULT = "nan_window"
+DETECTOR_EXCEPTION_FAULT = "detector_exception"
+
+SERVE_FAULT_KINDS = (SLOW_TENANT_FAULT, BURST_ARRIVAL_FAULT,
+                     NAN_WINDOW_FAULT, DETECTOR_EXCEPTION_FAULT)
+
+#: finite sentinel value a ``detector_exception`` fault plants in a
+#: window's first counter: it passes every input-finiteness check, then
+#: makes the chaos-wrapped detector raise mid-batch — a deterministic
+#: stand-in for "the model blew up on this tenant's window"
+DETECTOR_POISON_SENTINEL = -987654321.0
 
 
 class ChaosCrash(RuntimeTaskError):
@@ -273,6 +290,105 @@ class CampaignChaos:
                 f.write(data)
             return fault
         return None
+
+
+class ServeFault:
+    """One serving-stage fault aimed at one tenant's stream.
+
+    * ``slow_tenant`` — the tenant emits a window only every ``every``
+      ticks (a straggler starving its own stream, not its siblings);
+    * ``burst_arrival`` — at tick ``at_tick`` the tenant emits
+      ``windows`` windows at once (an arrival spike that must drive
+      queue-overflow shedding, never an unbounded queue);
+    * ``nan_window`` — the tenant's window at ``at_tick`` is replaced
+      with non-finite deltas (the malformed-feature fault the
+      fail-secure watchdog must catch *per tenant* in the batched path);
+    * ``detector_exception`` — the tenant's window at ``at_tick`` is
+      planted with :data:`DETECTOR_POISON_SENTINEL`, and the
+      chaos-wrapped detector raises whenever a batch contains it — the
+      service must fall back to per-window attribution and latch only
+      the offending tenant.
+    """
+
+    def __init__(self, kind, tenant, at_tick=None, every=2, windows=64):
+        if kind not in SERVE_FAULT_KINDS:
+            raise ValueError(f"unknown serve fault kind {kind!r}")
+        if kind != SLOW_TENANT_FAULT and at_tick is None:
+            raise ValueError(f"{kind} fault needs at_tick")
+        self.kind = kind
+        self.tenant = tenant
+        self.at_tick = at_tick
+        self.every = every
+        self.windows = windows
+
+
+class _ChaosDetector:
+    """Detector proxy that raises on batches holding a poisoned window.
+
+    Wraps anything with a ``score_batch``; every other attribute
+    passes through, so it drops into the serving layer wherever a real
+    detector is accepted.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def score_batch(self, deltas):
+        if np.any(deltas == DETECTOR_POISON_SENTINEL):
+            raise RuntimeError("injected detector exception "
+                               "(poisoned window in batch)")
+        return self.inner.score_batch(deltas)
+
+
+class ServeChaos:
+    """Deterministic fault injector for streaming-inference runs.
+
+    The serve driver consults :meth:`emit_count` for each (tenant,
+    tick) arrival and :meth:`poison` for each emitted window; detector
+    faults additionally require wrapping the detector with
+    :meth:`wrap_detector` so the planted sentinel actually raises.
+    All activations are pure functions of (tenant, tick), so a chaos
+    run is exactly replayable.
+    """
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+
+    def wrap_detector(self, detector):
+        if any(f.kind == DETECTOR_EXCEPTION_FAULT for f in self.faults):
+            return _ChaosDetector(detector)
+        return detector
+
+    def emit_count(self, tenant, tick):
+        """How many windows this tenant emits this tick (default 1)."""
+        count = 1
+        for fault in self.faults:
+            if fault.tenant != tenant:
+                continue
+            if fault.kind == SLOW_TENANT_FAULT and tick % fault.every:
+                count = 0
+            elif fault.kind == BURST_ARRIVAL_FAULT \
+                    and tick == fault.at_tick:
+                count = fault.windows
+        return count
+
+    def poison(self, tenant, tick, window):
+        """Return the (possibly corrupted) window for this arrival."""
+        for fault in self.faults:
+            if fault.tenant != tenant or fault.at_tick != tick:
+                continue
+            if fault.kind == NAN_WINDOW_FAULT:
+                window = np.array(window, dtype=float)
+                window[0] = float("nan")
+                return window
+            if fault.kind == DETECTOR_EXCEPTION_FAULT:
+                window = np.array(window, dtype=float)
+                window[0] = DETECTOR_POISON_SENTINEL
+                return window
+        return window
 
 
 def chaos_kill_self():

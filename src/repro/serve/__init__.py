@@ -1,0 +1,47 @@
+"""Detection-as-a-service: batched streaming inference over many tenants.
+
+``repro serve`` drives this package: HPC window streams from many
+simulated tenants (corpus replay or synthetic) are coalesced into
+matrix-matrix batches — thousands of windows per ``dot`` through the
+batch-size-invariant :meth:`~repro.core.perceptron.HardwareDetector.
+score_batch` path — while the *decision* stays per tenant: one genuine
+fail-secure :class:`~repro.defenses.controller.SecureModeController`
+per stream (:mod:`repro.defenses.fanout`).
+
+Contracts the tests pin down:
+
+* **equivalence** — a window's score is bit-identical whether it is
+  scored alone or inside any batch (``tests/serve/
+  test_score_equivalence.py``);
+* **isolation** — a poisoned window, non-finite score, or detector
+  exception latches only the offending tenant; sibling verdict streams
+  stay bit-identical to a run where the faulty tenant never existed
+  (``tests/serve/test_tenant_isolation.py``);
+* **backpressure fails secure** — the queue is bounded; overflow sheds
+  windows *into* secure mode, never past the detector unmonitored.
+
+See ``docs/serving.md`` for the operator view (metrics, events,
+triage).
+"""
+
+from repro.serve.bench import measure_scoring_throughput, run_bench
+from repro.serve.service import DetectionService, ServeConfig, run_serve
+from repro.serve.smoke import run_smoke
+from repro.serve.streams import (
+    ReplayStream, SyntheticStream, demo_detector, streams_from_dataset,
+    synthetic_streams,
+)
+
+__all__ = [
+    "DetectionService",
+    "ReplayStream",
+    "ServeConfig",
+    "SyntheticStream",
+    "demo_detector",
+    "measure_scoring_throughput",
+    "run_bench",
+    "run_serve",
+    "run_smoke",
+    "streams_from_dataset",
+    "synthetic_streams",
+]

@@ -1,0 +1,112 @@
+"""The ``repro serve --smoke`` end-to-end check.
+
+A self-contained, few-second proof of the serving contract, run by
+``scripts/ci.sh`` on every push:
+
+1. **equivalence** — a handful of windows score bit-identically through
+   ``score_batch`` and the per-window path (the invariant everything
+   else rests on);
+2. **kernel floor** — the batched scoring path beats the per-window
+   loop by at least :data:`SPEEDUP_FLOOR` and sustains at least
+   :data:`BATCH_WPS_FLOOR` windows/sec (defensive fractions of the
+   measured numbers — see ``benchmarks/BENCH_serve.json`` for the real
+   ones — so a noisy CI host does not flake);
+3. **the real CLI** — a subprocess ``python -m repro serve`` run exits
+   0, writes its report JSON and its run manifest next to it, scores
+   every emitted window, and sustains :data:`SERVICE_WPS_FLOOR`
+   windows/sec end to end (queueing, controller fan-out and
+   observability included).
+
+Any deviation prints a one-line reason and fails (exit 1).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.serve.bench import measure_scoring_throughput, synthetic_windows
+from repro.serve.streams import demo_detector
+
+#: batched/single kernel speedup the smoke requires (measured ~50x on
+#: the perceptron; 10x leaves 5x headroom for loaded CI hosts)
+SPEEDUP_FLOOR = 10.0
+#: batched windows/sec the kernel must sustain (measured ~1.2M)
+BATCH_WPS_FLOOR = 150_000.0
+#: end-to-end service windows/sec, queueing + controllers included
+SERVICE_WPS_FLOOR = 5_000.0
+
+
+def _cli_env():
+    """Subprocess env that can import ``repro`` the way we did."""
+    import repro
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_smoke(echo=print):
+    """Run the three-part serving check; returns 0 ok / 1 failed."""
+    detector = demo_detector(seed=0)
+
+    X = synthetic_windows(64, seed=7)
+    batch = detector.score_batch(X)
+    singles = np.array([detector.score_window(X[i]) for i in range(len(X))])
+    if not np.array_equal(batch, singles):
+        echo("serve smoke FAILED: batched scores are not bit-identical "
+             "to per-window scores")
+        return 1
+
+    m = measure_scoring_throughput(detector, windows=4096, repeats=3)
+    if m["speedup"] < SPEEDUP_FLOOR:
+        echo(f"serve smoke FAILED: batched speedup {m['speedup']:.1f}x "
+             f"below the {SPEEDUP_FLOOR:.0f}x floor")
+        return 1
+    if m["batch_windows_per_sec"] < BATCH_WPS_FLOOR:
+        echo(f"serve smoke FAILED: batched throughput "
+             f"{m['batch_windows_per_sec']:,.0f} w/s below the "
+             f"{BATCH_WPS_FLOOR:,.0f} w/s floor")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "serve-report.json")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--tenants", "4",
+             "--duration", "64", "--batch-window", "64", "--out", out],
+            env=_cli_env(), capture_output=True, text=True, timeout=300)
+        if proc.returncode != 0:
+            echo(f"serve smoke FAILED: CLI run exited {proc.returncode}: "
+                 f"{proc.stderr.strip().splitlines()[-1:] or proc.stdout}")
+            return 1
+        if not os.path.exists(out):
+            echo("serve smoke FAILED: CLI run wrote no report JSON")
+            return 1
+        manifest = out + ".serve-manifest.json"
+        if not os.path.exists(manifest):
+            echo("serve smoke FAILED: CLI run wrote no run manifest "
+                 "next to its report")
+            return 1
+        with open(out) as f:
+            report = json.load(f)
+        expected = 4 * 64
+        if report["windows"]["scored"] != expected \
+                or report["windows"]["shed"] != 0:
+            echo(f"serve smoke FAILED: CLI run scored "
+                 f"{report['windows']['scored']}/{expected} windows "
+                 f"(shed {report['windows']['shed']})")
+            return 1
+        wps = report.get("throughput", {}).get("windows_per_sec", 0.0)
+        if wps < SERVICE_WPS_FLOOR:
+            echo(f"serve smoke FAILED: end-to-end throughput {wps:,.0f} "
+                 f"w/s below the {SERVICE_WPS_FLOOR:,.0f} w/s floor")
+            return 1
+
+    echo(f"serve smoke ok: batch==single bit-identical; kernel "
+         f"{m['speedup']:.0f}x / {m['batch_windows_per_sec']:,.0f} w/s; "
+         f"CLI run scored {expected} windows at {wps:,.0f} w/s "
+         f"with manifest")
+    return 0

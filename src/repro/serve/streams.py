@@ -1,0 +1,115 @@
+"""Tenant window streams: where the serving layer's inputs come from.
+
+A *stream* models one tenant core emitting HPC sampling windows — the
+same ``(counters,)`` delta vectors the simulator's sampler produces.
+Two sources:
+
+* :class:`ReplayStream` cycles a preloaded delta matrix (a saved corpus
+  sliced per tenant by :func:`streams_from_dataset`) — real windows,
+  deterministic order;
+* :class:`SyntheticStream` draws plausible non-negative counter deltas
+  from a seeded generator — no corpus needed, used by the demo/bench
+  paths.
+
+Both are deterministic functions of their constructor arguments, so a
+serve run (and any chaos scenario layered on it) is exactly
+replayable.
+"""
+
+import numpy as np
+
+from repro.core.perceptron import HardwareDetector, evax_schema
+from repro.sim.hpc import COUNTER_NAMES
+
+
+class ReplayStream:
+    """Cycle one tenant's preloaded ``(n, counters)`` delta matrix."""
+
+    def __init__(self, tenant, matrix, offset=0, period=100):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or not len(matrix):
+            raise ValueError("replay matrix must be a non-empty "
+                             "(windows, counters) array")
+        self.tenant = tenant
+        self.matrix = matrix
+        self.period = period
+        self._pos = offset % len(matrix)
+        self._commit_index = 0
+
+    def next_window(self):
+        """Return ``(commit_index, deltas)`` for the next window."""
+        window = self.matrix[self._pos]
+        self._pos = (self._pos + 1) % len(self.matrix)
+        self._commit_index += self.period
+        return self._commit_index, window
+
+
+class SyntheticStream:
+    """Seeded synthetic tenant: plausible non-negative counter deltas."""
+
+    def __init__(self, tenant, seed=0, period=100, width=None):
+        self.tenant = tenant
+        self.period = period
+        self.width = width if width is not None else len(COUNTER_NAMES)
+        self._rng = np.random.default_rng(seed)
+        self._commit_index = 0
+
+    def next_window(self):
+        """Return ``(commit_index, deltas)`` for the next window."""
+        window = self._rng.integers(
+            0, self.period + 1, size=self.width).astype(float)
+        self._commit_index += self.period
+        return self._commit_index, window
+
+
+def streams_from_dataset(dataset, tenants, period=None):
+    """Split a saved corpus into ``tenants`` replay streams.
+
+    Every tenant replays the *full* window matrix but starts at a
+    different phase offset, so the streams are decorrelated without
+    sacrificing coverage on small corpora.  Tenant ids are ``"t0"`` ..
+    ``"t<n-1>"``.
+    """
+    matrix = np.asarray([r.deltas for r in dataset.records], dtype=float)
+    if not len(matrix):
+        raise ValueError("corpus has no windows to replay")
+    if period is None:
+        period = dataset.sample_period
+    return [
+        ReplayStream(f"t{i}", matrix,
+                     offset=(i * len(matrix)) // max(tenants, 1),
+                     period=period)
+        for i in range(tenants)
+    ]
+
+
+def synthetic_streams(tenants, seed=0, period=100):
+    """``tenants`` decorrelated :class:`SyntheticStream` instances."""
+    return [SyntheticStream(f"t{i}", seed=seed + i, period=period)
+            for i in range(tenants)]
+
+
+def demo_detector(seed=0, windows=512, depth=0, width=32):
+    """A quickly-fitted detector for demo/bench serve runs.
+
+    Trains on seeded synthetic windows with a sum-based pseudo-label —
+    **not** a real EVAX detector (no corpus, no vaccination), just a
+    numerically realistic model so ``repro serve`` works out of the box;
+    pass ``--detector`` for a trained artifact.  ``depth > 0`` builds
+    the deep variant used by the DNN serving benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    deltas = rng.integers(0, 100, size=(windows, len(COUNTER_NAMES)))
+    deltas = deltas.astype(float)
+    totals = deltas.sum(axis=1)
+    y = (totals > np.median(totals)).astype(float)
+    if depth > 0:
+        from repro.core.dnn import DeepDetector
+        detector = DeepDetector(evax_schema(), depth=depth, width=width,
+                                seed=seed, name=f"serve-demo-{depth}x{width}")
+    else:
+        detector = HardwareDetector(evax_schema(), seed=seed,
+                                    name="serve-demo")
+    raw = detector.schema.raw_matrix(deltas)
+    detector.fit(raw, y, epochs=3, batch_size=64, seed=seed)
+    return detector

@@ -1,5 +1,11 @@
-"""docs/observability.md and repro.obs.names must agree, in both
-directions, and instrumentation sites must only emit cataloged names."""
+"""The metric/event docs and repro.obs.names must agree, in both
+directions, and instrumentation sites must only emit cataloged names.
+
+Two pages carry catalog tables: ``docs/observability.md`` (the original
+layers) and ``docs/serving.md`` (the ``serve`` layer); both are parsed,
+so a metric documented on either page satisfies the contract and a name
+on either page that the code cannot emit fails it.
+"""
 
 import re
 from pathlib import Path
@@ -7,20 +13,23 @@ from pathlib import Path
 from repro.obs import metrics
 from repro.obs.names import ALL_METRICS, CATALOG, EVENTS, is_known_metric
 
-DOCS = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+_DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
+#: every page whose backticked dotted tokens are checked as catalog names
+DOCS = (_DOCS_DIR / "observability.md", _DOCS_DIR / "serving.md")
 
 #: first name segments that mark a backticked token as a metric/event
 _LAYER_PREFIXES = {"sim", "runner", "data", "ml", "amgan", "vaccinate",
                    "adaptive", "stage", "cli", "task", "manifest", "guard",
-                   "campaign"}
+                   "campaign", "serve"}
 #: backticked dotted tokens that are file names, not metric names
 _FILE_SUFFIXES = {"json", "jsonl", "md", "py", "pstats", "npz"}
 
 
 def _doc_names():
-    text = DOCS.read_text()
+    text = "\n".join(page.read_text() for page in DOCS)
     names = set()
-    for token in re.findall(r"`([a-z_]+(?:\.[a-z_]+)+)`", text):
+    for token in re.findall(
+            r"`([a-z_][a-z0-9_]*(?:\.[a-z_][a-z0-9_]*)+)`", text):
         head, _, _ = token.partition(".")
         if head in _LAYER_PREFIXES and \
                 token.rsplit(".", 1)[-1] not in _FILE_SUFFIXES:
@@ -44,11 +53,12 @@ def test_every_catalog_name_is_documented():
 
 def test_catalog_is_well_formed():
     assert set(CATALOG) == {"sim", "runtime", "data", "ml", "core",
-                            "campaign", "cli"}
+                            "campaign", "serve", "cli"}
     for name, (kind, desc) in ALL_METRICS.items():
         assert kind in ("counter", "gauge", "timer"), name
         assert desc
-        assert re.fullmatch(r"[a-z_]+(\.[a-z_]+)+", name), name
+        assert re.fullmatch(
+            r"[a-z_][a-z0-9_]*(\.[a-z_][a-z0-9_]*)+", name), name
     assert is_known_metric("sim.runs")
     assert not is_known_metric("sim.nope")
 

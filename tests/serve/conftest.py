@@ -1,0 +1,18 @@
+"""Shared serving fixtures: quick-fit detectors, no simulator runs."""
+
+import pytest
+
+from repro.serve import demo_detector
+
+
+@pytest.fixture(scope="session")
+def detector():
+    """The quick-fit perceptron every serve test scores with."""
+    return demo_detector(seed=0)
+
+
+@pytest.fixture(scope="session")
+def deep_detector():
+    """A small deep variant (4x16) — enough layers to exercise the
+    multi-layer batched path without slowing the suite."""
+    return demo_detector(seed=0, depth=4, width=16)

@@ -1,0 +1,126 @@
+"""The multi-tenant guarantee: one tenant's fault never degrades
+siblings.
+
+Every scenario injects a :class:`~repro.runtime.chaos.ServeFault`
+through the same chaos plumbing the campaign and training layers use,
+then holds the service to two obligations at once:
+
+* the *offending* tenant latches into always-secure mode (fail secure,
+  never open), and
+* every *sibling* tenant's recorded ``(commit_index, score, verdict)``
+  stream is **bit-identical** to a run where the fault never happened —
+  possible only because scoring is batch-size-invariant per row and
+  controller state is per tenant.
+"""
+
+import numpy as np
+
+from repro.runtime import (
+    BURST_ARRIVAL_FAULT, DETECTOR_EXCEPTION_FAULT, DETECTOR_POISON_SENTINEL,
+    NAN_WINDOW_FAULT, SLOW_TENANT_FAULT, ServeChaos, ServeFault,
+)
+from repro.serve import ServeConfig, run_serve, synthetic_streams
+from repro.serve.bench import synthetic_windows
+
+CONFIG = dict(duration=48, batch_window=64)
+
+
+def _run(detector, chaos=None, tenants=4, **overrides):
+    config = ServeConfig(**{**CONFIG, **overrides})
+    return run_serve(detector, synthetic_streams(tenants, seed=0),
+                     config, chaos=chaos, record=True)
+
+
+def _assert_siblings_identical(faulty, clean, *victims):
+    for tenant in clean.record:
+        if tenant in victims:
+            continue
+        assert faulty.record[tenant] == clean.record[tenant], \
+            f"sibling {tenant} diverged"
+
+
+def test_nan_window_latches_only_offender(detector):
+    chaos = ServeChaos([ServeFault(NAN_WINDOW_FAULT, "t1", at_tick=10)])
+    faulty, report = _run(detector, chaos)
+    clean, _ = _run(detector)
+    assert report["latched"] == ["t1"]
+    assert "non-finite" in faulty.fanout.slot("t1").controller.latch_reason
+    _assert_siblings_identical(faulty, clean, "t1")
+    # after the latch, every remaining t1 window ran mitigated
+    assert report["tenants"]["t1"]["secure_fraction"] > 0.7
+
+
+def test_detector_exception_mid_stream_latches_only_offender(detector):
+    """A batch-level detector blow-up must narrow to the poisoned row:
+    the per-window fallback re-scores siblings bit-identically."""
+    chaos = ServeChaos(
+        [ServeFault(DETECTOR_EXCEPTION_FAULT, "t2", at_tick=20)])
+    faulty, report = _run(detector, chaos)
+    clean, _ = _run(detector)
+    assert report["latched"] == ["t2"]
+    assert "RuntimeError" in faulty.fanout.slot("t2").controller.latch_reason
+    assert report["detector_faults"] == 1
+    _assert_siblings_identical(faulty, clean, "t2")
+
+
+def test_two_simultaneous_faults_latch_exactly_two(detector):
+    chaos = ServeChaos([
+        ServeFault(NAN_WINDOW_FAULT, "t0", at_tick=5),
+        ServeFault(DETECTOR_EXCEPTION_FAULT, "t3", at_tick=5),
+    ])
+    faulty, report = _run(detector, chaos)
+    clean, _ = _run(detector)
+    assert report["latched"] == ["t0", "t3"]
+    _assert_siblings_identical(faulty, clean, "t0", "t3")
+
+
+def test_burst_arrival_sheds_without_latching(detector):
+    """An arrival spike drives shedding (bounded queue), but shedding is
+    an overload response, not a detector fault — nobody latches."""
+    chaos = ServeChaos(
+        [ServeFault(BURST_ARRIVAL_FAULT, "t3", at_tick=8, windows=300)])
+    _, report = _run(detector, chaos, queue_limit=64)
+    assert report["windows"]["shed"] > 0
+    assert report["latched"] == []
+    assert report["queue"]["peak"] <= 64
+
+
+def test_slow_tenant_starves_only_itself(detector):
+    chaos = ServeChaos([ServeFault(SLOW_TENANT_FAULT, "t0", every=4)])
+    faulty, report = _run(detector, chaos)
+    clean, clean_report = _run(detector)
+    assert report["tenants"]["t0"]["windows"] < \
+        clean_report["tenants"]["t0"]["windows"]
+    _assert_siblings_identical(faulty, clean, "t0")
+    # the slow tenant's own windows are a prefix-by-commit-index subset
+    # of its clean stream: same scores, just fewer of them
+    slow = dict((ci, (s, v)) for ci, s, v in faulty.record["t0"])
+    full = dict((ci, (s, v)) for ci, s, v in clean.record["t0"])
+    assert set(slow) <= set(full)
+    assert all(slow[ci][0] == full[ci][0] for ci in slow)
+
+
+def test_poison_sentinel_raises_through_wrapped_detector(detector):
+    chaos = ServeChaos(
+        [ServeFault(DETECTOR_EXCEPTION_FAULT, "t0", at_tick=0)])
+    wrapped = chaos.wrap_detector(detector)
+    X = synthetic_windows(8, seed=11)
+    poisoned = X.copy()
+    poisoned[4, 0] = DETECTOR_POISON_SENTINEL
+    # clean batches pass through bit-identically; poisoned ones raise
+    assert np.array_equal(wrapped.score_batch(X), detector.score_batch(X))
+    try:
+        wrapped.score_batch(poisoned)
+        raise AssertionError("poisoned batch did not raise")
+    except RuntimeError as exc:
+        assert "injected detector exception" in str(exc)
+
+
+def test_chaos_runs_are_replayable(detector):
+    chaos_plan = [ServeFault(NAN_WINDOW_FAULT, "t1", at_tick=10),
+                  ServeFault(SLOW_TENANT_FAULT, "t2", every=3)]
+    a, report_a = _run(detector, ServeChaos(chaos_plan))
+    b, report_b = _run(detector, ServeChaos(chaos_plan))
+    assert a.record == b.record
+    assert report_a["latched"] == report_b["latched"]
+    assert report_a["windows"] == report_b["windows"]
