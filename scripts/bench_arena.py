@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Arms-race economics: per-generation wall-clock + evasion trajectory.
+
+Runs one fixed arms race (``repro.arena``) in a scratch directory and
+records what each generation cost and what evolution bought:
+
+* ``seconds`` per generation — evaluate + re-vaccinate + gate + breed,
+* the evasion trajectory (mean/max fitness of the leaking population
+  against the *incumbent* of that generation),
+* the gate verdicts (promotions vs rollbacks) and the incumbent's
+  held-out FP/FN/AUC after each generation,
+
+and writes ``benchmarks/BENCH_arena.json``.  A resumed replay of the
+finished race is timed too: that is the cost of re-verifying the whole
+lineage from its generation checkpoints (it must also reproduce the
+report byte-for-byte, which doubles as a determinism regression check —
+the script exits 1 if it does not).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_arena.py [--jobs N] [--out PATH]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.arena import ArenaSpec, run_arena   # noqa: E402
+
+#: the measured race: 3 generations of 9 genomes, 3 survivors each
+SPEC = dict(
+    generations=3,
+    population=9,
+    survivors=3,
+    attacks=("meltdown", "flush-reload"),
+    workloads=("stream", "sort"),
+    sample_period=120,
+    samples_per_class=8,
+    gan_iterations=24,
+    gan_hidden=(24, 24),
+    epochs=8,
+    fp_budget=0.15,
+    fn_budget=0.10,
+    seed=7,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="per-generation arms-race wall-clock + evasion")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel genome workers (default: CPU count)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "BENCH_arena.json"))
+    args = parser.parse_args(argv)
+
+    spec = ArenaSpec(**SPEC)
+    with tempfile.TemporaryDirectory(prefix="bench-arena-") as tmp:
+        directory = os.path.join(tmp, "race")
+
+        t0 = time.perf_counter()
+        race = run_arena(spec, directory, processes=args.jobs)
+        race_s = time.perf_counter() - t0
+        with open(os.path.join(directory, "arena.md"), "rb") as f:
+            reference = f.read()
+
+        t0 = time.perf_counter()
+        replay = run_arena(spec, directory, processes=args.jobs,
+                           resume=True)
+        replay_s = time.perf_counter() - t0
+        with open(os.path.join(directory, "arena.md"), "rb") as f:
+            identical = f.read() == reference
+
+    generations = [{
+        "generation": e["generation"],
+        "seconds": e.get("seconds", 0.0),
+        "evaluated": e.get("evaluated", 0),
+        "leaked": e.get("leaked", 0),
+        "evasion_mean": e.get("evasion_mean", 0.0),
+        "evasion_max": e.get("evasion_max", 0.0),
+        "gate": ("seed" if e["generation"] == 0
+                 else "promoted" if e["promoted"] else "rollback"),
+        "incumbent": {k: e["incumbent"][k]
+                      for k in ("fp_rate", "fn_rate", "auc")},
+    } for e in race.trajectory]
+
+    ok = (race.exit_code in (0, 1) and replay.exit_code == race.exit_code
+          and identical)
+    report = {
+        "schema": "repro.bench-arena/1",
+        "spec": SPEC,
+        "jobs": args.jobs or os.cpu_count(),
+        "race": {"seconds": round(race_s, 3),
+                 "exit_code": race.exit_code,
+                 "promotions": race.promotions,
+                 "rollbacks": race.rollbacks,
+                 "holes": len(race.holes)},
+        "replay": {"seconds": round(replay_s, 3),
+                   "bit_identical": identical},
+        "generations": generations,
+        "ok": ok,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    print(f"race: {spec.generations} generations x {spec.population} "
+          f"genomes ({spec.survivors} survivors), "
+          f"{race.promotions} promotions / {race.rollbacks} rollbacks "
+          f"in {race_s:.2f}s")
+    print(f"{'gen':>3s} {'seconds':>8s} {'leaked':>6s} "
+          f"{'evasion mean':>12s} {'evasion max':>11s} {'gate':9s} "
+          f"{'fp':>6s} {'fn':>6s} {'auc':>6s}")
+    for g in generations:
+        inc = g["incumbent"]
+        print(f"{g['generation']:3d} {g['seconds']:7.2f}s "
+              f"{g['leaked']:6d} {g['evasion_mean']:12.4f} "
+              f"{g['evasion_max']:11.4f} {g['gate']:9s} "
+              f"{inc['fp_rate']:6.3f} {inc['fn_rate']:6.3f} "
+              f"{inc['auc']:6.3f}")
+    print(f"replay from checkpoints: {replay_s:.2f}s "
+          f"({race_s / replay_s:.0f}x faster, "
+          f"bit-identical={identical}); report: {args.out}")
+    if not ok:
+        print("FAIL: replay of the finished race was not bit-identical",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

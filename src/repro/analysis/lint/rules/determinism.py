@@ -8,7 +8,9 @@ detectors are only as trustworthy as the determinism of the traces that
 feed them (FortuneTeller, Gulmezoglu et al. 2019), so these rules ban
 the nondeterminism sources statically in the layers that produce
 counters, features, and model state: ``sim/``, ``ml/``, ``core/``,
-``data/``.
+``data/``, and — since the arena made fuzzed attack programs a training
+input — ``attacks/`` (every fuzzer/evasion draw must come from an
+explicitly seeded ``random.Random``).
 
 ``time.perf_counter``/``time.monotonic`` stay legal: they feed obs
 timers only, never counters or features.
@@ -21,7 +23,8 @@ from repro.analysis.lint.registry import Rule, register
 
 #: the layers whose outputs must be a pure function of (workload, seed)
 DETERMINISTIC_SCOPE = ("src/repro/sim/", "src/repro/ml/",
-                       "src/repro/core/", "src/repro/data/")
+                       "src/repro/core/", "src/repro/data/",
+                       "src/repro/attacks/", "src/repro/arena/")
 
 
 @register

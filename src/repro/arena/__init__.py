@@ -1,0 +1,33 @@
+"""Closed-loop adversarial arms race (``repro arena``).
+
+A generational red-team harness: the fuzzer mutation space
+(:mod:`repro.arena.genome`) evolves an attack population against the
+*current* detector (fitness = evasion on fresh simulator traces),
+survivors feed an AM-GAN re-vaccination round, and every candidate
+detector must pass a held-out regression gate
+(:mod:`repro.arena.gate`) before promotion — failing candidates roll
+back.  Generations checkpoint through the runtime's
+:class:`~repro.runtime.CheckpointStore`, so ``--resume`` after a
+SIGKILL replays bit-identically (:mod:`repro.arena.loop`); chaos
+faults degrade to classified holes (:mod:`repro.arena.smoke` drills
+the whole contract in CI).
+"""
+
+from repro.arena.gate import GateVerdict, regression_gate
+from repro.arena.genome import (
+    build_attack, genome_key, mutate_genome, sample_genome,
+    seed_population,
+)
+from repro.arena.loop import (
+    ArenaResult, ArenaSpec, build_corpus, render_arena_report, run_arena,
+)
+from repro.arena.smoke import run_smoke
+from repro.arena.workers import evaluate_genome, validate_evaluation
+
+__all__ = [
+    "ArenaResult", "ArenaSpec", "GateVerdict",
+    "build_attack", "build_corpus", "evaluate_genome", "genome_key",
+    "mutate_genome", "regression_gate", "render_arena_report",
+    "run_arena", "run_smoke", "sample_genome", "seed_population",
+    "validate_evaluation",
+]

@@ -1,0 +1,84 @@
+"""The regression gate: a candidate detector must not be worse than the
+incumbent it would replace.
+
+Re-vaccinating against evolved attacks can quietly wreck a detector —
+adversarial augmentation that overfits the evolved windows, a sabotaged
+threshold, NaN-poisoned weights.  Before any candidate is promoted it is
+scored on a *held-out* evaluation corpus (benign + canonical-attack
+folds the arms race never trains on) and compared to the incumbent under
+explicit FP/FN budgets:
+
+* ``candidate_fp_rate <= incumbent_fp_rate + fp_budget`` — the detector
+  may not start flagging benign workloads the incumbent passed, and
+* ``candidate_fn_rate <= incumbent_fn_rate + fn_budget`` — it may not
+  start missing canonical attacks the incumbent caught.
+
+A candidate with any non-finite score on the held-out corpus fails
+automatically (fail-secure: a poisoned model never ships).  Each
+detector is scored through its *own* feature schema, so a gate between
+two schema revisions still compares like with like.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GateVerdict:
+    """Outcome of one regression-gate comparison."""
+
+    promoted: bool
+    reasons: list = field(default_factory=list)
+    candidate: dict = field(default_factory=dict)
+    incumbent: dict = field(default_factory=dict)
+
+    def to_dict(self):
+        return {
+            "promoted": self.promoted,
+            "reasons": list(self.reasons),
+            "candidate": dict(self.candidate),
+            "incumbent": dict(self.incumbent),
+        }
+
+
+def _holdout_stats(detector, dataset):
+    """Evaluate one detector on the held-out corpus via its own schema."""
+    X = dataset.raw_matrix(detector.schema)
+    y = dataset.labels()
+    scores = detector.scores_raw(X)
+    finite = bool(np.isfinite(scores).all())
+    stats = detector.evaluate(X, y)
+    return {
+        "fp_rate": float(round(stats["fp_rate"], 6)),
+        "fn_rate": float(round(stats["fn_rate"], 6)),
+        "accuracy": float(round(stats["accuracy"], 6)),
+        "auc": float(round(stats["auc"], 6)),
+        "threshold": float(round(detector.threshold, 6)),
+        "finite": finite,
+    }
+
+
+def regression_gate(candidate, incumbent, dataset, fp_budget=0.02,
+                    fn_budget=0.05):
+    """Compare ``candidate`` to ``incumbent`` on the held-out corpus.
+
+    Returns a :class:`GateVerdict`; ``promoted`` is True only when the
+    candidate's scores are all finite and both regression budgets hold.
+    """
+    cand = _holdout_stats(candidate, dataset)
+    inc = _holdout_stats(incumbent, dataset)
+    reasons = []
+    if not cand["finite"]:
+        reasons.append("candidate produced non-finite scores on the "
+                       "held-out corpus")
+    if cand["fp_rate"] > inc["fp_rate"] + fp_budget:
+        reasons.append(
+            f"fp_rate regression: {cand['fp_rate']:.4f} > "
+            f"{inc['fp_rate']:.4f} + budget {fp_budget:.4f}")
+    if cand["fn_rate"] > inc["fn_rate"] + fn_budget:
+        reasons.append(
+            f"fn_rate regression: {cand['fn_rate']:.4f} > "
+            f"{inc['fn_rate']:.4f} + budget {fn_budget:.4f}")
+    return GateVerdict(promoted=not reasons, reasons=reasons,
+                       candidate=cand, incumbent=inc)

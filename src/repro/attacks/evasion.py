@@ -41,14 +41,21 @@ class EvasiveAttack(Attack):
         camouflage).
     camouflage_actors:
         Number of benign cache-noise background actors to add.
+    rng:
+        An explicitly seeded :class:`random.Random` driving the dilution
+        draws.  When omitted, a private generator derived from ``seed``
+        is created per :meth:`build`, so repeated builds of the same
+        instance are identical.  Module-level ``random`` state is never
+        touched either way.
     """
 
     def __init__(self, base, nop_rate=0.3, prefetch_rate=0.1,
-                 camouflage_actors=0, seed=0):
+                 camouflage_actors=0, seed=0, rng=None):
         self.base = base
         self.nop_rate = nop_rate
         self.prefetch_rate = prefetch_rate
         self.camouflage_actors = camouflage_actors
+        self.rng = rng
         self.name = f"{base.name}-evasive"
         self.category = base.category
         self.slow = base.slow
@@ -58,7 +65,8 @@ class EvasiveAttack(Attack):
         return int(self.base.max_cycles() * 2)
 
     def build(self):
-        rng = random.Random(self.seed * 7919 + 13)
+        rng = self.rng if self.rng is not None \
+            else random.Random(self.seed * 7919 + 13)
         original_emit = ProgramBuilder.emit
         nop_rate = self.nop_rate
         prefetch_rate = self.prefetch_rate

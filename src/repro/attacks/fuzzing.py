@@ -24,13 +24,20 @@ from repro.attacks.rowhammer import DRAMA, Rowhammer, TRRespass, _VICTIM_ROW
 
 class _Fuzzer:
     """Base mutational fuzzer: draws (attack family, mutation parameters)
-    and wraps the instance in evasion transformations."""
+    and wraps the instance in evasion transformations.
+
+    All randomness flows through ``self.rng`` — either the explicitly
+    seeded :class:`random.Random` passed as ``rng`` or a private
+    generator derived from ``seed``.  Module-level ``random`` state is
+    never consulted, so two fuzzers with the same seed emit bit-identical
+    attack programs regardless of what else the process has drawn."""
 
     name = "fuzzer"
     families = ()
 
-    def __init__(self, seed=0):
-        self.rng = random.Random(seed * 104729 + 7)
+    def __init__(self, seed=0, rng=None):
+        self.rng = rng if rng is not None \
+            else random.Random(seed * 104729 + 7)
 
     def mutate(self, cls, seed):
         """Instantiate one mutated attack (hookable per tool)."""
@@ -73,8 +80,9 @@ class TRRespassFuzzer:
 
     name = "trrespass-fuzzer"
 
-    def __init__(self, seed=0):
-        self.rng = random.Random(seed * 15485863 + 3)
+    def __init__(self, seed=0, rng=None):
+        self.rng = rng if rng is not None \
+            else random.Random(seed * 15485863 + 3)
 
     def generate(self, count):
         out = []

@@ -11,6 +11,7 @@ Commands
 ``explain <detector>``  interpret a trained detector
 ``report <corpus> <detector>``  markdown system report
 ``campaign <dir>``     fault-isolated parallel evaluation-matrix run
+``arena <dir>``        closed-loop adversarial arms race
 ``serve``              multi-tenant batched streaming inference
 
 Every command accepts the observability options (``--log-file``,
@@ -326,6 +327,51 @@ def _cmd_campaign(args):
     return result.exit_code
 
 
+def _cmd_arena(args):
+    from repro.arena import ArenaSpec, run_arena, run_smoke
+    from repro.core.patching import ModelSchemaError
+    from repro.runtime import ArenaError, CheckpointError
+
+    if args.smoke:
+        with time_block("stage.arena.run"):
+            return run_smoke(jobs=args.jobs)
+    if not args.dir:
+        _die2("error: arena directory required (or use --smoke)")
+    overrides = {}
+    if args.attacks is not None:
+        overrides["attacks"] = tuple(args.attacks)
+    if args.workloads is not None:
+        overrides["workloads"] = tuple(args.workloads)
+    spec = ArenaSpec(
+        generations=args.generations, population=args.population,
+        survivors=args.survivors, sample_period=args.period,
+        gan_iterations=args.iterations, fp_budget=args.fp_budget,
+        fn_budget=args.fn_budget, seed=args.seed, **overrides)
+    initial = None
+    if args.detector:
+        initial = _load_detector_or_die(args.detector)
+    eval_corpus = None
+    if args.eval_corpus:
+        eval_corpus = _load_corpus_or_die(args.eval_corpus)
+    with time_block("stage.arena.run"):
+        try:
+            result = run_arena(
+                spec, args.dir, processes=args.jobs,
+                retries=args.retries,
+                task_timeout=args.task_timeout or None,
+                resume=args.resume, guard_policy=args.guard_policy,
+                initial_detector=initial, eval_corpus=eval_corpus)
+        except (ArenaError, CheckpointError) as exc:
+            _die2(f"error: {exc}")
+        except ModelSchemaError as exc:
+            _die2(f"error: detector/corpus schema mismatch: {exc}")
+    print(result.summary())
+    print(f"report   : {result.directory}/arena.md")
+    print(f"manifest : {result.directory}/arena.json")
+    print(f"detector : {result.directory}/detector.json")
+    return result.exit_code
+
+
 def _cmd_serve(args):
     import json
 
@@ -542,6 +588,69 @@ def build_parser():
                    help="run the CI resumability check (chaos kill + "
                         "corruption, resume, bit-identity) and exit")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "arena", parents=[obs],
+        help="closed-loop adversarial arms race",
+        description="Evolve a fuzzed attack population against the "
+                    "current detector, re-vaccinate on the survivors, "
+                    "and promote candidates only past a held-out "
+                    "regression gate; every generation checkpoints for "
+                    "bit-exact --resume.  Exit 0 = clean, 1 = completed "
+                    "with holes, 2 = fatal.  See docs/arena.md.")
+    p.add_argument("dir", nargs="?", default=None,
+                   help="arena directory (checkpoints + arena.md + "
+                        "arena.json + detector.json)")
+    p.add_argument("--generations", type=int, default=3,
+                   help="arms-race rounds after generation 0 "
+                        "(default 3)")
+    p.add_argument("--population", type=int, default=9,
+                   help="genomes per generation (default 9)")
+    p.add_argument("--survivors", type=int, default=3,
+                   help="breeding-pool size (default 3)")
+    p.add_argument("--attacks", nargs="*", default=None,
+                   help="canonical-attack fold names (default: "
+                        "meltdown flush-reload)")
+    p.add_argument("--workloads", nargs="*", default=None,
+                   help="benign fold names (default: stream sort)")
+    p.add_argument("--period", type=int, default=150,
+                   help="sampling period (default 150)")
+    p.add_argument("--iterations", type=int, default=40,
+                   help="GAN iterations per re-vaccination (default 40)")
+    p.add_argument("--fp-budget", type=float, default=0.02,
+                   help="held-out false-positive-rate regression "
+                        "budget (default 0.02)")
+    p.add_argument("--fn-budget", type=float, default=0.05,
+                   help="held-out false-negative-rate regression "
+                        "budget (default 0.05)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detector", default=None, metavar="JSON",
+                   help="seed the race from a saved detector artifact "
+                        "instead of vaccinating generation 0 in-process")
+    p.add_argument("--eval-corpus", default=None, metavar="NPZ",
+                   help="held-out gate corpus from disk (its counter-"
+                        "layout fingerprint must match the detector's; "
+                        "default: rebuilt from the spec's eval seeds)")
+    p.add_argument("--guard-policy", default="rollback",
+                   choices=["rollback", "clip", "raise"],
+                   help="TrainingGuard reaction during re-vaccination "
+                        "(default rollback)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel evaluation workers (default: CPU "
+                        "count)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="re-attempts per crashed genome evaluation "
+                        "(default 1)")
+    p.add_argument("--task-timeout", type=float, default=600.0,
+                   help="per-genome wall-clock limit in seconds "
+                        "(0 = unlimited)")
+    p.add_argument("--resume", action="store_true",
+                   help="restore the latest valid generation checkpoint "
+                        "and replay the rest (bit-identical report)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the CI arms-race drill (kill + resume "
+                        "bit-identity, gate rollback) and exit")
+    p.set_defaults(func=_cmd_arena)
 
     p = sub.add_parser(
         "serve", parents=[obs],

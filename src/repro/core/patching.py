@@ -78,12 +78,24 @@ def detector_to_dict(detector):
 
 
 def detector_from_dict(data):
-    """Reconstruct a detector serialized by :func:`detector_to_dict`."""
-    schema = FeatureSchema(
-        engineered=tuple((name, tuple(counters))
-                         for name, counters in data["schema"]["engineered"]),
-        base=tuple(data["schema"]["base"]),
-    )
+    """Reconstruct a detector serialized by :func:`detector_to_dict`.
+
+    A schema that names a counter this build's counter layout does not
+    know (a stale envelope from an older/newer simulator) raises a typed
+    :class:`ModelSchemaError` instead of a bare ``KeyError`` mid-gather.
+    """
+    try:
+        schema = FeatureSchema(
+            engineered=tuple(
+                (name, tuple(counters))
+                for name, counters in data["schema"]["engineered"]),
+            base=tuple(data["schema"]["base"]),
+        )
+    except KeyError as exc:
+        raise ModelSchemaError(
+            f"detector schema references a counter this build does not "
+            f"have: {exc} — stale envelope vs the live counter layout"
+        ) from exc
     hidden = [len(layer["bias"]) for layer in data["layers"][:-1]]
     detector = HardwareDetector(schema, hidden_layers=tuple(hidden),
                                 threshold=data["threshold"],
@@ -224,6 +236,47 @@ def load_detector(path):
         raise ModelSchemaError(
             f"feature-schema fingerprint mismatch in {path}: the stored "
             f"schema does not match the one the artifact declares")
+    return detector
+
+
+def verify_corpus_compatible(detector, dataset, detector_origin="detector",
+                             corpus_origin="corpus"):
+    """Assert a loaded detector can legally score ``dataset``'s windows.
+
+    A detector envelope and an evaluation corpus can each be internally
+    consistent yet mutually wrong: the corpus may carry delta vectors of
+    a different counter-layout width, or the detector's schema may name
+    counters the corpus's layout never measured.  Scoring through such a
+    pair silently gathers the wrong columns — every verdict is garbage
+    with no error.  This check turns the mismatch into a typed
+    :class:`ModelSchemaError` (the arena/adaptive CLI paths surface it
+    as a one-line exit-2 error).
+    """
+    from repro.data.io import counter_layout_sha256
+    from repro.sim.hpc import COUNTER_NAMES
+    known = set(COUNTER_NAMES)
+    stale = [n for n in detector.schema.base_features if n not in known]
+    stale += [c for _, counters in detector.schema.engineered
+              for c in counters if c not in known]
+    if stale:
+        raise ModelSchemaError(
+            f"{detector_origin} schema references counters absent from "
+            f"the live layout: {sorted(set(stale))[:4]}")
+    recorded = getattr(dataset, "counters_sha256", None)
+    if recorded is not None and recorded != counter_layout_sha256():
+        raise ModelSchemaError(
+            f"{corpus_origin} was collected under a different counter "
+            f"layout (sidecar fingerprint {recorded[:12]}... vs live "
+            f"{counter_layout_sha256()[:12]}...); scoring it with "
+            f"{detector_origin} would gather the wrong columns")
+    width = len(COUNTER_NAMES)
+    for record in dataset.records[:1]:
+        if len(record.deltas) != width:
+            raise ModelSchemaError(
+                f"{corpus_origin} windows carry {len(record.deltas)} "
+                f"counter deltas but the live layout (and "
+                f"{detector_origin}'s schema) expects {width} — the "
+                f"corpus was collected under a different counter layout")
     return detector
 
 

@@ -38,6 +38,10 @@ class Dataset:
 
     records: List[SampleRecord] = field(default_factory=list)
     sample_period: int = 1000
+    #: SHA-256 of the counter layout the corpus was collected under
+    #: (set by ``load_dataset`` when the sidecar carries it; ``None``
+    #: for in-process datasets and legacy corpora)
+    counters_sha256: str = None
 
     def __len__(self):
         return len(self.records)

@@ -27,6 +27,17 @@ from repro.runtime.atomic import atomic_write_bytes, sha256_bytes
 FORMAT_VERSION = 2
 
 
+def counter_layout_sha256():
+    """SHA-256 over the live counter layout (``COUNTER_NAMES`` in
+    order).  Stored in every corpus sidecar so a corpus collected under
+    a different layout is detectable by one string comparison instead
+    of silently mis-gathering columns."""
+    import hashlib
+
+    from repro.sim.hpc import COUNTER_NAMES
+    return hashlib.sha256("\n".join(COUNTER_NAMES).encode()).hexdigest()
+
+
 class DatasetError(ValueError):
     """Base class for corpus load/save failures (a ``ValueError`` so
     legacy callers that caught that still work)."""
@@ -92,6 +103,7 @@ def save_dataset(dataset, path):
         "sample_period": dataset.sample_period,
         "n_records": len(dataset.records),
         "npz_sha256": sha256_bytes(npz_bytes),
+        "counters_sha256": counter_layout_sha256(),
         "records": [record_to_dict(r, with_deltas=False)
                     for r in dataset.records],
     }
@@ -123,6 +135,9 @@ def load_dataset(path):
             f"metadata and matrix row counts differ in {npz_path} "
             f"({len(records)} vs {len(deltas)})")
     dataset = Dataset(sample_period=sample_period)
+    # legacy sidecars (pre-arena) carry no layout fingerprint -> None;
+    # verify_corpus_compatible then falls back to width checks only
+    dataset.counters_sha256 = meta.get("counters_sha256")
     try:
         for row, rec in zip(deltas, records):
             dataset.records.append(record_from_dict(rec, deltas=row.tolist()))

@@ -25,6 +25,7 @@ MANIFEST_SCHEMA = "repro.run-manifest/1"
 #: argparse attributes that is set names the artifact the manifest sits
 #: next to, as ``<anchor>.<command>-manifest.json``
 _MANIFEST_ANCHORS = {
+    "arena": ("dir",),
     "collect": ("out",),
     "train": ("out", "corpus"),
     "report": ("out", "corpus"),
@@ -92,6 +93,15 @@ def _failure_taxonomy(snapshot):
     corrupt = counters.get("campaign.cache.corrupt", 0)
     if holes or corrupt:
         taxonomy["campaign"] = {"holes": holes, "cache_corrupt": corrupt}
+    arena_holes = counters.get("arena.genomes.holes", 0)
+    arena_rollbacks = counters.get("arena.gate.rollbacks", 0)
+    arena_corrupt = counters.get("arena.checkpoint.corrupt", 0)
+    if arena_holes or arena_rollbacks or arena_corrupt:
+        taxonomy["arena"] = {
+            "holes": arena_holes,
+            "gate_rollbacks": arena_rollbacks,
+            "checkpoint_corrupt": arena_corrupt,
+        }
     return taxonomy
 
 

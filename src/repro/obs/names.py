@@ -141,7 +141,39 @@ CATALOG = {
             ("counter", "detector exceptions or non-finite scores "
                         "attributed to a tenant window"),
     },
+    "arena": {
+        "arena.generations":
+            ("counter", "arms-race generations completed"),
+        "arena.genomes.evaluated":
+            ("counter", "genome evaluations completed in workers"),
+        "arena.genomes.leaked":
+            ("counter", "evaluated genomes whose channel actually "
+                        "leaked (eligible survivors)"),
+        "arena.genomes.holes":
+            ("counter", "arena holes of any kind (crashed/diverged "
+                        "evaluations, diverged retrains, gate "
+                        "rollbacks, corrupt checkpoints)"),
+        "arena.evasion.mean":
+            ("gauge", "mean evasion rate of leaking genomes, last "
+                      "generation"),
+        "arena.evasion.max":
+            ("gauge", "best evasion rate of leaking genomes, last "
+                      "generation"),
+        "arena.gate.promotions":
+            ("counter", "candidate detectors promoted by the "
+                        "regression gate"),
+        "arena.gate.rollbacks":
+            ("counter", "candidate detectors rolled back by the "
+                        "regression gate"),
+        "arena.checkpoint.corrupt":
+            ("counter", "generation checkpoints rejected on resume "
+                        "(missing shard or checksum mismatch)"),
+        "arena.generation.seconds":
+            ("timer", "wall-clock per arms-race generation"),
+    },
     "cli": {
+        "stage.arena.run": ("timer", "arena: the arms race "
+                                     "(or the --smoke drill)"),
         "stage.campaign.run": ("timer", "campaign: matrix fan-out "
                                         "(or the --smoke check)"),
         "stage.collect.build": ("timer", "collect: corpus simulation"),
@@ -199,6 +231,23 @@ EVENTS = {
         "reason)",
     "campaign.finished":
         "campaign completed (completed, holes, cache_hits, exit_code)",
+    "arena.started":
+        "arms race begun (generations, population, resume, "
+        "spec_fingerprint)",
+    "arena.generation":
+        "one generation resolved (generation, evaluated, leaked, "
+        "evasion_mean, promoted)",
+    "arena.gate":
+        "regression-gate verdict (generation, promoted, reasons)",
+    "arena.hole":
+        "arena failure quarantined as a hole (generation, kind, key, "
+        "message)",
+    "arena.resumed":
+        "arms race resumed from a generation checkpoint (generation, "
+        "parent_run)",
+    "arena.finished":
+        "arms race completed (generations, promotions, rollbacks, "
+        "holes, exit_code)",
     "serve.started":
         "streaming service begun (tenants, duration, batch_window, "
         "queue_limit)",

@@ -14,20 +14,24 @@ from repro.runtime.atomic import (
     atomic_write_bytes, fsync_directory, sha256_bytes, sha256_file,
 )
 from repro.runtime.chaos import (
-    BURST_ARRIVAL_FAULT, CACHE_CORRUPT_FAULT, CACHE_TRUNCATE_FAULT,
-    CAMPAIGN_FAULT_KINDS, CRASH_FAULT, DETECTOR_EXCEPTION_FAULT,
-    DETECTOR_POISON_SENTINEL, GARBAGE_FAULT, HANG_FAULT, KILL_FAULT,
-    LOSS_SPIKE_FAULT, NAN_GRAD_FAULT, NAN_WINDOW_FAULT, SERVE_FAULT_KINDS,
+    ARENA_CHECKPOINT_CORRUPT_FAULT, ARENA_FAULT_KINDS, BURST_ARRIVAL_FAULT,
+    CACHE_CORRUPT_FAULT, CACHE_TRUNCATE_FAULT, CAMPAIGN_FAULT_KINDS,
+    CRASH_FAULT, DETECTOR_EXCEPTION_FAULT, DETECTOR_POISON_SENTINEL,
+    GARBAGE_FAULT, GATE_REGRESS_FAULT, GEN_KILL_FAULT, GENOME_KILL_FAULT,
+    HANG_FAULT, KILL_FAULT, LOSS_SPIKE_FAULT, NAN_GRAD_FAULT,
+    NAN_WINDOW_FAULT, REVACCINATE_NAN_FAULT, SERVE_FAULT_KINDS,
     SLOW_TENANT_FAULT, TRAINING_FAULT_KINDS, WORKER_KILL_FAULT,
-    CampaignChaos, CampaignFault, ChaosCrash, ChaosKill, ChaosSource,
-    FaultSpec, ServeChaos, ServeFault, TrainingChaos, TrainingFault,
-    chaos_kill_self, inject_faults,
+    ArenaChaos, ArenaFault, CampaignChaos, CampaignFault, ChaosCrash,
+    ChaosKill, ChaosSource, FaultSpec, ServeChaos, ServeFault,
+    TrainingChaos, TrainingFault, chaos_kill_self, inject_faults,
 )
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.errors import (
-    CACHE_CORRUPT, CAMPAIGN_FAILURE_KINDS, CRASH, DIVERGENT, FAILURE_KINDS,
-    TIMEOUT, CampaignError, CellCorruptError, CheckpointError,
-    CoverageError, DivergentTraceError, RuntimeTaskError,
+    ARENA_FAILURE_KINDS, CACHE_CORRUPT, CAMPAIGN_FAILURE_KINDS,
+    CHECKPOINT_CORRUPT, CRASH, DIVERGENT, FAILURE_KINDS, GATE_REGRESSION,
+    TIMEOUT, TRAINING_DIVERGED, ArenaError, CampaignError,
+    CellCorruptError, CheckpointError, CoverageError, DivergentTraceError,
+    RuntimeTaskError,
 )
 from repro.runtime.report import FailureReport
 from repro.runtime.runner import (
@@ -36,20 +40,24 @@ from repro.runtime.runner import (
 
 __all__ = [
     "atomic_write_bytes", "fsync_directory", "sha256_bytes", "sha256_file",
+    "ARENA_CHECKPOINT_CORRUPT_FAULT", "ARENA_FAULT_KINDS",
     "BURST_ARRIVAL_FAULT", "CACHE_CORRUPT_FAULT", "CACHE_TRUNCATE_FAULT",
     "CAMPAIGN_FAULT_KINDS", "CRASH_FAULT", "DETECTOR_EXCEPTION_FAULT",
-    "DETECTOR_POISON_SENTINEL", "GARBAGE_FAULT", "HANG_FAULT", "KILL_FAULT",
+    "DETECTOR_POISON_SENTINEL", "GARBAGE_FAULT", "GATE_REGRESS_FAULT",
+    "GEN_KILL_FAULT", "GENOME_KILL_FAULT", "HANG_FAULT", "KILL_FAULT",
     "LOSS_SPIKE_FAULT", "NAN_GRAD_FAULT", "NAN_WINDOW_FAULT",
-    "SERVE_FAULT_KINDS", "SLOW_TENANT_FAULT", "TRAINING_FAULT_KINDS",
-    "WORKER_KILL_FAULT", "CampaignChaos", "CampaignFault",
+    "REVACCINATE_NAN_FAULT", "SERVE_FAULT_KINDS", "SLOW_TENANT_FAULT",
+    "TRAINING_FAULT_KINDS", "WORKER_KILL_FAULT",
+    "ArenaChaos", "ArenaFault", "CampaignChaos", "CampaignFault",
     "ChaosCrash", "ChaosKill", "ChaosSource", "FaultSpec",
     "ServeChaos", "ServeFault", "TrainingChaos", "TrainingFault",
     "chaos_kill_self", "inject_faults",
     "CheckpointStore",
-    "CACHE_CORRUPT", "CAMPAIGN_FAILURE_KINDS", "CRASH", "DIVERGENT",
-    "FAILURE_KINDS", "TIMEOUT", "CampaignError", "CellCorruptError",
-    "CheckpointError", "CoverageError", "DivergentTraceError",
-    "RuntimeTaskError",
+    "ARENA_FAILURE_KINDS", "CACHE_CORRUPT", "CAMPAIGN_FAILURE_KINDS",
+    "CHECKPOINT_CORRUPT", "CRASH", "DIVERGENT", "FAILURE_KINDS",
+    "GATE_REGRESSION", "TIMEOUT", "TRAINING_DIVERGED", "ArenaError",
+    "CampaignError", "CellCorruptError", "CheckpointError",
+    "CoverageError", "DivergentTraceError", "RuntimeTaskError",
     "FailureReport",
     "Task", "TaskFailure", "TaskResult", "TaskRunner", "backoff_delay",
 ]

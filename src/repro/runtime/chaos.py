@@ -58,6 +58,17 @@ CACHE_TRUNCATE_FAULT = "cache_truncate_entry"
 CAMPAIGN_FAULT_KINDS = (WORKER_KILL_FAULT, CACHE_CORRUPT_FAULT,
                         CACHE_TRUNCATE_FAULT)
 
+#: injectable arena-stage fault kinds
+GEN_KILL_FAULT = "gen_kill"
+GENOME_KILL_FAULT = "genome_kill"
+REVACCINATE_NAN_FAULT = "revaccinate_nan"
+ARENA_CHECKPOINT_CORRUPT_FAULT = "gen_checkpoint_corrupt"
+GATE_REGRESS_FAULT = "gate_regress"
+
+ARENA_FAULT_KINDS = (GEN_KILL_FAULT, GENOME_KILL_FAULT,
+                     REVACCINATE_NAN_FAULT,
+                     ARENA_CHECKPOINT_CORRUPT_FAULT, GATE_REGRESS_FAULT)
+
 #: injectable serving-stage fault kinds
 SLOW_TENANT_FAULT = "slow_tenant"
 BURST_ARRIVAL_FAULT = "burst_arrival"
@@ -286,6 +297,122 @@ class CampaignChaos:
             # deliberately torn in place: this *is* the disk corruption
             # the verified cache must catch, so it must not go through
             # the atomic writer it is attacking
+            with open(path, "wb") as f:  # repro-lint: disable=atomic-io
+                f.write(data)
+            return fault
+        return None
+
+
+class ArenaFault:
+    """One arena-stage fault aimed at one generation of the arms race.
+
+    * ``gen_kill`` — raise :class:`ChaosKill` when generation
+      ``generation`` reaches phase ``phase`` (``evaluate`` /
+      ``revaccinate`` / ``checkpoint``): the deterministic stand-in for
+      a SIGKILL mid-generation, which tests catch before exercising
+      ``--resume``;
+    * ``genome_kill`` — the worker evaluating genome index ``genome``
+      of that generation SIGKILLs itself on its first ``fail_attempts``
+      attempts (persistent by default, so the genome quarantines as a
+      ``crash`` hole);
+    * ``revaccinate_nan`` — the generation's re-vaccination round gets a
+      :class:`TrainingChaos` NaN-gradient fault at GAN iteration
+      ``at_iteration`` (the guard must roll back and retry clean);
+    * ``gen_checkpoint_corrupt`` — flips a byte in the generation's
+      just-written checkpoint shard, so a later resume must drop it,
+      fall back to the previous generation, and classify the hole;
+    * ``gate_regress`` — sabotages the candidate detector *before* the
+      regression gate (threshold forced to 0, so every benign window
+      flags): the gate must trip, roll back to the incumbent, and
+      re-draw the survivor pool.
+    """
+
+    def __init__(self, kind, generation, genome=None, at_iteration=1,
+                 fail_attempts=10 ** 9, phase="evaluate"):
+        if kind not in ARENA_FAULT_KINDS:
+            raise ValueError(f"unknown arena fault kind {kind!r}")
+        self.kind = kind
+        self.generation = generation
+        self.genome = genome
+        self.at_iteration = at_iteration
+        self.fail_attempts = fail_attempts
+        self.phase = phase
+
+
+class ArenaChaos:
+    """Deterministic fault injector for arena (arms-race) runs.
+
+    Genome kills are shipped into the worker payload as a plain
+    ``fail_attempts`` count (no shared state crosses the process
+    boundary); training faults are delegated to a per-generation
+    :class:`TrainingChaos`; checkpoint corruption and gate sabotage run
+    parent-side and fire **once** per fault, so a resumed arena replays
+    the wounded generation clean.
+    """
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+        self.fired = set()
+
+    def maybe_kill(self, generation, phase):
+        """Raise :class:`ChaosKill` when a due ``gen_kill`` fault targets
+        this (generation, phase) boundary."""
+        for i, fault in enumerate(self.faults):
+            if i in self.fired or fault.kind != GEN_KILL_FAULT \
+                    or fault.generation != generation \
+                    or fault.phase != phase:
+                continue
+            self.fired.add(i)
+            raise ChaosKill(f"injected kill in generation {generation} "
+                            f"at phase {phase!r}")
+
+    def kill_attempts(self, generation, genome_index):
+        """How many leading attempts of this genome's evaluation the
+        worker must die on (0 = no kill fault aimed here)."""
+        return max((f.fail_attempts for f in self.faults
+                    if f.kind == GENOME_KILL_FAULT
+                    and f.generation == generation
+                    and f.genome == genome_index), default=0)
+
+    def training_chaos(self, generation):
+        """A :class:`TrainingChaos` for this generation's re-vaccination
+        round, or ``None`` when no training fault targets it."""
+        faults = [TrainingFault(NAN_GRAD_FAULT, at=f.at_iteration)
+                  for f in self.faults
+                  if f.kind == REVACCINATE_NAN_FAULT
+                  and f.generation == generation]
+        return TrainingChaos(faults) if faults else None
+
+    def sabotage_candidate(self, generation, detector):
+        """Wreck a due generation's candidate detector ahead of the
+        regression gate (threshold forced to 0.0: every window flags,
+        so the FP budget must trip); returns the fault or ``None``."""
+        for i, fault in enumerate(self.faults):
+            if i in self.fired or fault.kind != GATE_REGRESS_FAULT \
+                    or fault.generation != generation:
+                continue
+            self.fired.add(i)
+            detector.threshold = 0.0
+            return fault
+        return None
+
+    def mangle_checkpoint(self, generation, path):
+        """Flip a byte in the generation's checkpoint shard at ``path``
+        if a due fault targets it; returns the fault or ``None``."""
+        for i, fault in enumerate(self.faults):
+            if i in self.fired \
+                    or fault.kind != ARENA_CHECKPOINT_CORRUPT_FAULT \
+                    or fault.generation != generation:
+                continue
+            self.fired.add(i)
+            with open(path, "rb") as f:
+                data = f.read()
+            pos = len(data) // 2
+            data = data[:pos] + bytes([(data[pos] + 1) % 256]) \
+                + data[pos + 1:]
+            # deliberately torn in place: this *is* the disk corruption
+            # the checksummed checkpoint store must catch on resume, so
+            # it must not go through the atomic writer it is attacking
             with open(path, "wb") as f:  # repro-lint: disable=atomic-io
                 f.write(data)
             return fault

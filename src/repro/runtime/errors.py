@@ -19,6 +19,19 @@ The campaign layer adds one more terminal kind:
     A completed cell could not be durably cached — its cache entry
     failed read-back verification (checksum/fingerprint mismatch or a
     truncated/unparseable file) and was quarantined.
+
+The arena (arms-race) layer adds three more terminal kinds for its
+per-generation holes:
+
+``gate_regression``
+    A re-vaccinated candidate detector exceeded the held-out FP/FN
+    budget versus the incumbent and was rolled back.
+``training_diverged``
+    A generation's re-vaccination round could not be stabilised by the
+    training guard; the incumbent detector was kept.
+``checkpoint_corrupt``
+    A generation checkpoint shard failed its checksum on resume and was
+    dropped; the generation was re-executed from the previous one.
 """
 
 #: failure-kind constants (the error taxonomy)
@@ -26,11 +39,18 @@ CRASH = "crash"
 TIMEOUT = "timeout"
 DIVERGENT = "divergent"
 CACHE_CORRUPT = "cache_corrupt"
+GATE_REGRESSION = "gate_regression"
+TRAINING_DIVERGED = "training_diverged"
+CHECKPOINT_CORRUPT = "checkpoint_corrupt"
 
 FAILURE_KINDS = (CRASH, TIMEOUT, DIVERGENT)
 
 #: the campaign layer's cell-failure taxonomy (holes in the matrix)
 CAMPAIGN_FAILURE_KINDS = FAILURE_KINDS + (CACHE_CORRUPT,)
+
+#: the arena layer's per-generation hole taxonomy
+ARENA_FAILURE_KINDS = FAILURE_KINDS + (GATE_REGRESSION, TRAINING_DIVERGED,
+                                       CHECKPOINT_CORRUPT)
 
 
 class RuntimeTaskError(Exception):
@@ -59,6 +79,11 @@ class CellCorruptError(RuntimeTaskError):
 class CampaignError(RuntimeTaskError):
     """The campaign directory is unusable (spec mismatch on resume,
     unreadable campaign manifest)."""
+
+
+class ArenaError(RuntimeTaskError):
+    """The arena run cannot proceed at all (invalid spec, spec mismatch
+    on resume, no incumbent detector to ratchet from)."""
 
 
 class CoverageError(RuntimeTaskError):

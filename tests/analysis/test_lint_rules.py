@@ -84,6 +84,32 @@ def test_forbidden_clock_out_of_scope_dirs_are_free(tmp_path):
     assert result.findings == []
 
 
+def test_determinism_scope_covers_attacks_and_arena(tmp_path):
+    """Fuzzed programs are training inputs (the arms race feeds them to
+    re-vaccination), so ``attacks/`` and ``arena/`` sit inside the
+    deterministic scope: module-level RNG draws are flagged there."""
+    result = lint_tree(tmp_path, {
+        "src/repro/attacks/x.py": """\
+            import random
+            pick = random.choice([1, 2])
+        """,
+        "src/repro/arena/x.py": """\
+            import numpy as np
+            draw = np.random.rand(3)
+        """,
+    })
+    assert sorted(rules_of(result)) == ["unseeded-rng", "unseeded-rng"]
+
+
+def test_attacks_tree_passes_its_own_determinism_rules():
+    """The satellite contract itself: the real ``attacks/`` + ``arena/``
+    sources carry no module-level RNG or wall-clock reads."""
+    result = run_lint([REPO / "src" / "repro" / "attacks",
+                       REPO / "src" / "repro" / "arena"], root=REPO,
+                      select=["unseeded-rng", "forbidden-clock"])
+    assert result.findings == []
+
+
 def test_unseeded_rng_flags_global_numpy(tmp_path):
     result = lint_tree(tmp_path, {"src/repro/core/x.py": """\
         import numpy as np

@@ -1,0 +1,105 @@
+"""The regression gate: budget semantics, fail-secure non-finite
+handling, and per-detector-schema scoring — all on a synthetic corpus so
+no simulation runs."""
+
+import numpy as np
+import pytest
+
+from repro.arena.gate import _holdout_stats, regression_gate
+from repro.core.perceptron import HardwareDetector, evax_schema
+from repro.data.dataset import Dataset, SampleRecord
+from repro.sim.hpc import COUNTER_NAMES
+
+WIDTH = len(COUNTER_NAMES)
+
+
+def synthetic_corpus(n_benign=10, n_attack=10, seed=3):
+    """Benign windows cluster low, attack windows high — separable, so a
+    sane detector lands near-perfect and a sabotaged one stands out."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n_benign):
+        deltas = rng.integers(0, 40, size=WIDTH).tolist()
+        records.append(SampleRecord(deltas=deltas, label=0,
+                                    category="benign", phase=0,
+                                    source=f"benign-{i}", commit_index=i))
+    for i in range(n_attack):
+        deltas = rng.integers(400, 800, size=WIDTH).tolist()
+        records.append(SampleRecord(deltas=deltas, label=1,
+                                    category="attack", phase=1,
+                                    source=f"attack-{i}", commit_index=i))
+    return Dataset(records=records, sample_period=100)
+
+
+def trained_detector(corpus, seed=1, epochs=60):
+    detector = HardwareDetector(evax_schema(), seed=seed, threshold=0.5)
+    X = corpus.raw_matrix(detector.schema)
+    detector.fit(X, corpus.labels(), epochs=epochs, seed=seed)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthetic_corpus()
+
+
+@pytest.fixture(scope="module")
+def incumbent(corpus):
+    return trained_detector(corpus, seed=1)
+
+
+def test_holdout_stats_shape(incumbent, corpus):
+    stats = _holdout_stats(incumbent, corpus)
+    assert set(stats) == {"fp_rate", "fn_rate", "accuracy", "auc",
+                          "threshold", "finite"}
+    assert stats["finite"] is True
+    assert 0.0 <= stats["fp_rate"] <= 1.0
+    assert 0.0 <= stats["fn_rate"] <= 1.0
+
+
+def test_equivalent_candidate_is_promoted(incumbent, corpus):
+    candidate = trained_detector(corpus, seed=2)
+    verdict = regression_gate(candidate, incumbent, corpus,
+                              fp_budget=0.1, fn_budget=0.1)
+    assert verdict.promoted
+    assert verdict.reasons == []
+    assert verdict.to_dict()["candidate"]["finite"] is True
+
+
+def test_sabotaged_threshold_trips_the_fp_budget(incumbent, corpus):
+    candidate = trained_detector(corpus, seed=2)
+    candidate.threshold = 0.0            # flags everything, fp_rate -> 1
+    verdict = regression_gate(candidate, incumbent, corpus,
+                              fp_budget=0.1, fn_budget=0.1)
+    assert not verdict.promoted
+    assert any("fp_rate regression" in r for r in verdict.reasons)
+    assert verdict.candidate["fp_rate"] == 1.0
+
+
+def test_blinded_candidate_trips_the_fn_budget(incumbent, corpus):
+    candidate = trained_detector(corpus, seed=2)
+    candidate.threshold = 1.0            # misses everything, fn_rate -> 1
+    verdict = regression_gate(candidate, incumbent, corpus,
+                              fp_budget=0.5, fn_budget=0.1)
+    assert not verdict.promoted
+    assert any("fn_rate regression" in r for r in verdict.reasons)
+
+
+def test_nan_poisoned_candidate_fails_closed(incumbent, corpus):
+    """Non-finite scores fail the gate outright, whatever the budgets."""
+    candidate = trained_detector(corpus, seed=2)
+    candidate.net.layers[0].weights[0, 0] = float("nan")
+    verdict = regression_gate(candidate, incumbent, corpus,
+                              fp_budget=1.0, fn_budget=1.0)
+    assert not verdict.promoted
+    assert any("non-finite" in r for r in verdict.reasons)
+    assert verdict.candidate["finite"] is False
+
+
+def test_incumbent_vs_itself_always_passes(incumbent, corpus):
+    """Zero budgets still promote an identical candidate: the comparison
+    is <=, so a no-op retrain can never be rejected."""
+    verdict = regression_gate(incumbent, incumbent, corpus,
+                              fp_budget=0.0, fn_budget=0.0)
+    assert verdict.promoted
+    assert verdict.candidate == verdict.incumbent

@@ -1,0 +1,258 @@
+"""The arms-race loop: clean runs, bit-identical crash-resume, hole
+classification (worker kills, diverged retrains, corrupt checkpoints,
+gate rollbacks), and the fatal-error contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.arena.loop import (
+    ArenaSpec, build_corpus, render_arena_report, run_arena,
+)
+from repro.core.patching import ModelSchemaError, detector_to_dict, \
+    load_detector
+from repro.data.dataset import Dataset
+from repro.runtime import (
+    ARENA_CHECKPOINT_CORRUPT_FAULT, CHECKPOINT_CORRUPT, CRASH,
+    GATE_REGRESS_FAULT, GATE_REGRESSION, GEN_KILL_FAULT, GENOME_KILL_FAULT,
+    REVACCINATE_NAN_FAULT, TRAINING_DIVERGED, ArenaChaos, ArenaError,
+    ArenaFault, ChaosKill, CheckpointError, CheckpointStore,
+)
+
+#: small enough to keep the module fast, big enough for real evolution
+SPEC = {
+    "generations": 2,
+    "population": 4,
+    "survivors": 2,
+    "attacks": ("meltdown",),
+    "workloads": ("stream",),
+    "sample_period": 150,
+    "samples_per_class": 6,
+    "gan_iterations": 16,
+    "gan_hidden": (16, 16),
+    "epochs": 6,
+    # tiny held-out folds: a few flipped windows move a rate by ~0.3,
+    # so honest retrain jitter must not read as a regression here (the
+    # sabotage drill forces fp_rate to 1.0, which still trips)
+    "fp_budget": 0.4,
+    "fn_budget": 0.4,
+    "seed": 5,
+}
+
+
+def one_gen_spec(**overrides):
+    return ArenaSpec(**{**SPEC, "generations": 1, **overrides})
+
+
+def read(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("arena-clean"))
+    spec = ArenaSpec(**SPEC)
+    result = run_arena(spec, directory, processes=2, retries=1)
+    return spec, directory, result
+
+
+class TestCleanRun:
+    def test_exit_0_and_full_trajectory(self, clean):
+        spec, _, result = clean
+        assert result.exit_code == 0
+        assert result.holes == []
+        assert len(result.trajectory) == spec.generations + 1
+        assert result.trajectory[0]["generation"] == 0
+        assert result.trajectory[0]["promoted"] is True
+        assert result.promotions + result.rollbacks == spec.generations
+
+    def test_generations_evaluate_the_whole_population(self, clean):
+        spec, _, result = clean
+        for entry in result.trajectory[1:]:
+            assert entry["evaluated"] == spec.population
+            assert 0 <= entry["leaked"] <= entry["evaluated"]
+            assert 0.0 <= entry["evasion_mean"] <= 1.0
+            assert len(entry["survivors"]) <= spec.survivors
+            assert entry["incumbent"]["finite"] is True
+
+    def test_artifacts_on_disk(self, clean):
+        spec, directory, _ = clean
+        for name in ("arena.md", "arena.json", "detector.json"):
+            assert os.path.exists(os.path.join(directory, name))
+        store_dir = os.path.join(directory, "checkpoints")
+        assert os.path.exists(os.path.join(store_dir, "manifest.json"))
+        for g in range(spec.generations + 1):
+            assert os.path.exists(os.path.join(store_dir,
+                                               f"gen-{g}.shard.json"))
+
+    def test_ledger_counts_match_trajectory(self, clean):
+        spec, directory, result = clean
+        ledger = json.loads(read(os.path.join(directory, "arena.json")))
+        assert ledger["schema"] == "repro.arena/1"
+        assert ledger["spec_fingerprint"] == spec.fingerprint
+        assert ledger["exit_code"] == 0
+        counts = ledger["counts"]
+        assert counts["generations"] == spec.generations
+        assert counts["evaluated"] == sum(
+            e.get("evaluated", 0) for e in result.trajectory)
+        assert counts["promotions"] == result.promotions
+        assert counts["holes"] == 0
+
+    def test_report_is_a_pure_function_of_the_trajectory(self, clean):
+        spec, directory, result = clean
+        rendered = render_arena_report(spec, result.trajectory,
+                                       result.holes)
+        assert rendered.encode() == read(os.path.join(directory,
+                                                      "arena.md"))
+
+    def test_final_detector_round_trips(self, clean):
+        _, directory, result = clean
+        loaded = load_detector(os.path.join(directory, "detector.json"))
+        assert detector_to_dict(loaded) == detector_to_dict(result.detector)
+
+
+class TestResume:
+    def test_sigkill_then_resume_is_bit_identical(self, clean, tmp_path):
+        """The acceptance drill: kill at the top of the last generation,
+        resume, and the report must match an uninterrupted run of the
+        same spec in a different directory byte for byte."""
+        spec, clean_dir, _ = clean
+        directory = str(tmp_path / "race")
+        chaos = ArenaChaos([ArenaFault(GEN_KILL_FAULT,
+                                       generation=spec.generations)])
+        with pytest.raises(ChaosKill):
+            run_arena(spec, directory, processes=2, retries=1, chaos=chaos)
+        # the interrupted prefix is already a consistent ledger
+        partial = json.loads(read(os.path.join(directory, "arena.json")))
+        assert partial["counts"]["generations"] == spec.generations - 1
+
+        resumed = run_arena(spec, directory, processes=2, retries=1,
+                            resume=True)
+        assert resumed.exit_code == 0
+        assert read(os.path.join(directory, "arena.md")) \
+            == read(os.path.join(clean_dir, "arena.md"))
+
+    def test_resume_of_a_finished_run_replays_nothing(self, clean):
+        spec, directory, _ = clean
+        before = read(os.path.join(directory, "arena.md"))
+        resumed = run_arena(spec, directory, resume=True)
+        assert resumed.exit_code == 0
+        assert len(resumed.trajectory) == spec.generations + 1
+        assert read(os.path.join(directory, "arena.md")) == before
+
+    def test_resume_with_a_different_spec_is_fatal(self, clean):
+        spec, directory, _ = clean
+        other = ArenaSpec(**{**SPEC, "seed": SPEC["seed"] + 1})
+        with pytest.raises(CheckpointError):
+            run_arena(other, directory, resume=True)
+
+    def test_corrupt_checkpoint_degrades_to_a_hole(self, clean, tmp_path):
+        """A mangled generation shard is classified and its generation
+        re-run — the race still finishes, bit-identical but for the
+        hole."""
+        spec, clean_dir, reference = clean
+        directory = str(tmp_path / "race")
+        chaos = ArenaChaos([ArenaFault(ARENA_CHECKPOINT_CORRUPT_FAULT,
+                                       generation=spec.generations)])
+        first = run_arena(spec, directory, processes=2, retries=1,
+                          chaos=chaos)
+        assert first.exit_code == 0      # corruption is on-disk only
+
+        resumed = run_arena(spec, directory, processes=2, retries=1,
+                            resume=True)
+        assert resumed.exit_code == 1
+        assert resumed.holes_by_kind() == {CHECKPOINT_CORRUPT: 1}
+        # the re-run generation reproduces the clean run's trajectory
+        for key in ("evaluated", "leaked", "evasion_mean", "evasion_max",
+                    "promoted", "survivors", "incumbent"):
+            assert resumed.trajectory[-1][key] \
+                == reference.trajectory[-1][key]
+
+
+class TestHoles:
+    def test_worker_sigkill_is_a_crash_hole(self, tmp_path):
+        spec = one_gen_spec()
+        chaos = ArenaChaos([ArenaFault(GENOME_KILL_FAULT, generation=1,
+                                       genome=0)])
+        result = run_arena(spec, str(tmp_path / "race"), processes=2,
+                           retries=0, chaos=chaos)
+        assert result.exit_code == 1
+        assert result.holes_by_kind() == {CRASH: 1}
+        assert result.trajectory[-1]["evaluated"] == spec.population - 1
+
+    def test_sabotaged_candidate_is_rolled_back(self, tmp_path):
+        """The rollback contract: the gate refuses the wounded candidate
+        and the shipped detector is the generation-0 incumbent."""
+        spec = one_gen_spec()
+        directory = str(tmp_path / "race")
+        chaos = ArenaChaos([ArenaFault(GATE_REGRESS_FAULT, generation=1)])
+        result = run_arena(spec, directory, processes=2, retries=1,
+                           chaos=chaos)
+        assert result.exit_code == 1
+        assert result.rollbacks == 1
+        assert result.promotions == 0
+        assert result.holes_by_kind() == {GATE_REGRESSION: 1}
+        entry = result.trajectory[-1]
+        assert entry["promoted"] is False
+        assert entry["gate"]["promoted"] is False
+        assert any("fp_rate regression" in r
+                   for r in entry["gate"]["reasons"])
+
+        store = CheckpointStore(os.path.join(directory, "checkpoints"))
+        store.open({"spec_fingerprint": spec.fingerprint,
+                    "guard_policy": "rollback",
+                    "initial_detector": ""}, resume=True)
+        assert detector_to_dict(result.detector) \
+            == store.get("gen-0")["detector"]
+
+    def test_diverged_retrain_keeps_the_incumbent(self, tmp_path):
+        spec = one_gen_spec()
+        chaos = ArenaChaos([ArenaFault(REVACCINATE_NAN_FAULT,
+                                       generation=1)])
+        result = run_arena(spec, str(tmp_path / "race"), processes=2,
+                           retries=1, chaos=chaos, guard_policy="raise")
+        assert result.exit_code == 1
+        assert result.holes_by_kind() == {TRAINING_DIVERGED: 1}
+        entry = result.trajectory[-1]
+        assert entry["promoted"] is False
+        assert entry["gate"] is None     # never reached the gate
+        # the incumbent survived untouched
+        assert entry["incumbent"] == result.trajectory[0]["incumbent"]
+
+
+class TestFatal:
+    @pytest.mark.parametrize("overrides, message", [
+        ({"generations": 0}, "at least one generation"),
+        ({"survivors": 9}, "survivors"),
+        ({"sample_period": 0}, "sample_period"),
+        ({"attacks": ("nope",)}, "unknown attack"),
+        ({"workloads": ("nope",)}, "unknown workload"),
+        ({"eval_seeds": (0,)}, "held-out"),
+    ])
+    def test_bad_specs_raise_arena_error(self, tmp_path, overrides,
+                                         message):
+        spec = ArenaSpec(**{**SPEC, **overrides})
+        with pytest.raises(ArenaError, match=message):
+            run_arena(spec, str(tmp_path / "race"))
+
+    def test_mismatched_eval_corpus_is_fatal(self, clean, tmp_path):
+        """A held-out corpus collected under a different counter layout
+        must be refused before any scoring happens."""
+        _, _, result = clean
+        spec = one_gen_spec()
+        stale = Dataset(records=[], sample_period=spec.sample_period,
+                        counters_sha256="0" * 64)
+        with pytest.raises(ModelSchemaError, match="counter"):
+            run_arena(spec, str(tmp_path / "race"),
+                      initial_detector=result.detector, eval_corpus=stale)
+
+
+def test_build_corpus_is_deterministic():
+    spec = one_gen_spec()
+    a = build_corpus(spec, spec.eval_seeds)
+    b = build_corpus(spec, spec.eval_seeds)
+    assert len(a.records) == len(b.records) > 0
+    assert [r.deltas for r in a.records] == [r.deltas for r in b.records]
+    assert {r.label for r in a.records} == {0, 1}

@@ -1,0 +1,89 @@
+"""Fuzzer determinism: same seed => bit-identical attack programs and
+bit-identical HPC traces, across every fuzzer family.
+
+The arena made fuzzed programs a *training input* — a fuzzer that
+silently drew from module-level ``random`` state would make every
+detector, checkpoint and gate verdict depend on import order.  These
+tests pin the contract: all randomness flows from the explicitly seeded
+``random.Random`` each fuzzer (and :class:`EvasiveAttack`) owns.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks import EvasiveAttack, Meltdown
+from repro.attacks.fuzzing import ALL_FUZZERS, Osiris, Transynther, \
+    TRRespassFuzzer
+from repro.data.dataset import collect_source
+
+
+def program_signature(attack):
+    """The full instruction stream, field by field."""
+    program, actors = attack.build()
+    return ([(i.op, i.rd, i.rs1, i.rs2, i.imm, i.target)
+             for i in program.instructions], len(actors))
+
+
+def generation_signature(fuzzer, count=3):
+    return [(a.name, program_signature(a)) for a in fuzzer.generate(count)]
+
+
+@pytest.mark.parametrize("fuzzer_cls", ALL_FUZZERS)
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_same_seed_bit_identical_programs(fuzzer_cls, seed):
+    assert generation_signature(fuzzer_cls(seed=seed)) \
+        == generation_signature(fuzzer_cls(seed=seed))
+
+
+@pytest.mark.parametrize("fuzzer_cls", ALL_FUZZERS)
+def test_explicit_rng_injection_is_equivalent(fuzzer_cls):
+    """An injected ``random.Random`` drives the exact same draws as a
+    private generator in the same state."""
+    a = generation_signature(fuzzer_cls(rng=random.Random(99)))
+    b = generation_signature(fuzzer_cls(rng=random.Random(99)))
+    assert a == b
+
+
+@pytest.mark.parametrize("fuzzer_cls", ALL_FUZZERS)
+def test_module_random_state_is_irrelevant(fuzzer_cls):
+    """Reseeding the *module* RNG between generations must not change
+    anything — the fuzzers never touch shared global state."""
+    random.seed(123)
+    a = generation_signature(fuzzer_cls(seed=7))
+    random.seed(999)
+    random.random()
+    b = generation_signature(fuzzer_cls(seed=7))
+    assert a == b
+
+
+def test_evasive_attack_accepts_an_explicit_rng():
+    base = Meltdown(seed=3)
+    a = program_signature(EvasiveAttack(base, nop_rate=0.4,
+                                        rng=random.Random(5)))
+    b = program_signature(EvasiveAttack(Meltdown(seed=3), nop_rate=0.4,
+                                        rng=random.Random(5)))
+    assert a == b
+
+
+@pytest.mark.parametrize("fuzzer_cls", ALL_FUZZERS)
+def test_same_seed_bit_identical_hpc_traces(fuzzer_cls):
+    """The whole pipeline round-trips: fuzz -> build -> simulate twice,
+    and every sampled counter-delta window matches exactly."""
+    def trace(seed):
+        attack = fuzzer_cls(seed=seed).generate(1)[0]
+        records, _, _ = collect_source(attack, label=1,
+                                       sample_period=200)
+        return [r.deltas for r in records]
+
+    deltas_a = trace(11)
+    deltas_b = trace(11)
+    assert deltas_a == deltas_b
+    assert len(deltas_a) > 0
+
+
+def test_fuzzer_families_cover_the_three_tools():
+    assert {f.name for f in (Transynther(), TRRespassFuzzer(), Osiris())} \
+        == {"transynther", "trrespass-fuzzer", "osiris"}

@@ -9,8 +9,9 @@ import pytest
 
 from repro.core.patching import (
     MODEL_FORMAT, ModelChecksumError, ModelCorruptError, ModelError,
-    ModelMissingError, ModelSchemaError, detector_to_dict, load_detector,
-    save_detector, schema_fingerprint,
+    ModelMissingError, ModelSchemaError, detector_from_dict,
+    detector_to_dict, load_detector, save_detector, schema_fingerprint,
+    verify_corpus_compatible,
 )
 from repro.core.perceptron import HardwareDetector, evax_schema
 
@@ -161,6 +162,63 @@ def test_cli_rejects_corrupted_detector_with_exit_2(artifact, capsys):
     out = capsys.readouterr()
     assert "checksum mismatch" in out.err
     assert artifact in out.err
+
+
+def test_stale_schema_in_payload_is_typed_not_keyerror(detector):
+    """A detector dict naming a counter this build's layout lacks must
+    raise :class:`ModelSchemaError`, not a bare ``KeyError`` mid-gather
+    — the arena resume path and the adaptive loader both rely on it."""
+    payload = detector_to_dict(detector)
+    payload["schema"]["base"] = ["no.such.counter"] \
+        + payload["schema"]["base"][1:]
+    with pytest.raises(ModelSchemaError, match="stale envelope"):
+        detector_from_dict(payload)
+
+
+def test_stale_engineered_counter_is_typed_too(detector):
+    payload = detector_to_dict(detector)
+    payload["schema"]["engineered"][0] = ["sec.bogus",
+                                          ["no.such.counter", "icache.miss"]]
+    with pytest.raises(ModelSchemaError):
+        detector_from_dict(payload)
+
+
+class TestVerifyCorpusCompatible:
+    """Detector envelope vs evaluation corpus: each can be internally
+    consistent yet mutually wrong; the check makes that typed."""
+
+    def corpus(self, width=None, sha=None):
+        from repro.data.dataset import Dataset, SampleRecord
+        from repro.sim.hpc import COUNTER_NAMES
+        width = width if width is not None else len(COUNTER_NAMES)
+        record = SampleRecord(deltas=[1] * width, label=0,
+                              category="benign", phase=0, source="b",
+                              commit_index=0)
+        return Dataset(records=[record], sample_period=100,
+                       counters_sha256=sha)
+
+    def test_compatible_pair_passes(self, detector):
+        from repro.data.io import counter_layout_sha256
+        assert verify_corpus_compatible(
+            detector, self.corpus(sha=counter_layout_sha256())) is detector
+        assert verify_corpus_compatible(detector,
+                                        self.corpus(sha=None)) is detector
+
+    def test_stale_detector_schema_is_rejected(self, detector):
+        detector.schema.base_features = ("no.such.counter",) \
+            + detector.schema.base_features[1:]
+        with pytest.raises(ModelSchemaError, match="absent from"):
+            verify_corpus_compatible(detector, self.corpus(),
+                                     detector_origin="arena incumbent")
+
+    def test_foreign_layout_fingerprint_is_rejected(self, detector):
+        with pytest.raises(ModelSchemaError, match="different counter"):
+            verify_corpus_compatible(detector, self.corpus(sha="0" * 64),
+                                     corpus_origin="held-out corpus")
+
+    def test_wrong_delta_width_is_rejected(self, detector):
+        with pytest.raises(ModelSchemaError, match="counter deltas"):
+            verify_corpus_compatible(detector, self.corpus(width=7))
 
 
 def test_cli_adaptive_rejects_missing_detector_with_exit_2(tmp_path,

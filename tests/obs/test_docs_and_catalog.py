@@ -2,7 +2,8 @@
 directions, and instrumentation sites must only emit cataloged names.
 
 Two pages carry catalog tables: ``docs/observability.md`` (the original
-layers) and ``docs/serving.md`` (the ``serve`` layer); both are parsed,
+layers), ``docs/serving.md`` (the ``serve`` layer) and ``docs/arena.md``
+(the ``arena`` layer); all are parsed,
 so a metric documented on either page satisfies the contract and a name
 on either page that the code cannot emit fails it.
 """
@@ -15,12 +16,13 @@ from repro.obs.names import ALL_METRICS, CATALOG, EVENTS, is_known_metric
 
 _DOCS_DIR = Path(__file__).resolve().parents[2] / "docs"
 #: every page whose backticked dotted tokens are checked as catalog names
-DOCS = (_DOCS_DIR / "observability.md", _DOCS_DIR / "serving.md")
+DOCS = (_DOCS_DIR / "observability.md", _DOCS_DIR / "serving.md",
+        _DOCS_DIR / "arena.md")
 
 #: first name segments that mark a backticked token as a metric/event
 _LAYER_PREFIXES = {"sim", "runner", "data", "ml", "amgan", "vaccinate",
                    "adaptive", "stage", "cli", "task", "manifest", "guard",
-                   "campaign", "serve"}
+                   "campaign", "serve", "arena"}
 #: backticked dotted tokens that are file names, not metric names
 _FILE_SUFFIXES = {"json", "jsonl", "md", "py", "pstats", "npz"}
 
@@ -53,7 +55,8 @@ def test_every_catalog_name_is_documented():
 
 def test_catalog_is_well_formed():
     assert set(CATALOG) == {"sim", "runtime", "data", "ml", "core",
-                            "campaign", "serve", "cli"}
+                            "campaign", "serve", "cli",
+                            "arena"}
     for name, (kind, desc) in ALL_METRICS.items():
         assert kind in ("counter", "gauge", "timer"), name
         assert desc
