@@ -9,10 +9,14 @@ Two jobs, matching the hot-loop overhaul's acceptance contract:
    counter snapshots, cycle counts, committed-instruction counts and halt
    reasons.  The matrix covers three benign workloads, two attacks, every
    fencing/InvisiSpec defense mode (on both an attack and a benign
-   program) and the no-STL-speculation configuration.
+   program) and the no-STL-speculation configuration.  Each cell also
+   proves the hot-trace **memo replay** path bit-identical (record on
+   the first optimized run, replay on the second), and a separate SMT
+   matrix holds two-tenant runs to the same oracle.
 2. **Throughput** — best-of-N wall-clock cycles/sec per workload
    (including ``Machine`` construction, same methodology as the frozen
-   pre-overhaul baseline embedded below), written with the speedups to
+   pre-overhaul baseline embedded below), plus memoization cold-vs-replay
+   speedup with hit rate and SMT co-tenancy throughput, written to
    ``benchmarks/BENCH_sim_hotloop.json``.
 
 Usage (repo root):
@@ -39,6 +43,8 @@ from repro.attacks import ATTACKS_BY_NAME                  # noqa: E402
 from repro.sim.config import DefenseMode, SimConfig        # noqa: E402
 from repro.sim.cpu import O3Core                           # noqa: E402
 from repro.sim.machine import Machine                      # noqa: E402
+from repro.sim.memo import TraceMemoTable                  # noqa: E402
+from repro.sim.multiprog import SMTMachine                 # noqa: E402
 from repro.sim.reference import ReferenceO3Core            # noqa: E402
 from repro.workloads import WORKLOAD_BUILDERS              # noqa: E402
 
@@ -53,16 +59,32 @@ PRE_PR_BASELINE = {"astar": 18906, "stream": 7626, "pointer-chase": 53958}
 
 THROUGHPUT_WORKLOADS = ("astar", "stream", "pointer-chase")
 SPEEDUP_FLOOR = {"astar": 3.0}
+#: replayed (memo-hit) runs must be at least this much faster than the
+#: cold run of the same trace
+MEMO_SPEEDUP_FLOOR = 2.0
 
 
-def counter_stream(core_cls, program, config, sample_period, max_cycles):
+def counter_stream(core_cls, program, config, sample_period, max_cycles,
+                   memo_table=None):
     """Everything observable about a run that must not change."""
     m = Machine(program, config, sample_period=sample_period,
-                core_cls=core_cls)
+                core_cls=core_cls, memo_table=memo_table)
     m.run(max_cycles=max_cycles)
     deltas = tuple(tuple(s.deltas) for s in m.sampler.samples)
     return (deltas, tuple(m.counters.values), m.cpu.cycle,
             m.cpu.committed, m.cpu.halt_reason)
+
+
+def smt_stream(core_cls, program_a, program_b, config, sample_period,
+               max_cycles):
+    """The SMT equivalent of :func:`counter_stream` (plus thread regs)."""
+    smt = SMTMachine(program_a, program_b, config,
+                     sample_period=sample_period, core_cls=core_cls)
+    result = smt.run(max_cycles=max_cycles)
+    deltas = tuple(tuple(s.deltas) for s in result.samples)
+    return (deltas, tuple(smt.counters.values), result.cycles,
+            result.committed, result.halt_reason,
+            tuple(tuple(t.regs) for t in result.threads))
 
 
 def bitexact_matrix(quick=False):
@@ -108,7 +130,61 @@ def run_bitexact(quick=False):
     for name, program, config in bitexact_matrix(quick):
         ref = counter_stream(ReferenceO3Core, program, config, 500,
                              max_cycles)
-        fast = counter_stream(O3Core, program, config, 500, max_cycles)
+        # the optimized core's first run records into a fresh memo table;
+        # the second run replays it — both must equal the reference
+        table = TraceMemoTable()
+        fast = counter_stream(O3Core, program, config, 500, max_cycles,
+                              memo_table=table)
+        memo = counter_stream(O3Core, program, config, 500, max_cycles,
+                              memo_table=table)
+        exact = ref == fast
+        memo_exact = ref == memo and table.hits == 1
+        ok &= exact and memo_exact
+        results[name] = {
+            "bit_exact": exact,
+            "memo_replay_exact": memo_exact,
+            "windows": len(ref[0]),
+            "cycles": ref[2],
+            "committed": ref[3],
+        }
+        status = "OK " if exact and memo_exact else "MISMATCH"
+        print(f"  {status} {name}: {ref[2]} cycles, "
+              f"{len(ref[0])} sampler windows"
+              + ("" if memo_exact else "  [memo replay diverged]"))
+    return ok, results
+
+
+def smt_bitexact_matrix(quick=False):
+    """(name, program pair, config) triples for the SMT oracle runs."""
+    def workload(name, scale, seed):
+        return WORKLOAD_BUILDERS[name](scale=scale, seed=seed)
+
+    def attack(name):
+        return ATTACKS_BY_NAME[name]().build()[0]
+
+    pairs = [("smt:astar+stream",
+              (workload("astar", 2, 1), workload("stream", 2, 1)),
+              SimConfig(smt_contexts=2))]
+    if quick:
+        return pairs
+    pairs.append(("smt:spectre+astar",
+                  (attack("spectre-pht"), workload("astar", 2, 1)),
+                  SimConfig(smt_contexts=2)))
+    pairs.append(("smt:FENCE_SPECTRE:spectre+pointer-chase",
+                  (attack("spectre-pht"), workload("pointer-chase", 2, 1)),
+                  SimConfig(smt_contexts=2,
+                            defense=DefenseMode.FENCE_SPECTRE)))
+    return pairs
+
+
+def run_smt_bitexact(quick=False):
+    max_cycles = 60_000 if quick else 200_000
+    results = {}
+    ok = True
+    for name, (prog_a, prog_b), config in smt_bitexact_matrix(quick):
+        ref = smt_stream(ReferenceO3Core, prog_a, prog_b, config, 500,
+                         max_cycles)
+        fast = smt_stream(O3Core, prog_a, prog_b, config, 500, max_cycles)
         exact = ref == fast
         ok &= exact
         results[name] = {
@@ -175,6 +251,65 @@ def measure_relative(rounds=3, max_cycles=100_000):
     }
 
 
+def measure_memoization(rounds=3, max_cycles=400_000):
+    """Cold-vs-replay wall clock on a repeated trace, plus hit rate.
+
+    Models the campaign/arena pattern: the same (program, config,
+    period, budget) cell evaluated again and again.  The first run
+    simulates and records; every later run replays the record.
+    """
+    table = TraceMemoTable()
+    program = WORKLOAD_BUILDERS["astar"](scale=4, seed=0)
+
+    def one_run():
+        t0 = time.perf_counter()
+        m = Machine(program, SimConfig(), sample_period=1000,
+                    memo_table=table)
+        m.run(max_cycles=max_cycles)
+        return m.cpu.cycle / (time.perf_counter() - t0)
+
+    cold = one_run()
+    assert table.misses == 1 and table.hits == 0
+    warm = max(one_run() for _ in range(rounds))
+    total = table.hits + table.misses
+    hit_rate = table.hits / total
+    speedup = warm / cold
+    print(f"  astar repeated trace: cold {cold:,.0f} c/s, replay "
+          f"{warm:,.0f} c/s ({speedup:.1f}x, hit rate "
+          f"{table.hits}/{total} = {hit_rate:.2f})")
+    return {
+        "workload": "astar",
+        "cold_cycles_per_sec": round(cold),
+        "replay_cycles_per_sec": round(warm),
+        "replay_speedup": round(speedup, 2),
+        "hits": table.hits,
+        "misses": table.misses,
+        "hit_rate": round(hit_rate, 4),
+        "floor": MEMO_SPEEDUP_FLOOR,
+    }
+
+
+def measure_smt(rounds=3, max_cycles=400_000):
+    """Best-of-N wall clock for a two-tenant SMT run."""
+    best = 0.0
+    committed = {}
+    for _ in range(rounds):
+        smt = SMTMachine(WORKLOAD_BUILDERS["astar"](scale=4, seed=0),
+                         WORKLOAD_BUILDERS["stream"](scale=4, seed=0),
+                         SimConfig(smt_contexts=2), sample_period=1000)
+        t0 = time.perf_counter()
+        result = smt.run(max_cycles=max_cycles)
+        best = max(best, result.cycles / (time.perf_counter() - t0))
+        committed = {t.program_name: t.committed for t in result.threads}
+    print(f"  astar+stream SMT: {best:,.0f} c/s, per-thread committed "
+          f"{committed}")
+    return {
+        "pair": "astar+stream",
+        "cycles_per_sec": round(best),
+        "per_thread_committed": committed,
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check-only", action="store_true",
@@ -184,25 +319,36 @@ def main():
                         help="throughput rounds per workload (best-of)")
     args = parser.parse_args()
 
-    print("bit-exactness (optimized O3Core vs ReferenceO3Core):")
+    print("bit-exactness (optimized O3Core vs ReferenceO3Core, "
+          "plus memo replay):")
     exact_ok, exact_results = run_bitexact(quick=args.check_only)
-    if not exact_ok:
+    print("SMT bit-exactness (two hardware contexts, shared machine):")
+    smt_ok, smt_exact_results = run_smt_bitexact(quick=args.check_only)
+    if not (exact_ok and smt_ok):
         print("bench_sim: counter streams DIVERGED", file=sys.stderr)
         return 1
     if args.check_only:
-        print("bench_sim: bit-exactness smoke passed")
+        print("bench_sim: bit-exactness smoke passed "
+              "(incl. memo replay and SMT)")
         return 0
 
     print("throughput (best of {}, methodology as baseline):"
           .format(args.rounds))
     throughput = measure_throughput(rounds=args.rounds)
     relative = measure_relative(rounds=args.rounds)
+    print("memoization (repeated trace, cold record vs replay):")
+    memoization = measure_memoization(rounds=args.rounds)
+    print("SMT co-tenancy throughput:")
+    smt = measure_smt(rounds=args.rounds)
 
     failures = [
         f"{name}: {throughput[name]['speedup']}x < {floor}x"
         for name, floor in SPEEDUP_FLOOR.items()
         if throughput[name]["speedup"] < floor
     ]
+    if memoization["replay_speedup"] < MEMO_SPEEDUP_FLOOR:
+        failures.append(f"memo replay: {memoization['replay_speedup']}x "
+                        f"< {MEMO_SPEEDUP_FLOOR}x")
 
     OUT_PATH.write_text(json.dumps({
         "methodology": {
@@ -213,12 +359,21 @@ def main():
                         "CPython 3.11, same methodology",
             "bit_exactness": "sampler delta streams + final counter "
                              "snapshot + cycle/committed/halt_reason, "
-                             "optimized vs reference core",
+                             "optimized vs reference core, plus "
+                             "memo-replay and SMT pairs",
+            "memoization": "cold run records into a fresh TraceMemoTable,"
+                           " later identical runs replay; best-of-N "
+                           "replay vs the cold run",
+            "smt": "two-tenant SMTMachine (astar+stream, scale=4), "
+                   "best-of-N wall clock",
         },
         "throughput": throughput,
         "relative": relative,
+        "memoization": memoization,
+        "smt": smt,
         "bit_exactness": exact_results,
-        "all_bit_exact": exact_ok,
+        "smt_bit_exactness": smt_exact_results,
+        "all_bit_exact": exact_ok and smt_ok,
     }, indent=2) + "\n")
     print(f"wrote {OUT_PATH.relative_to(REPO)}")
 

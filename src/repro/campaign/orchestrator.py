@@ -86,7 +86,8 @@ def run_cell(payload, attempt=1):
     sim_config = SimConfig(defense=DefenseMode(config["defense"]))
     records, result, _ = collect_source(
         source, label=label, config=sim_config,
-        sample_period=config["period"], max_cycles=config["max_cycles"])
+        sample_period=config["period"], max_cycles=config["max_cycles"],
+        tenancy=config.get("tenancy", "single"))
     digest = hashlib.sha256()
     for record in records:
         digest.update(json.dumps(record.deltas,

@@ -1,7 +1,7 @@
 """Declarative campaign matrix specs.
 
 A :class:`CampaignSpec` names the axes of an evaluation matrix —
-{workload x attack x defense-mode x sampling-period x seed} — and
+{workload x attack x defense-mode x sampling-period x tenancy x seed} — and
 :meth:`~CampaignSpec.expand` turns it into the flat, deterministic list
 of :class:`CampaignCell` objects the orchestrator fans out.  Every cell
 carries a **content-addressed fingerprint**: the SHA-256 of its
@@ -48,12 +48,16 @@ class CampaignCell:
     seed: int
     scale: int
     max_cycles: Optional[int]
+    tenancy: str = "single"      # "single" | "smt" (co-tenant noise)
 
     @property
     def key(self):
-        """Human-readable stable identifier (unique by construction)."""
-        return (f"{self.kind}-{self.name}-{self.defense}"
+        """Human-readable stable identifier (unique by construction).
+        Single-tenancy keys keep their historical shape; SMT cells carry
+        an explicit suffix."""
+        base = (f"{self.kind}-{self.name}-{self.defense}"
                 f"-p{self.period}-s{self.seed}")
+        return base if self.tenancy == "single" else f"{base}-{self.tenancy}"
 
     def config(self):
         """The canonical configuration that determines this cell's
@@ -61,7 +65,8 @@ class CampaignCell:
         return {"kind": self.kind, "name": self.name,
                 "defense": self.defense, "period": self.period,
                 "seed": self.seed, "scale": self.scale,
-                "max_cycles": self.max_cycles}
+                "max_cycles": self.max_cycles,
+                "tenancy": self.tenancy}
 
     @property
     def fingerprint(self):
@@ -94,6 +99,7 @@ class CampaignSpec:
     defenses: Tuple[str, ...] = ("none",)
     periods: Tuple[int, ...] = (100,)
     seeds: Tuple[int, ...] = (0,)
+    tenancies: Tuple[str, ...] = ("single",)
     scale: int = 2
     max_cycles: Optional[int] = None
 
@@ -103,6 +109,7 @@ class CampaignSpec:
         self.defenses = tuple(self.defenses)
         self.periods = tuple(int(p) for p in self.periods)
         self.seeds = tuple(int(s) for s in self.seeds)
+        self.tenancies = tuple(self.tenancies)
         self.validate()
 
     # -- validation -----------------------------------------------------------
@@ -128,6 +135,11 @@ class CampaignSpec:
             if period <= 0:
                 raise CampaignSpecError(
                     f"sampling period must be positive, got {period}")
+        for tenancy in self.tenancies:
+            if tenancy not in ("single", "smt"):
+                raise CampaignSpecError(
+                    f"unknown tenancy {tenancy!r}; choose from "
+                    f"['single', 'smt']")
         if self.scale <= 0:
             raise CampaignSpecError(f"scale must be positive, "
                                     f"got {self.scale}")
@@ -135,29 +147,32 @@ class CampaignSpec:
             raise CampaignSpecError(f"max_cycles must be positive, "
                                     f"got {self.max_cycles}")
         if not (self.workloads or self.attacks) or not self.defenses \
-                or not self.periods or not self.seeds:
+                or not self.periods or not self.seeds or not self.tenancies:
             raise CampaignSpecError(
                 "empty matrix: need at least one source, defense, "
-                "period and seed")
+                "period, tenancy and seed")
         return self
 
     # -- expansion ------------------------------------------------------------
 
     def expand(self):
         """The flat cell list, in deterministic aggregation order
-        (workloads before attacks; then name, defense, period, seed —
-        the nesting order of the axes)."""
+        (workloads before attacks; then name, defense, period, tenancy,
+        seed — the nesting order of the axes)."""
         cells = []
         sources = [(WORKLOAD, n) for n in self.workloads] + \
                   [(ATTACK, n) for n in self.attacks]
         for kind, name in sources:
             for defense in self.defenses:
                 for period in self.periods:
-                    for seed in self.seeds:
-                        cells.append(CampaignCell(
-                            index=len(cells), kind=kind, name=name,
-                            defense=defense, period=period, seed=seed,
-                            scale=self.scale, max_cycles=self.max_cycles))
+                    for tenancy in self.tenancies:
+                        for seed in self.seeds:
+                            cells.append(CampaignCell(
+                                index=len(cells), kind=kind, name=name,
+                                defense=defense, period=period, seed=seed,
+                                scale=self.scale,
+                                max_cycles=self.max_cycles,
+                                tenancy=tenancy))
         return cells
 
     # -- (de)serialization ----------------------------------------------------
@@ -168,6 +183,7 @@ class CampaignSpec:
                 "defenses": list(self.defenses),
                 "periods": list(self.periods),
                 "seeds": list(self.seeds),
+                "tenancies": list(self.tenancies),
                 "scale": self.scale,
                 "max_cycles": self.max_cycles}
 
@@ -182,7 +198,8 @@ class CampaignSpec:
             raise CampaignSpecError(
                 f"spec must be a JSON object, got {type(mapping).__name__}")
         unknown = set(mapping) - {"workloads", "attacks", "defenses",
-                                  "periods", "seeds", "scale", "max_cycles"}
+                                  "periods", "seeds", "tenancies", "scale",
+                                  "max_cycles"}
         if unknown:
             raise CampaignSpecError(
                 f"unknown spec fields: {sorted(unknown)}")

@@ -115,18 +115,25 @@ def _cmd_collect(args):
                for s in range(1, args.seeds + 1)]
     workloads = all_workloads(scale=args.scale,
                               seeds=tuple(range(args.seeds)))
+    sim_config = None
+    if args.memoize:
+        from repro.sim import SimConfig
+        sim_config = SimConfig(memoize=True)
     with time_block("stage.collect.build"):
         if args.jobs == 1:
-            dataset = build_dataset(attacks, workloads,
-                                    sample_period=args.period)
+            dataset = build_dataset(attacks, workloads, config=sim_config,
+                                    sample_period=args.period,
+                                    tenancy=args.tenancy)
         else:
             shard_dir = args.checkpoint_dir or (args.out + ".shards")
             try:
                 dataset, report = build_dataset_resilient(
-                    attacks, workloads, sample_period=args.period,
+                    attacks, workloads, config=sim_config,
+                    sample_period=args.period,
                     processes=args.jobs, retries=args.retries,
                     task_timeout=args.task_timeout, checkpoint_dir=shard_dir,
-                    resume=args.resume, min_coverage=args.min_coverage)
+                    resume=args.resume, min_coverage=args.min_coverage,
+                    tenancy=args.tenancy)
             except CheckpointError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -307,6 +314,8 @@ def _cmd_campaign(args):
                 overrides["periods"] = tuple(args.periods)
             if args.cell_seeds is not None:
                 overrides["seeds"] = tuple(args.cell_seeds)
+            if args.tenancies is not None:
+                overrides["tenancies"] = tuple(args.tenancies)
             if args.scale is not None:
                 overrides["scale"] = args.scale
             if args.max_cycles is not None:
@@ -484,6 +493,14 @@ def build_parser():
     p.add_argument("--seeds", type=int, default=2)
     p.add_argument("--scale", type=int, default=4)
     p.add_argument("--period", type=int, default=100)
+    p.add_argument("--tenancy", default="single",
+                   choices=["single", "smt"],
+                   help="run each source alone or under SMT co-tenant "
+                        "interference noise")
+    p.add_argument("--memoize", action="store_true",
+                   help="enable hot-trace memoization: repeated "
+                        "identical runs replay recorded traces "
+                        "(bit-identical; see docs/simulator.md)")
     p.add_argument("--jobs", type=int, default=None,
                    help="parallel collection processes (1 = sequential)")
     p.add_argument("--resume", action="store_true",
@@ -569,6 +586,10 @@ def build_parser():
                    help="sampling periods (default: 100)")
     p.add_argument("--cell-seeds", nargs="*", type=int, default=None,
                    help="per-source seeds (default: 0)")
+    p.add_argument("--tenancies", nargs="*", default=None,
+                   choices=["single", "smt"],
+                   help="tenancy axis: single and/or smt co-tenant "
+                        "noise (default: single)")
     p.add_argument("--scale", type=int, default=None,
                    help="workload scale factor (default 2)")
     p.add_argument("--max-cycles", type=int, default=None,

@@ -116,17 +116,46 @@ def validate_records(records):
     return records
 
 
+def _smt_co_tenant():
+    """The deterministic sibling program for SMT collection.
+
+    A fixed, seeded pointer-chase: memory-intensive enough to contend on
+    every shared structure (L1/L2, DTLB, DRAM banks) without being an
+    attack itself, and identical across collections so the noise axis is
+    reproducible cell-to-cell.
+    """
+    from repro.workloads import WORKLOAD_BUILDERS
+    return WORKLOAD_BUILDERS["pointer-chase"](scale=2, seed=97)
+
+
 def collect_source(source, label, config=None, sample_period=250,
-                   max_cycles=None):
-    """Run one attack or workload and convert its windows to records."""
+                   max_cycles=None, tenancy="single", co_program=None):
+    """Run one attack or workload and convert its windows to records.
+
+    ``tenancy="smt"`` runs the source as SMT thread 0 with a
+    deterministic co-tenant program on thread 1 (``co_program``
+    overrides it), so every window carries genuine cross-tenant
+    interference noise; labels/phases still describe the source.
+    """
+    if tenancy not in ("single", "smt"):
+        raise ValueError(f"unknown tenancy {tenancy!r}")
     program, actors = source.build()
-    machine = Machine(program,
-                      copy.deepcopy(config) if config is not None else SimConfig(),
-                      sample_period=sample_period, actors=actors)
+    sim_config = copy.deepcopy(config) if config is not None else SimConfig()
     if max_cycles is None:
         max_cycles = source.max_cycles() if hasattr(source, "max_cycles") \
             else 400_000
-    result = machine.run(max_cycles=max_cycles)
+    if tenancy == "smt":
+        from repro.sim import SMTMachine
+        sim_config.smt_contexts = 2
+        sibling = co_program if co_program is not None else _smt_co_tenant()
+        smt = SMTMachine(program, sibling, sim_config,
+                         sample_period=sample_period, actors=actors)
+        machine = smt.machine
+        result = smt.run(max_cycles=max_cycles)
+    else:
+        machine = Machine(program, sim_config,
+                          sample_period=sample_period, actors=actors)
+        result = machine.run(max_cycles=max_cycles)
     records = []
     for sample in result.samples:
         records.append(SampleRecord(
@@ -141,16 +170,19 @@ def collect_source(source, label, config=None, sample_period=250,
 
 
 def build_dataset(attacks, workloads, config=None, sample_period=250,
-                  require_leak=False):
+                  require_leak=False, tenancy="single"):
     """Collect a full labelled dataset from attack and workload instances.
 
     ``require_leak=True`` re-checks each attack's channel and drops runs
     that failed to leak (useful when fuzzed variants produce duds).
+    ``tenancy="smt"`` collects every source under SMT co-tenancy noise
+    (see :func:`collect_source`).
     """
     dataset = Dataset(sample_period=sample_period)
     for attack in attacks:
         records, result, machine = collect_source(
-            attack, label=1, config=config, sample_period=sample_period)
+            attack, label=1, config=config, sample_period=sample_period,
+            tenancy=tenancy)
         if require_leak:
             from repro.attacks.base import bits_balanced_accuracy
             recovered = attack.recover(machine, result)
@@ -159,6 +191,7 @@ def build_dataset(attacks, workloads, config=None, sample_period=250,
         dataset.extend(records)
     for workload in workloads:
         records, _, _ = collect_source(workload, label=0, config=config,
-                                       sample_period=sample_period)
+                                       sample_period=sample_period,
+                                       tenancy=tenancy)
         dataset.extend(records)
     return dataset

@@ -36,12 +36,13 @@ from repro.runtime import CheckpointStore, FailureReport, Task, TaskRunner
 
 def _collect_one(task, attempt=1):
     """Worker entry: simulate one source (honouring chaos hooks)."""
-    source, label, config, sample_period = task
+    source, label, config, sample_period, tenancy = task
     inject = getattr(source, "chaos_inject", None)
     if inject is not None:
         inject(attempt)
     records, _, _ = collect_source(source, label=label, config=config,
-                                   sample_period=sample_period)
+                                   sample_period=sample_period,
+                                   tenancy=tenancy)
     mutate = getattr(source, "chaos_mutate", None)
     if mutate is not None:
         records = mutate(records, attempt)
@@ -65,7 +66,8 @@ def build_dataset_resilient(attacks, workloads, config=None,
                             sample_period=100, processes=None, retries=2,
                             task_timeout=None, checkpoint_dir=None,
                             resume=False, min_coverage=1.0,
-                            backoff_base=0.05, progress=None):
+                            backoff_base=0.05, progress=None,
+                            tenancy="single"):
     """Fault-tolerant parallel corpus build.
 
     Returns ``(dataset, report)`` where ``report`` is a
@@ -78,8 +80,8 @@ def build_dataset_resilient(attacks, workloads, config=None,
     verifies and re-simulates only the rest.
     """
     sources = [(a, 1) for a in attacks] + [(w, 0) for w in workloads]
-    tasks = [Task(key=source_key(i, s, label), payload=(s, label, config,
-                                                        sample_period))
+    tasks = [Task(key=source_key(i, s, label),
+                  payload=(s, label, config, sample_period, tenancy))
              for i, (s, label) in enumerate(sources)]
     if processes is None:
         processes = max(1, min(len(tasks) or 1, (os.cpu_count() or 2)))
@@ -89,6 +91,7 @@ def build_dataset_resilient(attacks, workloads, config=None,
     if checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
         store.open(context={"sample_period": sample_period,
+                            "tenancy": tenancy,
                             "keys": [t.key for t in tasks]},
                    resume=resume)
         done = set(store.valid_keys()) & {t.key for t in tasks}

@@ -1,0 +1,147 @@
+"""Basic-block decode cache and program content hashing.
+
+Instruction "cracking" — precomputing the pipeline-static properties in
+:meth:`repro.sim.isa.Instruction.__post_init__` (ROB flags, latency,
+port class, dispatch masks) — is pure per-instruction work, yet the
+repo's heavy consumers rebuild the *same* programs constantly: a
+campaign re-instantiates each workload per {defense x period x seed}
+cell, the arena re-builds attack genomes every generation, and the
+repeated-trace benchmarks construct one program per round.  The decode
+cache interns cracked basic blocks keyed by ``(pc, block content)`` so
+the cracking cost is paid once per distinct block, process-wide.
+
+Safety argument for sharing :class:`Instruction` instances between
+programs: the core treats instructions as read-only (all mutable
+per-execution state lives on :class:`~repro.sim.rob.RobEntry`), and
+:meth:`~repro.sim.program.ProgramBuilder.build` resolves labels on the
+*spec tuples* before interning, so a cached instruction is never
+mutated after construction.  The key is the full ``(pc, specs)``
+content — not a lossy digest — so two blocks that differ in any field
+can never alias (the "content-hash key proof" pinned by
+``tests/sim/test_decode_cache.py``); self-modified or otherwise
+mismatched program content misses by construction.
+
+:func:`program_content_hash` is the program-level identity used by
+hot-trace memoization (:mod:`repro.sim.memo`): a SHA-256 over the
+instruction stream, preloaded memory and initial registers — everything
+that determines a program's architectural behaviour (``name`` and
+free-form ``metadata`` are deliberately excluded; they never reach the
+core).
+"""
+
+import hashlib
+
+from repro.sim.isa import BRANCH_OPS, Instruction, Op
+
+#: cap on cached blocks (FIFO eviction; insertion order is deterministic
+#: so eviction is too)
+DEFAULT_CAPACITY = 4096
+
+#: blocks longer than this are split (bounds key size for straight-line
+#: megablocks)
+MAX_BLOCK_LEN = 64
+
+
+def instruction_spec(inst):
+    """The pre-crack identity of one instruction: exactly the
+    constructor arguments, nothing derived."""
+    return (inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm, inst.target)
+
+
+class DecodeCache:
+    """Process-wide intern table of cracked basic blocks.
+
+    Keys are ``(start_pc, spec-tuple-per-instruction)``; values are
+    tuples of shared, immutable-by-convention :class:`Instruction`
+    objects.  Lookups count into :attr:`hits`/:attr:`misses` (surfaced
+    as ``sim.decode.block_hits`` / ``sim.decode.block_misses`` by the
+    obs layer at :class:`~repro.sim.machine.Machine` construction).
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._blocks = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._blocks)
+
+    def clear(self):
+        self._blocks.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def intern_block(self, start_pc, specs):
+        """Return the cracked instruction tuple for one basic block,
+        constructing (and caching) it on first sight."""
+        key = (start_pc, specs)
+        block = self._blocks.get(key)
+        if block is not None:
+            self.hits += 1
+            return block
+        self.misses += 1
+        block = tuple(
+            Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)
+            for op, rd, rs1, rs2, imm, target in specs)
+        if len(self._blocks) >= self.capacity:
+            # FIFO: dicts preserve insertion order, so the eviction
+            # victim is deterministic across runs
+            self._blocks.pop(next(iter(self._blocks)))
+        self._blocks[key] = block
+        return block
+
+
+#: the process-wide default cache (ProgramBuilder.build goes through it)
+GLOBAL_DECODE_CACHE = DecodeCache()
+
+
+def _block_ends(spec, length):
+    op = spec[0]
+    return op in BRANCH_OPS or op is Op.HALT or length >= MAX_BLOCK_LEN
+
+
+def crack_specs(specs, cache=None):
+    """Crack a resolved instruction-spec list into :class:`Instruction`
+    objects through the decode cache.
+
+    Blocks end at control-flow instructions (branches, HALT) or at
+    :data:`MAX_BLOCK_LEN`; the block key carries its start PC, so the
+    same instruction bytes at a different location are a distinct block
+    (branch targets are absolute PCs — reusing them across locations
+    would be wrong anyway).
+    """
+    cache = cache if cache is not None else GLOBAL_DECODE_CACHE
+    out = []
+    start = 0
+    for i, spec in enumerate(specs):
+        if _block_ends(spec, i - start + 1):
+            out.extend(cache.intern_block(start, tuple(specs[start:i + 1])))
+            start = i + 1
+    if start < len(specs):
+        out.extend(cache.intern_block(start, tuple(specs[start:])))
+    return out
+
+
+def program_content_hash(instructions, initial_memory=None,
+                         initial_regs=None):
+    """SHA-256 identity of a program's architectural content.
+
+    Covers the instruction stream (pre-crack specs, in order) plus the
+    preloaded memory words and initial register values in sorted-key
+    order — the complete input the simulator's behaviour is a function
+    of, given a config.  Two programs with equal hashes are
+    behaviourally identical to the core.
+    """
+    h = hashlib.sha256()
+    for inst in instructions:
+        op, rd, rs1, rs2, imm, target = instruction_spec(inst)
+        h.update(f"i:{op.value},{rd},{rs1},{rs2},{imm},{target};"
+                 .encode())
+    for addr in sorted(initial_memory or ()):
+        h.update(f"m:{addr}={initial_memory[addr]};".encode())
+    for reg in sorted(initial_regs or ()):
+        h.update(f"r:{reg}={initial_regs[reg]};".encode())
+    return h.hexdigest()

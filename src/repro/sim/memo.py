@@ -1,0 +1,213 @@
+"""Hot-trace memoization: replay recorded runs instead of re-simulating.
+
+The simulator is deterministic: given a program's architectural content,
+the initial register/memory state, the full :class:`SimConfig`, the
+sampling period, the cycle budget and the core implementation, a run's
+entire outcome — every sampler window delta, the final counter bank, the
+halt state and all architectural side effects — is a pure function of
+that tuple.  Campaigns, the arena and the benchmarks evaluate that
+function repeatedly (same cell re-runs, re-seeded generations, repeated
+benchmark rounds), so :class:`TraceMemoTable` caches it: the first run
+records, later runs with a **provably identical** entry fingerprint
+replay the record and skip simulation entirely.
+
+Conservatism contract (pinned by ``tests/sim/test_memo.py`` and the
+``scripts/bench_sim.py`` equivalence suite):
+
+- The fingerprint covers *everything* the outcome depends on: program
+  content hash (instructions + preloaded memory + initial registers),
+  the live register file and memory image at entry, every ``SimConfig``
+  field (so differing defense modes can never share a record), the
+  sampler period, ``max_cycles``, and the concrete core class (the
+  reference core memoizes separately from the optimized one).
+- Anything the fingerprint cannot prove refuses to memoize: background
+  actors, detector hooks, a machine that has already stepped or
+  committed, dirtied counters, recorded samples or detections.  Refusals
+  count into ``sim.memo.ineligible`` and fall back to full simulation.
+- Replay restores the architectural machine state (registers, memory,
+  counters, sampler, halt state) bit-exactly; *microarchitectural*
+  structures (cache/TLB/predictor contents) are not reconstructed, so a
+  replayed machine must not be stepped further — it is finished, exactly
+  like a machine whose run just returned.  SMT machines never reach this
+  path (they drive cores directly, not :meth:`Machine.run`).
+"""
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from repro.obs import metrics
+from repro.sim.sampler import PhaseMark, Sample
+
+#: cap on recorded runs (FIFO eviction, deterministic order)
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class MemoRecord:
+    """Everything needed to replay one completed run bit-exactly."""
+
+    cycles: int                    # machine.cycle at return
+    cpu_cycle: int                 # cpu.cycle (last stepped cycle)
+    committed: int
+    halted: bool
+    halt_reason: Optional[str]
+    fetch_pc: int
+    trap_handler: Optional[int]
+    regs: Tuple[int, ...]
+    memory_words: Tuple[Tuple[int, int], ...]   # sorted (addr, value)
+    counter_values: Tuple[int, ...]
+    samples: Tuple[Tuple[int, int, int, Tuple[int, ...], int], ...]
+    phase_marks: Tuple[Tuple[int, int], ...]
+    sampler_next_boundary: int
+    sampler_window_index: int
+    sampler_phase: int
+    sampler_last_commit: int
+    sampler_last_snapshot: Tuple[int, ...]
+
+
+def _config_signature(config):
+    """Every SimConfig field, stably ordered (enums by value)."""
+    parts = []
+    for f in fields(config):
+        value = getattr(config, f.name)
+        value = getattr(value, "value", value)
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+
+class TraceMemoTable:
+    """Fingerprint-keyed store of completed runs.
+
+    Bounded FIFO (dict insertion order makes eviction deterministic).
+    ``hits``/``misses``/``ineligible`` mirror the ``sim.memo.*`` metrics
+    for in-process inspection.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records = {}
+        self.hits = 0
+        self.misses = 0
+        self.ineligible = 0
+
+    def __len__(self):
+        return len(self._records)
+
+    def clear(self):
+        self._records.clear()
+        self.hits = 0
+        self.misses = 0
+        self.ineligible = 0
+
+    # -- fingerprinting -----------------------------------------------------------
+
+    def fingerprint(self, machine, max_cycles):
+        """Entry fingerprint for ``machine``, or None when memoization
+        cannot be proven safe (the conservative fallback)."""
+        cpu = machine.cpu
+        if (machine.actors
+                or machine.detector_hook is not None
+                or machine.cycle != 0
+                or cpu.committed != 0
+                or cpu.halted
+                or machine.sampler.samples
+                or machine.sampler.phase_marks
+                or machine.detections
+                or machine.actors_suspended
+                or any(machine.counters.values)):
+            self.ineligible += 1
+            metrics().inc("sim.memo.ineligible")
+            return None
+        h = hashlib.sha256()
+        h.update(machine.program.content_hash.encode())
+        h.update(f"|core:{type(cpu).__name__}".encode())
+        h.update(f"|cfg:{_config_signature(machine.config)}".encode())
+        h.update(f"|period:{machine.sampler.period}".encode())
+        h.update(f"|budget:{max_cycles}".encode())
+        h.update(f"|regs:{','.join(map(str, cpu.arch_regs))}".encode())
+        words = machine.memory._words
+        for addr in sorted(words):
+            h.update(f"|m{addr}={words[addr]}".encode())
+        return h.hexdigest()
+
+    # -- record/replay ------------------------------------------------------------
+
+    def lookup(self, key):
+        record = self._records.get(key)
+        if record is not None:
+            self.hits += 1
+            metrics().inc("sim.memo.hits")
+        return record
+
+    def record(self, key, machine):
+        """Capture ``machine``'s completed run under ``key``."""
+        cpu = machine.cpu
+        sampler = machine.sampler
+        rec = MemoRecord(
+            cycles=machine.cycle,
+            cpu_cycle=cpu.cycle,
+            committed=cpu.committed,
+            halted=cpu.halted,
+            halt_reason=cpu.halt_reason,
+            fetch_pc=cpu.fetch_pc,
+            trap_handler=cpu.trap_handler,
+            regs=tuple(cpu.arch_regs),
+            memory_words=tuple(sorted(machine.memory._words.items())),
+            counter_values=tuple(machine.counters.values),
+            samples=tuple(
+                (s.window_index, s.commit_index, s.cycle,
+                 tuple(s.deltas), s.phase)
+                for s in sampler.samples),
+            phase_marks=tuple((p.commit_index, p.phase)
+                              for p in sampler.phase_marks),
+            sampler_next_boundary=sampler.next_boundary,
+            sampler_window_index=sampler._window_index,
+            sampler_phase=sampler._current_phase,
+            sampler_last_commit=sampler._last_commit_index,
+            sampler_last_snapshot=tuple(sampler._last_snapshot),
+        )
+        if len(self._records) >= self.capacity:
+            self._records.pop(next(iter(self._records)))
+        self._records[key] = rec
+        self.misses += 1
+        reg = metrics()
+        reg.inc("sim.memo.misses")
+        reg.gauge("sim.memo.entries").set(len(self._records))
+
+    def replay(self, machine, record):
+        """Apply ``record`` to a fresh ``machine`` as if it had run."""
+        cpu = machine.cpu
+        machine.cycle = record.cycles
+        cpu.cycle = record.cpu_cycle
+        cpu.committed = record.committed
+        cpu.halted = record.halted
+        cpu.halt_reason = record.halt_reason
+        cpu.fetch_pc = record.fetch_pc
+        cpu.trap_handler = record.trap_handler
+        cpu.arch_regs = list(record.regs)
+        # in place: fast-path code holds preresolved references into the
+        # bank (see CounterBank)
+        machine.counters.values[:] = record.counter_values
+        words = machine.memory._words
+        words.clear()
+        words.update(record.memory_words)
+        sampler = machine.sampler
+        sampler.samples = [
+            Sample(window_index=w, commit_index=ci, cycle=cy,
+                   deltas=list(d), phase=p)
+            for w, ci, cy, d, p in record.samples]
+        sampler.phase_marks = [PhaseMark(ci, p)
+                               for ci, p in record.phase_marks]
+        sampler.next_boundary = record.sampler_next_boundary
+        sampler._window_index = record.sampler_window_index
+        sampler._current_phase = record.sampler_phase
+        sampler._last_commit_index = record.sampler_last_commit
+        sampler._last_snapshot = list(record.sampler_last_snapshot)
+        metrics().inc("sim.memo.replayed_windows", len(record.samples))
+
+
+#: the process-wide table ``SimConfig.memoize`` opts a Machine into
+GLOBAL_MEMO_TABLE = TraceMemoTable()

@@ -47,6 +47,14 @@ class Sampler:
     ``commit_index`` but the next window still closes on the grid.  The
     only sample whose ``commit_index`` may sit off the lattice is the
     final partial window emitted by :meth:`flush`.
+
+    Windows are keyed by *commits*: :meth:`flush` emits a final partial
+    window only when instructions actually committed after the last
+    emitted boundary.  A run that halts exactly on a period boundary
+    therefore produces no trailing empty window — the counter activity
+    of the drain cycles after the final commit (fetch stalls, idle
+    cycles) represents zero retired instructions and is deliberately
+    dropped rather than emitted as a duplicate ``commit_index``.
     """
 
     def __init__(self, counters, period=1000):
@@ -60,6 +68,8 @@ class Sampler:
         self._last_snapshot = counters.snapshot()
         #: next committed-instruction count at which a window closes
         self.next_boundary = period
+        #: ``commit_index`` of the last emitted window (dedups flush)
+        self._last_commit_index = 0
         self._window_index = 0
         # cached instrument handles: one attribute increment per emitted
         # window (windows are >= ``period`` commits apart, so this is
@@ -67,6 +77,21 @@ class Sampler:
         reg = metrics()
         self._obs_windows = reg.counter("sim.sampler.windows")
         self._obs_partial = reg.counter("sim.sampler.partial_windows")
+
+    @property
+    def current_phase(self):
+        """Attack phase attributed to the window being accumulated.
+
+        Public so context-switching executors (``repro.sim.multiprog``)
+        can save and restore per-context phase state — without that, one
+        program's MARK would bleed into windows attributed to the other
+        context after a switch.
+        """
+        return self._current_phase
+
+    @current_phase.setter
+    def current_phase(self, phase):
+        self._current_phase = phase
 
     def record_phase(self, phase, commit_index):
         self._current_phase = phase
@@ -86,6 +111,7 @@ class Sampler:
             phase=self._current_phase,
         ))
         self._last_snapshot = snap
+        self._last_commit_index = committed
         self._window_index += 1
         # advance along the period lattice (never ``committed + period``,
         # which would let one overshoot shift every later boundary)
@@ -96,7 +122,16 @@ class Sampler:
         self._obs_windows.inc()
 
     def flush(self, committed, cycle):
-        """Emit a final partial window at end of run."""
+        """Emit a final partial window at end of run.
+
+        Emits only when instructions committed *after* the last emitted
+        window: a run halting exactly on a period boundary already closed
+        its final window in :meth:`on_commit`, and re-emitting the
+        trailing drain-cycle counter noise would create an empty window
+        with a duplicate ``commit_index``.
+        """
+        if committed <= self._last_commit_index:
+            return
         snap = self.counters.snapshot()
         deltas = [now - before for now, before
                   in zip(snap, self._last_snapshot)]
@@ -109,6 +144,7 @@ class Sampler:
                 phase=self._current_phase,
             ))
             self._last_snapshot = snap
+            self._last_commit_index = committed
             self._window_index += 1
             self._obs_windows.inc()
             self._obs_partial.inc()

@@ -123,5 +123,11 @@ def test_cell_config_matches_dataclass_fields():
                         max_cycles=None)
     assert cell.config() == {"kind": "wl", "name": "stream",
                              "defense": "none", "period": 100, "seed": 3,
-                             "scale": 1, "max_cycles": None}
+                             "scale": 1, "max_cycles": None,
+                             "tenancy": "single"}
     assert cell.key == "wl-stream-none-p100-s3"
+    smt = CampaignCell(index=1, kind=WORKLOAD, name="stream",
+                       defense="none", period=100, seed=3, scale=1,
+                       max_cycles=None, tenancy="smt")
+    assert smt.key == "wl-stream-none-p100-s3-smt"
+    assert smt.fingerprint != cell.fingerprint

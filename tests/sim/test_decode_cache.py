@@ -1,0 +1,150 @@
+"""Decode cache: content-keyed interning, invalidation, determinism."""
+
+from repro.sim import ProgramBuilder
+from repro.sim.decode import (
+    MAX_BLOCK_LEN, DecodeCache, GLOBAL_DECODE_CACHE, crack_specs,
+    instruction_spec, program_content_hash,
+)
+from repro.sim.isa import Op
+
+import pytest
+
+
+def _loop_prog(n, name="loop"):
+    b = ProgramBuilder(name)
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+def _spec(op, rd=0, rs1=0, rs2=0, imm=0, target=None):
+    return (op, rd, rs1, rs2, imm, target)
+
+
+class TestInterning:
+    def test_identical_blocks_share_instruction_objects(self):
+        """Two builds of the same source intern the very same cracked
+        Instruction instances — the point of the cache."""
+        a = _loop_prog(10)
+        b = _loop_prog(10)
+        assert len(a.instructions) == len(b.instructions)
+        for ia, ib in zip(a.instructions, b.instructions):
+            assert ia is ib
+
+    def test_program_name_does_not_defeat_sharing(self):
+        a = _loop_prog(10, name="x")
+        b = _loop_prog(10, name="y")
+        assert a.instructions[0] is b.instructions[0]
+
+    def test_mismatched_content_misses(self):
+        """Change any field of any instruction and the block is a
+        distinct key: cached instructions can never alias (the
+        content-hash key proof)."""
+        cache = DecodeCache()
+        base = [_spec(Op.MOVI, rd=1, imm=1),
+                _spec(Op.HALT)]
+        block = cache.intern_block(0, tuple(base))
+        assert cache.misses == 1
+        # same content -> hit, same objects
+        again = cache.intern_block(0, tuple(base))
+        assert again is block
+        assert cache.hits == 1
+        # different immediate -> miss, different objects
+        changed = [_spec(Op.MOVI, rd=1, imm=2), _spec(Op.HALT)]
+        other = cache.intern_block(0, tuple(changed))
+        assert other is not block
+        assert other[0].imm == 2 and block[0].imm == 1
+        assert cache.misses == 2
+        # same content at a different start pc -> also a miss
+        moved = cache.intern_block(4, tuple(base))
+        assert moved is not block
+        assert cache.misses == 3
+
+    def test_crack_splits_at_control_flow_and_max_len(self):
+        specs = [_spec(Op.MOVI, rd=1, imm=1)
+                 for _ in range(MAX_BLOCK_LEN + 3)]
+        specs.append(_spec(Op.HALT))
+        cache = DecodeCache()
+        insts = crack_specs(specs, cache)
+        assert len(insts) == len(specs)
+        # one megablock split at MAX_BLOCK_LEN, the tail ends at HALT
+        assert cache.misses == 2
+        assert [instruction_spec(i) for i in insts] == specs
+
+    def test_fifo_eviction_is_deterministic(self):
+        cache = DecodeCache(capacity=2)
+        k0 = (_spec(Op.MOVI, rd=1, imm=0),)
+        k1 = (_spec(Op.MOVI, rd=1, imm=1),)
+        k2 = (_spec(Op.MOVI, rd=1, imm=2),)
+        cache.intern_block(0, k0)
+        cache.intern_block(0, k1)
+        cache.intern_block(0, k2)   # evicts k0 (oldest)
+        assert len(cache) == 2
+        cache.intern_block(0, k1)
+        assert cache.hits == 1      # k1 survived
+        cache.intern_block(0, k0)
+        assert cache.misses == 4    # k0 was evicted -> re-cracked
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DecodeCache(capacity=0)
+
+
+class TestLabelResolution:
+    def test_labels_resolve_before_interning(self):
+        """Cached instructions carry resolved absolute targets, so label
+        resolution and sharing compose."""
+        prog = _loop_prog(10)
+        blt = prog.instructions[3]
+        assert blt.op is Op.BLT
+        assert blt.target == 2      # absolute pc of "top"
+        # a structurally-identical program with the label elsewhere is a
+        # different block (different resolved target)
+        b = ProgramBuilder("other")
+        b.label("top")
+        b.movi(1, 0)
+        b.movi(2, 10)
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        other = b.build()
+        assert other.instructions[3].target == 0
+        assert other.instructions[3] is not blt
+
+
+class TestContentHash:
+    def test_ignores_name_and_metadata(self):
+        a = _loop_prog(10, name="x")
+        b = _loop_prog(10, name="y")
+        assert a.content_hash == b.content_hash
+
+    def test_differs_on_instructions_memory_and_regs(self):
+        base = _loop_prog(10)
+        assert base.content_hash != _loop_prog(11).content_hash
+        insts = list(base.instructions)
+        with_mem = program_content_hash(insts, initial_memory={64: 7})
+        with_mem2 = program_content_hash(insts, initial_memory={64: 8})
+        with_regs = program_content_hash(insts, initial_regs={5: 1})
+        plain = program_content_hash(insts)
+        assert len({plain, with_mem, with_mem2, with_regs}) == 4
+        assert base.content_hash == plain
+
+    def test_hash_is_cached_and_stable(self):
+        prog = _loop_prog(10)
+        assert prog.content_hash == prog.content_hash
+        assert len(prog.content_hash) == 64
+
+
+class TestGlobalCacheWiring:
+    def test_builder_goes_through_global_cache(self):
+        GLOBAL_DECODE_CACHE.clear()
+        _loop_prog(987654)
+        misses = GLOBAL_DECODE_CACHE.misses
+        assert misses > 0
+        _loop_prog(987654)
+        assert GLOBAL_DECODE_CACHE.misses == misses
+        assert GLOBAL_DECODE_CACHE.hits >= misses

@@ -1,0 +1,178 @@
+"""Hot-trace memoization: bit-exact replay, conservative refusal."""
+
+import pytest
+
+from repro.sim import Machine, ProgramBuilder, SimConfig
+from repro.sim.config import DefenseMode
+from repro.sim.memo import GLOBAL_MEMO_TABLE, TraceMemoTable
+from repro.sim.reference import ReferenceO3Core
+
+
+def _prog(n=800, result_addr=0x9000, name="memoized"):
+    b = ProgramBuilder(name)
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.load(4, 1, 0)          # touch memory so caches/DRAM matter
+    b.blt(1, 2, "top")
+    b.movi(3, result_addr)
+    b.store(3, 1, 0)
+    b.halt()
+    return b.build()
+
+
+def _run(table, prog=None, config=None, sample_period=200,
+         max_cycles=50_000, core_cls=None):
+    machine = Machine(prog if prog is not None else _prog(),
+                      config, sample_period=sample_period,
+                      memo_table=table, core_cls=core_cls)
+    result = machine.run(max_cycles=max_cycles)
+    return machine, result
+
+
+def _sample_tuples(result):
+    return [(s.window_index, s.commit_index, s.cycle, tuple(s.deltas),
+             s.phase)
+            for s in result.samples]
+
+
+class TestReplayBitExactness:
+    def test_replay_is_bit_identical(self):
+        table = TraceMemoTable()
+        m1, r1 = _run(table)
+        assert table.misses == 1 and table.hits == 0
+        m2, r2 = _run(table)
+        assert table.hits == 1 and table.misses == 1
+
+        assert _sample_tuples(r2) == _sample_tuples(r1)
+        assert r2.counters == r1.counters
+        assert r2.cycles == r1.cycles
+        assert r2.committed == r1.committed
+        assert r2.halt_reason == r1.halt_reason
+        assert r2.regs == r1.regs
+        assert r2.ipc == r1.ipc
+        assert [(p.commit_index, p.phase) for p in r2.phase_marks] == \
+            [(p.commit_index, p.phase) for p in r1.phase_marks]
+        # architectural side effects restored on the machine itself
+        assert m2.memory._words == m1.memory._words
+        assert m2.cycle == m1.cycle
+        assert m2.cpu.cycle == m1.cpu.cycle
+        assert m2.cpu.halted == m1.cpu.halted
+
+    def test_program_name_does_not_split_records(self):
+        table = TraceMemoTable()
+        _run(table, prog=_prog(name="a"))
+        _run(table, prog=_prog(name="b"))
+        assert table.hits == 1
+
+    def test_replayed_store_result_visible_in_memory(self):
+        table = TraceMemoTable()
+        m1, _ = _run(table)
+        m2, _ = _run(table)
+        assert m2.memory.load(0x9000) == 800
+        assert m1.memory.load(0x9000) == 800
+
+
+class TestFingerprintSeparation:
+    def test_defense_modes_never_share_records(self):
+        table = TraceMemoTable()
+        for mode in DefenseMode:
+            _run(table, config=SimConfig(defense=mode))
+        assert table.hits == 0
+        assert table.misses == len(DefenseMode)
+        # and re-running one mode now hits its own record
+        _run(table, config=SimConfig(defense=DefenseMode.FENCE_SPECTRE))
+        assert table.hits == 1
+
+    def test_sampling_periods_never_share_records(self):
+        table = TraceMemoTable()
+        _run(table, sample_period=100)
+        _run(table, sample_period=250)
+        assert table.hits == 0 and table.misses == 2
+
+    def test_cycle_budget_is_part_of_the_key(self):
+        table = TraceMemoTable()
+        _run(table, max_cycles=10_000)
+        _run(table, max_cycles=20_000)
+        assert table.hits == 0 and table.misses == 2
+
+    def test_core_class_is_part_of_the_key(self):
+        table = TraceMemoTable()
+        _run(table)
+        _run(table, core_cls=ReferenceO3Core)
+        assert table.hits == 0 and table.misses == 2
+
+    def test_different_initial_regs_miss(self):
+        table = TraceMemoTable()
+        base = _prog()
+        shifted = _prog()
+        shifted.initial_regs = dict(shifted.initial_regs)
+        shifted.initial_regs[9] = 42
+        _run(table, prog=base)
+        _run(table, prog=shifted)
+        assert table.hits == 0 and table.misses == 2
+
+
+class TestConservativeRefusal:
+    def test_actors_make_a_machine_ineligible(self):
+        table = TraceMemoTable()
+        machine = Machine(_prog(), memo_table=table,
+                          actors=[object()])
+        assert table.fingerprint(machine, 1000) is None
+        assert table.ineligible == 1
+
+    def test_detector_hook_makes_a_machine_ineligible(self):
+        table = TraceMemoTable()
+        machine = Machine(_prog(), memo_table=table,
+                          detector_hook=lambda m, s: False)
+        assert table.fingerprint(machine, 1000) is None
+
+    def test_already_run_machine_is_ineligible(self):
+        table = TraceMemoTable()
+        machine, _ = _run(table)
+        assert table.fingerprint(machine, 50_000) is None
+        assert table.ineligible == 1
+
+    def test_ineligible_runs_still_simulate_correctly(self):
+        table = TraceMemoTable()
+
+        class _Nop:
+            period = 64
+
+            def tick(self, machine, cycle):
+                pass
+
+        clean_machine, clean = _run(TraceMemoTable())
+        for _ in range(2):
+            machine = Machine(_prog(), sample_period=200,
+                              memo_table=table, actors=[_Nop()])
+            result = machine.run(max_cycles=50_000)
+            assert result.committed == clean.committed
+        assert table.hits == 0
+        assert len(table) == 0
+
+
+class TestTableMechanics:
+    def test_fifo_eviction(self):
+        table = TraceMemoTable(capacity=2)
+        _run(table, prog=_prog(100))
+        _run(table, prog=_prog(200))
+        _run(table, prog=_prog(300))   # evicts the n=100 record
+        assert len(table) == 2
+        _run(table, prog=_prog(200))
+        assert table.hits == 1
+        _run(table, prog=_prog(100))   # re-recorded
+        assert table.misses == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceMemoTable(capacity=0)
+
+    def test_config_memoize_attaches_global_table(self):
+        machine = Machine(_prog(), SimConfig(memoize=True))
+        assert machine.memo_table is GLOBAL_MEMO_TABLE
+        assert Machine(_prog()).memo_table is None
+        mine = TraceMemoTable()
+        assert Machine(_prog(), SimConfig(memoize=True),
+                       memo_table=mine).memo_table is mine

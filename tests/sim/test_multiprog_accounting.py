@@ -1,0 +1,213 @@
+"""Counted-event accounting across context switches.
+
+Pins the multiprog/sampler bugfix sweep: windows close on the *global*
+commit lattice, per-context commit counts are banked separately from the
+global counter, switch-drain work is charged exactly once, discarded
+fetches hit ``squash.squashedFetchedInsts``, kernel switch overhead
+advances ``cpu.numCycles`` in lockstep with wall time, and a MARK's
+phase never bleeds into the other context's windows.
+"""
+
+from repro.sim import CounterBank, ProgramBuilder
+from repro.sim.multiprog import TimeSharedMachine
+from repro.sim.sampler import Sampler
+
+
+def _counter_prog(n, result_addr, name="count"):
+    b = ProgramBuilder(name)
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.movi(3, result_addr)
+    b.store(3, 1, 0)
+    b.halt()
+    return b.build()
+
+
+def _marked_prog(phase, n, name="marked"):
+    b = ProgramBuilder(name)
+    b.mark(phase)
+    b.movi(1, 0)
+    b.movi(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+class TestGlobalCommitLattice:
+    def test_windows_close_on_global_lattice(self):
+        """Every non-final window's commit_index sits exactly on the
+        period grid of the *combined* commit count — per-context commit
+        restoration would pull boundaries off the lattice."""
+        tsm = TimeSharedMachine(_counter_prog(4000, 0x9000),
+                                _counter_prog(2500, 0xA000),
+                                slice_cycles=400, sample_period=500)
+        tsm.run(max_cycles=200_000)
+        samples = tsm.machine.sampler.samples
+        assert len(samples) > 4
+        for sample in samples[:-1]:
+            assert sample.commit_index % 500 == 0, sample
+        indices = [s.commit_index for s in samples]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices), "duplicate window"
+        assert [s.window_index for s in samples] == list(range(len(samples)))
+
+    def test_per_context_committed_sums_to_global(self):
+        tsm = TimeSharedMachine(_counter_prog(3000, 0x9000),
+                                _counter_prog(1500, 0xA000),
+                                slice_cycles=300)
+        ctx_a, ctx_b = tsm.run(max_cycles=200_000)
+        total = tsm.machine.cpu.committed
+        assert ctx_a.committed + ctx_b.committed == total
+        # both contexts really ran (the split is meaningful)
+        assert ctx_a.committed > 0 and ctx_b.committed > 0
+        # and the longer program committed more
+        assert ctx_a.committed > ctx_b.committed
+
+
+class TestSwitchCycleAccounting:
+    def test_numcycles_tracks_wall_clock_exactly(self):
+        """Drain cycles are stepped once and kernel overhead is charged
+        into cpu.numCycles, so numCycles == machine.cycle throughout."""
+        ix = CounterBank.index_of("cpu.numCycles")
+        for overhead in (0, 50, 400):
+            tsm = TimeSharedMachine(_counter_prog(2000, 0x9000),
+                                    _counter_prog(2000, 0xA000),
+                                    slice_cycles=400,
+                                    switch_overhead=overhead)
+            tsm.run(max_cycles=200_000)
+            assert tsm.machine.counters.values[ix] == tsm.machine.cycle, \
+                f"overhead={overhead}"
+
+    def test_halted_reap_is_a_charged_switch(self):
+        """When the running context halts, dispatching the survivor is a
+        real switch: counted in ``switches`` and charged overhead."""
+        free = TimeSharedMachine(_counter_prog(200, 0x9000),
+                                 _counter_prog(4000, 0xA000),
+                                 slice_cycles=50_000, switch_overhead=0)
+        free.run(max_cycles=200_000)
+        paid = TimeSharedMachine(_counter_prog(200, 0x9000),
+                                 _counter_prog(4000, 0xA000),
+                                 slice_cycles=50_000, switch_overhead=700)
+        paid.run(max_cycles=200_000)
+        # the slice is huge, so the only switch is the halt reap
+        assert free.switches == 1
+        assert paid.switches == 1
+        # one post-load fetch-stall cycle overlaps the kernel overhead
+        assert paid.machine.cycle - free.machine.cycle >= 700 - 1
+
+    def test_drain_discards_count_as_squashed_fetches(self):
+        """Instructions sitting in the fetch buffer when a switch drains
+        the pipeline are charged to squash.squashedFetchedInsts instead
+        of silently vanishing from the fetch/commit ledger."""
+        ix = CounterBank.index_of("squash.squashedFetchedInsts")
+        tsm = TimeSharedMachine(_counter_prog(4000, 0x9000),
+                                _counter_prog(4000, 0xA000),
+                                slice_cycles=300, switch_overhead=0)
+        machine = tsm.machine
+        cpu = machine.cpu
+        # run until the fetch buffer holds undecoded work
+        for _ in range(200):
+            cpu.step(machine.cycle)
+            machine.cycle += 1
+            if cpu.fetch_buffer:
+                break
+        assert cpu.fetch_buffer, "warm-up never filled the fetch buffer"
+        pending = len(cpu.fetch_buffer)
+        before = machine.counters.values[ix]
+        tsm._drain(max_cycles=10_000)
+        after = machine.counters.values[ix]
+        assert after - before >= pending, \
+            "drained fetch buffer was not charged"
+
+
+class TestPhaseAttribution:
+    def test_mark_does_not_bleed_across_contexts(self):
+        """Context A marks phase 7; context B never marks.  Windows that
+        close during B's slices must stay phase 0 even after A's MARK
+        has retired — the active phase is context state."""
+        tsm = TimeSharedMachine(_marked_prog(7, 6000, name="a"),
+                                _counter_prog(6000, 0xA000, name="b"),
+                                slice_cycles=300, sample_period=200)
+        tsm.run(max_cycles=400_000)
+        phases = [s.phase for s in tsm.machine.sampler.samples]
+        assert 7 in phases, "A's marked windows missing"
+        first_marked = phases.index(7)
+        # B's windows after A's MARK keep their own (unmarked) phase
+        assert 0 in phases[first_marked + 1:], \
+            "phase 7 bled into the other context's windows"
+
+
+class TestSamplerFlushDedup:
+    def test_no_duplicate_window_on_exact_boundary_halt(self):
+        """A run that commits exactly to a period boundary already
+        closed its last window in on_commit; flush must not emit an
+        empty duplicate for the trailing drain cycles."""
+        bank = CounterBank()
+        ix = CounterBank.index_of("cpu.numCycles")
+        sampler = Sampler(bank, period=100)
+        bank.values[ix] += 40
+        sampler.on_commit(100, cycle=40)
+        assert len(sampler.samples) == 1
+        # drain cycles after the final commit dirty the counters...
+        bank.values[ix] += 9
+        # ...but no instructions committed since the boundary
+        sampler.flush(100, cycle=49)
+        assert len(sampler.samples) == 1, "duplicate final window"
+        assert sampler.samples[-1].commit_index == 100
+
+    def test_partial_window_still_emitted_after_boundary(self):
+        bank = CounterBank()
+        ix = CounterBank.index_of("cpu.numCycles")
+        sampler = Sampler(bank, period=100)
+        bank.values[ix] += 40
+        sampler.on_commit(100, cycle=40)
+        bank.values[ix] += 10
+        sampler.flush(130, cycle=50)
+        assert len(sampler.samples) == 2
+        assert sampler.samples[-1].commit_index == 130
+        assert sampler.samples[-1].window_index == 1
+
+    def test_zero_cycle_run_is_well_formed(self):
+        """``max_cycles=0`` must return a zero-cycle result with
+        ipc == 0.0 (not a ZeroDivisionError), no windows, and a
+        printable stats dump."""
+        from repro.sim import Machine
+        machine = Machine(_counter_prog(10, 0x9000))
+        result = machine.run(max_cycles=0)
+        assert result.cycles == 0
+        assert result.committed == 0
+        assert result.ipc == 0.0
+        assert result.samples == []
+        assert result.halt_reason == "max-cycles"
+        assert isinstance(machine.format_stats(), str)
+
+    def test_ipc_zero_commit_edge(self):
+        from repro.sim.machine import RunResult
+        empty = RunResult(program_name="p", cycles=0, committed=0,
+                          halt_reason=None, samples=[], phase_marks=[],
+                          counters={}, regs=[])
+        assert empty.ipc == 0.0
+        stalled = RunResult(program_name="p", cycles=100, committed=0,
+                            halt_reason=None, samples=[], phase_marks=[],
+                            counters={}, regs=[])
+        assert stalled.ipc == 0.0
+
+    def test_window_and_commit_index_monotonic_under_interleaving(self):
+        """Driving the sampler the way SMT does (global counts arriving
+        from alternating threads) keeps indices strictly monotonic."""
+        bank = CounterBank()
+        ix = CounterBank.index_of("cpu.numCycles")
+        sampler = Sampler(bank, period=50)
+        for committed in range(50, 501, 50):
+            bank.values[ix] += 30
+            sampler.on_commit(committed, cycle=committed)
+        sampler.flush(500, cycle=510)   # exact boundary: dedup
+        samples = sampler.samples
+        assert [s.window_index for s in samples] == list(range(10))
+        assert [s.commit_index for s in samples] == \
+            list(range(50, 501, 50))
