@@ -1,0 +1,5 @@
+import sys
+
+from repro.analysis.check import main
+
+sys.exit(main())

@@ -1,0 +1,92 @@
+"""``python -m repro.analysis`` — combined lint + flow, one parse.
+
+The per-file linter and the whole-program flow verifier both want the
+AST of (mostly) the same files.  Run separately they would parse the
+tree twice; this runner threads one shared
+:class:`~repro.analysis.source.SourceCache` through both engines so
+every file is parsed **exactly once per CI run** — the shared-cache
+test pins this via :attr:`SourceCache.parses`.
+
+Exit codes compose the two tools' contracts: ``2`` on any usage/engine
+error, else ``1`` when either gate fails, else ``0``.  Both JSON
+payloads can be written in the same run (``--json-out`` for lint,
+``--flow-json-out`` for flow).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.analysis.flow.baseline import Baseline, BaselineError
+from repro.analysis.flow.cli import BASELINE_NAME
+from repro.analysis.flow.engine import FlowEngine, FlowUsageError
+from repro.analysis.flow.reporters import render_json as flow_json
+from repro.analysis.flow.reporters import render_text as flow_text
+from repro.analysis.lint.engine import LintEngine
+from repro.analysis.lint.registry import LintUsageError
+from repro.analysis.lint.reporters import render_json as lint_json
+from repro.analysis.lint.reporters import render_text as lint_text
+from repro.analysis.source import SourceCache
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="combined static-analysis gate: per-file lint plus "
+                    "whole-program flow passes over one shared parse "
+                    "cache (see docs/static_analysis.md)")
+    parser.add_argument("paths", nargs="*",
+                        help="paths to lint (e.g. src tests scripts)")
+    parser.add_argument("--flow-paths", nargs="+", default=["src/repro"],
+                        metavar="PATH",
+                        help="paths for the whole-program passes "
+                             "(default: src/repro)")
+    parser.add_argument("--root", default=".",
+                        help="engine root (run from the repo root)")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="write the lint JSON payload here")
+    parser.add_argument("--flow-json-out", default=None, metavar="FILE",
+                        help="write the flow JSON payload here")
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.paths:
+        parser.error("no lint paths given (try: src tests scripts)")
+    cache = SourceCache()
+    started = time.perf_counter()
+    try:
+        lint_engine = LintEngine(root=args.root, cache=cache)
+        lint_result = lint_engine.run(args.paths)
+        baseline_path = os.path.join(args.root, BASELINE_NAME)
+        baseline = Baseline.load(baseline_path) \
+            if os.path.exists(baseline_path) else None
+        flow_engine = FlowEngine(root=args.root, cache=cache)
+        flow_result = flow_engine.run(args.flow_paths, baseline=baseline)
+    except (LintUsageError, FlowUsageError, BaselineError) as exc:
+        print(f"repro-analysis: error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    for target, payload in ((args.json_out,
+                             lint_json(lint_result, root=lint_engine.root)),
+                            (args.flow_json_out,
+                             flow_json(flow_result,
+                                       root=flow_engine.root))):
+        if target:
+            from repro.runtime.atomic import atomic_write_bytes
+            atomic_write_bytes(
+                target, (json.dumps(payload, indent=2) + "\n").encode())
+    print(lint_text(lint_result))
+    print(flow_text(flow_result))
+    print(f"repro-analysis: {cache.parses} files parsed once, "
+          f"{elapsed:.2f}s combined")
+    failed = bool(lint_result.failing()) or bool(flow_result.findings)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Whole-program contract verifier (``repro.analysis.flow``).
+
+Where :mod:`repro.analysis.lint` checks one file at a time, this
+package builds a **project index** — a one-parse-per-file symbol table,
+dataclass field registry, and approximate call graph over ``src/repro``
+— and runs four cross-file passes on top of it:
+
+* ``fingerprint-drift`` — every declared field of a fingerprinted
+  config dataclass is consumed by its fingerprint function (or carries
+  an explicit ``# flow: fingerprint-exempt(<why>)`` annotation);
+* ``determinism-taint`` — nondeterminism sources (wall clock, unseeded
+  RNG, ``os.environ``, ``id()``, bare-set iteration) must not reach
+  state-persisting sinks (``CheckpointStore``/``CellCache``,
+  ``runtime.atomic`` writers, ``genome_key``, ledger writers) through
+  the call graph;
+* ``fail-secure-flow`` — every ``except`` handler inside the
+  fail-secure boundary (controller, fan-out, serve shed paths, gate)
+  reaches a latch/shed/re-raise sink on all paths;
+* ``catalog-provenance`` — counter/metric/event names built from
+  variables and f-strings resolve to ``obs/names.py`` /
+  ``COUNTER_NAMES`` entries.
+
+Findings reuse the lint :class:`~repro.analysis.lint.findings.Finding`
+model, inline suppressions, and reporter shapes; the JSON payload is
+schema-versioned as ``repro-flow/1`` and accepted findings live in a
+committed baseline file.  See ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.flow.engine import (  # noqa: F401
+    FlowEngine, FlowResult, FlowUsageError, run_flow,
+)
+from repro.analysis.flow.index import ProjectIndex  # noqa: F401

@@ -1,0 +1,5 @@
+import sys
+
+from repro.analysis.flow.cli import main
+
+sys.exit(main())

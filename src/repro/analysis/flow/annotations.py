@@ -1,0 +1,35 @@
+"""``# flow:`` annotations — explicit, justified contract exemptions.
+
+Syntax (the reason is mandatory; an empty one is not an exemption)::
+
+    index: int     # flow: fingerprint-exempt(position in matrix; cache
+                   #   entries must be shared across campaigns)
+
+    # flow: fingerprint-exempt(derived at load time, never hashed)
+    cache_dir: str
+
+A directive on a field's own line exempts that field; a directive on a
+standalone comment line exempts the next line.  This is deliberately a
+*different* channel from ``# repro-lint: disable=...`` suppressions:
+a suppression silences a finding, an exemption declares the exclusion
+to be part of the fingerprint's contract — the JSON report lists
+exemptions with their reasons so reviewers can audit them.
+"""
+
+import re
+
+_EXEMPT = re.compile(
+    r"#\s*flow:\s*fingerprint-exempt\(\s*([^)]+?)\s*\)")
+
+
+def fingerprint_exemptions(text):
+    """Map ``{lineno: reason}`` of fingerprint-exempt field lines."""
+    table = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        match = _EXEMPT.search(line)
+        if match is None:
+            continue
+        # a comment-only line shields the line it precedes
+        target = lineno + 1 if line.lstrip().startswith("#") else lineno
+        table[target] = match.group(1)
+    return table

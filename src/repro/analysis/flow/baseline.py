@@ -1,0 +1,88 @@
+"""Committed finding baseline — ratchet, don't flag-day.
+
+A whole-program pass landing on an existing tree may surface findings
+that are real debt but not this PR's to fix.  The baseline file
+(``.flow-baseline.json`` at the repo root, committed) records those as
+``(rule, key, reason)`` entries: a finding whose stable key appears in
+the baseline is reported as *accepted* and does not fail the run; any
+finding not in the baseline is *new* and exits 1.  Shrinking the file
+is always safe; growing it is a reviewed decision.
+
+Keys are derived from finding ``data`` (dataclass+field, source→sink
+chain, name/pattern) rather than line numbers, so unrelated edits don't
+churn the file.
+"""
+
+import json
+from dataclasses import dataclass
+
+SCHEMA = "repro-flow-baseline/1"
+
+
+def baseline_key(finding):
+    """Stable, line-number-free identity of one finding."""
+    data = finding.data or {}
+    if finding.rule == "fingerprint-drift" and "field" in data:
+        return f"{data.get('dataclass')}.{data['field']}"
+    if finding.rule == "determinism-taint" and "chain" in data:
+        return (f"{data['chain'][0]}:{data.get('source')}"
+                f"->{data.get('sink')}")
+    if finding.rule == "fail-secure-flow":
+        return f"{finding.path}:except {data.get('caught', '?')}"
+    if finding.rule == "catalog-provenance":
+        name = data.get("name") or data.get("pattern")
+        return f"{finding.path}:{data.get('kind')}:{name}"
+    return f"{finding.path}:{finding.rule}"
+
+
+class BaselineError(Exception):
+    """Unreadable or wrong-schema baseline file."""
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set."""
+
+    entries: list           # [{"rule": ..., "key": ..., "reason": ...}]
+
+    @property
+    def accepted(self):
+        return {(e["rule"], e["key"]) for e in self.entries}
+
+    @classmethod
+    def empty(cls):
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}")
+        if payload.get("schema") != SCHEMA:
+            raise BaselineError(
+                f"baseline {path} has schema "
+                f"{payload.get('schema')!r}, expected {SCHEMA!r}")
+        entries = payload.get("entries", [])
+        if not all(isinstance(e, dict) and "rule" in e and "key" in e
+                   for e in entries):
+            raise BaselineError(
+                f"baseline {path}: entries must be objects with "
+                f"'rule' and 'key'")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings, reason):
+        entries = [{"rule": f.rule, "key": baseline_key(f),
+                    "reason": reason} for f in findings]
+        unique = {(e["rule"], e["key"]): e for e in entries}
+        return cls(entries=[unique[k] for k in sorted(unique)])
+
+    def save(self, path):
+        from repro.runtime.atomic import atomic_write_bytes
+        payload = {"schema": SCHEMA,
+                   "entries": sorted(self.entries,
+                                     key=lambda e: (e["rule"], e["key"]))}
+        atomic_write_bytes(
+            path, (json.dumps(payload, indent=2) + "\n").encode())

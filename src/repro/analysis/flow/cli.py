@@ -1,0 +1,132 @@
+"""``python -m repro.analysis.flow`` — the verifier's command line.
+
+Exit-code contract (same family as the linter, relied on by
+``scripts/ci.sh``):
+
+* ``0`` — no **new** findings (baselined/suppressed ones don't fail);
+* ``1`` — at least one new finding;
+* ``2`` — usage or engine error (unknown pass, nonexistent path,
+  unreadable baseline).
+
+The baseline defaults to ``<root>/.flow-baseline.json`` when that file
+exists; ``--write-baseline`` accepts the current findings into it
+(reviewed debt, not a fix) and ``--no-baseline`` ignores it entirely.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis.flow.baseline import Baseline, BaselineError
+from repro.analysis.flow.engine import (
+    PASS_MODULES, FlowEngine, FlowUsageError,
+)
+from repro.analysis.flow.reporters import render_json, render_text
+
+BASELINE_NAME = ".flow-baseline.json"
+
+
+def _csv(value):
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.flow",
+        description="whole-program contract verifier: fingerprint "
+                    "drift, determinism taint, fail-secure exception "
+                    "flow, catalog provenance "
+                    "(see docs/static_analysis.md)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             "(e.g. src/repro)")
+    parser.add_argument("--root", default=".",
+                        help="project root for path scoping and the "
+                             "default baseline location (default: cwd)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", help="stdout report format")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the JSON payload to this file "
+                             "(atomic write)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: "
+                             f"<root>/{BASELINE_NAME} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", type=_csv, default=None,
+                        metavar="PASS[,PASS]",
+                        help="run only these passes")
+    parser.add_argument("--ignore", type=_csv, default=None,
+                        metavar="PASS[,PASS]",
+                        help="skip these passes")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="print the registered passes and exit")
+    return parser
+
+
+def _list_passes():
+    for name in PASS_MODULES:
+        print(f"{name:20s} {PASS_MODULES[name].DESCRIPTION}")
+    return 0
+
+
+def _load_baseline(args):
+    if args.no_baseline:
+        return None, None
+    path = args.baseline or os.path.join(args.root, BASELINE_NAME)
+    if args.baseline is None and not os.path.exists(path):
+        return None, path
+    if not os.path.exists(path):
+        if args.write_baseline:
+            return Baseline.empty(), path
+        raise BaselineError(f"no such baseline: {path}")
+    return Baseline.load(path), path
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_passes:
+        return _list_passes()
+    if not args.paths:
+        parser.error("no paths given (try: src/repro)")
+    try:
+        baseline, baseline_path = _load_baseline(args)
+        engine = FlowEngine(root=args.root, select=args.select,
+                            ignore=args.ignore)
+        result = engine.run(args.paths, baseline=baseline)
+    except (FlowUsageError, BaselineError) as exc:
+        print(f"repro-flow: error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or os.path.join(args.root, BASELINE_NAME)
+        merged = Baseline.from_findings(
+            result.findings + result.baselined,
+            reason="accepted via --write-baseline")
+        # keep hand-written reasons for entries that are still live
+        existing = {(e["rule"], e["key"]): e
+                    for e in (baseline.entries if baseline else [])}
+        merged.entries = [existing.get((e["rule"], e["key"]), e)
+                          for e in merged.entries]
+        merged.save(target)
+        print(f"repro-flow: baseline written to {target} "
+              f"({len(merged.entries)} entries)")
+        return 0
+    payload = render_json(result, root=engine.root)
+    if args.json_out:
+        from repro.runtime.atomic import atomic_write_bytes
+        atomic_write_bytes(args.json_out,
+                           (json.dumps(payload, indent=2) + "\n").encode())
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_text(result))
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

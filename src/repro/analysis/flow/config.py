@@ -1,0 +1,115 @@
+"""Declarative configuration of the flow passes.
+
+The pass *algorithms* are generic (they run on any
+:class:`~repro.analysis.flow.index.ProjectIndex`); everything
+repo-specific — which dataclasses are fingerprinted by which function,
+where the fail-secure boundary lies, what persists state — is declared
+here in :data:`DEFAULT_CONFIG`.  Tests build small fixture trees and
+pass their own :class:`FlowConfig`, so every pass is exercised without
+touching the real tree.
+
+Adding a new fingerprinted surface, persistence sink, or fail-secure
+region is a one-line change here (see the add-a-pass recipe in
+``docs/static_analysis.md``).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FingerprintSurface:
+    """One (config dataclass, fingerprint function) contract pair."""
+
+    dataclass: str       # qname of the dataclass whose fields are hashed
+    fingerprint: str     # qname of the function/method that hashes them
+    note: str = ""       # why this surface matters (shown in reports)
+
+
+@dataclass
+class FlowConfig:
+    """Everything the four passes need to know about one project."""
+
+    # -- fingerprint-drift -------------------------------------------------
+    surfaces: Tuple[FingerprintSurface, ...] = ()
+
+    # -- determinism-taint -------------------------------------------------
+    #: call names (last dotted component) that always persist state
+    taint_sink_names: frozenset = frozenset()
+    #: fully-qualified method names that persist state (resolved
+    #: through the call graph, e.g. CheckpointStore.put)
+    taint_sink_methods: frozenset = frozenset()
+    #: relpath prefixes taint never propagates *into* (and whose own
+    #: functions are never reported): the observability boundary
+    taint_barriers: Tuple[str, ...] = ()
+
+    # -- fail-secure-flow --------------------------------------------------
+    #: relpath prefixes of the fail-secure boundary set
+    failsecure_boundaries: Tuple[str, ...] = ()
+    #: call names that count as latch/shed sinks inside a handler
+    failsecure_sinks: frozenset = frozenset({"_latch", "shed_window"})
+
+    # -- catalog-provenance ------------------------------------------------
+    #: relpath prefixes exempt from name resolution (the catalog /
+    #: registry implementations themselves)
+    catalog_exclude: Tuple[str, ...] = ()
+    #: relpath prefixes where counter-name emitters live
+    counter_scope: Tuple[str, ...] = ("src/repro/sim/",)
+    #: relpath prefixes where metric/event emitters live
+    obs_scope: Tuple[str, ...] = ("src/repro/",)
+    #: injected catalogs for tests: {"counter"|"metric"|"event": set};
+    #: None loads the real repro.sim.hpc / repro.obs.names catalogs
+    catalogs: Optional[dict] = field(default=None)
+
+
+#: the real repository's contract surface
+DEFAULT_CONFIG = FlowConfig(
+    surfaces=(
+        FingerprintSurface(
+            "repro.sim.config.SimConfig",
+            "repro.sim.memo._config_signature",
+            note="memo-table entry fingerprint: a SimConfig field the "
+                 "signature misses would serve stale replays bit-exactly "
+                 "wrong"),
+        FingerprintSurface(
+            "repro.campaign.spec.CampaignSpec",
+            "repro.campaign.spec.CampaignSpec.fingerprint",
+            note="campaign resume guard: a missing axis lets --resume "
+                 "replay a cache built from a different matrix"),
+        FingerprintSurface(
+            "repro.campaign.spec.CampaignCell",
+            "repro.campaign.spec.CampaignCell.fingerprint",
+            note="content-addresses CellCache entries: a missing field "
+                 "collides cells that should simulate separately"),
+        FingerprintSurface(
+            "repro.arena.loop.ArenaSpec",
+            "repro.arena.loop.ArenaSpec.fingerprint",
+            note="binds arena checkpoints to their spec: a missing knob "
+                 "lets --resume splice mismatched lineages"),
+    ),
+    taint_sink_names=frozenset({
+        "atomic_write_bytes",      # every durable artifact goes through it
+        "write_manifest",          # run manifests
+        "genome_key",              # content-addresses arena genomes
+        "canonical_json",          # genome checkpoint bytes
+    }),
+    taint_sink_methods=frozenset({
+        "repro.runtime.checkpoint.CheckpointStore.put",
+        "repro.campaign.cache.CellCache.put",
+    }),
+    # the observability layer records wall-clock (event timestamps,
+    # manifest start/finish) BY DESIGN and none of it feeds replayed
+    # state; taint stops at its edge instead of flooding every caller
+    taint_barriers=("src/repro/obs/",),
+    failsecure_boundaries=(
+        "src/repro/defenses/",
+        "src/repro/serve/service.py",
+        "src/repro/arena/gate.py",
+    ),
+    catalog_exclude=(
+        "src/repro/obs/metrics.py",    # the registry implementation
+        "src/repro/obs/log.py",        # the event-log implementation
+        "src/repro/obs/names.py",      # the catalog itself
+        "src/repro/analysis/",         # the analyzers quote names
+    ),
+)

@@ -1,0 +1,121 @@
+"""The flow engine: index construction, pass dispatch, suppression,
+baseline split.
+
+One :class:`FlowEngine` owns a :class:`~repro.analysis.flow.config.
+FlowConfig` and a pass selection.  :meth:`FlowEngine.run` builds the
+:class:`~repro.analysis.flow.index.ProjectIndex` (through the shared
+:class:`~repro.analysis.source.SourceCache`, so a combined lint+flow
+run parses each file exactly once), runs the selected passes, applies
+the same inline ``# repro-lint: disable=...`` suppressions the linter
+honors, and splits the surviving findings against the committed
+baseline into *new* (fail the run) and *baselined* (accepted debt).
+"""
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.flow.baseline import Baseline, baseline_key
+from repro.analysis.flow.config import DEFAULT_CONFIG
+from repro.analysis.flow.index import ProjectIndex
+from repro.analysis.flow.passes import ALL_PASSES
+from repro.analysis.lint.findings import ERROR, Finding
+from repro.analysis.lint.suppress import is_suppressed, suppressions
+from repro.analysis.source import SourceCache
+
+#: engine-level pseudo-rule for unparseable files (mirrors the linter)
+PARSE_ERROR_RULE = "parse-error"
+
+PASS_MODULES = {mod.NAME: mod for mod in ALL_PASSES}
+
+
+class FlowUsageError(Exception):
+    """Bad pass selection, nonexistent path, broken baseline."""
+
+
+def resolve_passes(select=None, ignore=None):
+    """The pass modules to run, in registration order."""
+    for name in (select or []) + (ignore or []):
+        if name not in PASS_MODULES:
+            known = ", ".join(sorted(PASS_MODULES))
+            raise FlowUsageError(
+                f"unknown pass {name!r} (known: {known})")
+    chosen = [mod for mod in ALL_PASSES
+              if (select is None or mod.NAME in select)
+              and (ignore is None or mod.NAME not in ignore)]
+    if not chosen:
+        raise FlowUsageError("pass selection left nothing to run")
+    return chosen
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one whole-program run."""
+
+    findings: list          # NEW findings (post-suppression, post-baseline)
+    baselined: list         # findings accepted by the baseline
+    suppressed: int
+    files: int              # modules indexed
+    functions: int          # functions in the call graph
+    passes: list = field(default_factory=list)   # pass names run
+
+    @property
+    def clean(self):
+        return not self.findings
+
+
+class FlowEngine:
+    """Run the whole-program passes over one tree."""
+
+    def __init__(self, config=None, root=None, cache=None,
+                 select=None, ignore=None):
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.root = Path(root or os.getcwd()).resolve()
+        self.cache = cache if cache is not None else SourceCache()
+        self.passes = resolve_passes(select=select, ignore=ignore)
+
+    def run(self, paths, baseline=None):
+        try:
+            index = ProjectIndex.build(paths, root=self.root,
+                                       cache=self.cache)
+        except FileNotFoundError as exc:
+            raise FlowUsageError(str(exc))
+        findings = [
+            Finding(rule=PARSE_ERROR_RULE, severity=ERROR, path=relpath,
+                    line=exc.lineno or 1, col=exc.offset or 1,
+                    message=f"syntax error: {exc.msg}")
+            for relpath, exc in index.parse_errors]
+        for mod in self.passes:
+            findings.extend(mod.run_pass(index, self.config))
+        tables = {m.relpath: suppressions(m.source.text)
+                  for m in index.modules.values()}
+        kept, suppressed = [], 0
+        for finding in findings:
+            table = tables.get(finding.path)
+            if table and is_suppressed(table, finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        kept.sort(key=Finding.sort_key)
+        accepted = baseline.accepted if baseline is not None else set()
+        new = [f for f in kept
+               if (f.rule, baseline_key(f)) not in accepted]
+        baselined = [f for f in kept
+                     if (f.rule, baseline_key(f)) in accepted]
+        return FlowResult(
+            findings=new, baselined=baselined, suppressed=suppressed,
+            files=len(index.modules) + len(index.parse_errors),
+            functions=len(index.functions),
+            passes=[mod.NAME for mod in self.passes])
+
+
+def run_flow(paths, root=None, config=None, select=None, ignore=None,
+             cache=None, baseline=None):
+    """One-call convenience mirroring ``lint.engine.run_lint``."""
+    engine = FlowEngine(config=config, root=root, cache=cache,
+                        select=select, ignore=ignore)
+    return engine.run(paths, baseline=baseline)
+
+
+__all__ = ["FlowEngine", "FlowResult", "FlowUsageError", "run_flow",
+           "resolve_passes", "Baseline", "PASS_MODULES"]

@@ -1,0 +1,16 @@
+"""The four whole-program passes.
+
+Each pass module exports ``NAME`` (the rule name findings carry, also
+the ``--select``/``--ignore`` key), ``DESCRIPTION``, and
+``run_pass(index, config)`` returning a list of lint-model
+:class:`~repro.analysis.lint.findings.Finding` objects.  Passes are
+pure functions of the index + config: no filesystem access, no global
+state — the engine owns discovery, suppression, and ordering.
+"""
+
+from repro.analysis.flow.passes import (  # noqa: F401
+    catalog, failsecure, fingerprint, taint,
+)
+
+#: registration order == execution and documentation order
+ALL_PASSES = (fingerprint, taint, failsecure, catalog)

@@ -1,0 +1,172 @@
+"""Pass 4 — catalog provenance for dynamically built names.
+
+The per-file lint catalog rules stop at string literals; every
+dynamically built counter/metric/event name (``f"{prefix}.hits"``,
+a name threaded through a local variable) is invisible to them and
+only crashes when the cold path first fires.  This pass extends
+coverage to the statically resolvable part of that space:
+
+* a **variable** name is resolved when the function assigns it exactly
+  one string constant, or it is a module-level string constant;
+* an **f-string** becomes a glob pattern — constant parts verbatim,
+  resolvable interpolations substituted, everything else ``*`` — which
+  must match at least one catalog entry (``f"{self.prefix}.hits"`` →
+  ``*.hits`` must match some cataloged ``<cache>.hits``).
+
+Vacuous patterns (nothing but ``*`` and dots) prove nothing and are
+skipped, as are names built across function boundaries — those remain
+the documented blind spot and should stay behind a ``CounterBank.has``
+guard.  Emitter call-name sets are shared with the lint catalog rules
+so the two layers can never disagree about what an emitter is.
+"""
+
+import ast
+import fnmatch
+
+from repro.analysis.lint.astutil import call_callee
+from repro.analysis.lint.findings import ERROR, Finding
+from repro.analysis.lint.rules.catalog import (
+    COUNTER_CALLS, COUNTER_DOTTED_ONLY, EVENT_CALLS, EVENT_DOTTED_ONLY,
+    METRIC_CALLS, METRIC_DOTTED_ONLY, _suggest,
+)
+
+NAME = "catalog-provenance"
+DESCRIPTION = ("dynamically built counter/metric/event name does not "
+               "resolve against its catalog")
+
+#: kind -> (call names, dotted-only call names, scope config attr)
+_EMITTERS = {
+    "counter": (COUNTER_CALLS, COUNTER_DOTTED_ONLY, "counter_scope"),
+    "metric": (METRIC_CALLS, METRIC_DOTTED_ONLY, "obs_scope"),
+    "event": (EVENT_CALLS, EVENT_DOTTED_ONLY, "obs_scope"),
+}
+
+
+def load_catalogs(config):
+    if config.catalogs is not None:
+        return config.catalogs
+    from repro.obs.names import ALL_METRICS, EVENTS
+    from repro.sim.hpc import COUNTER_NAMES
+    return {"counter": frozenset(COUNTER_NAMES),
+            "metric": frozenset(ALL_METRICS),
+            "event": frozenset(EVENTS)}
+
+
+def _resolve_local(fn, name):
+    """The single constant string a local/module name denotes, or
+    None when unbound, non-constant, or multiply assigned."""
+    values = [node.value for node in ast.walk(fn.node)
+              if isinstance(node, ast.Assign)
+              and any(isinstance(t, ast.Name) and t.id == name
+                      for t in node.targets)]
+    if len(values) == 1 and isinstance(values[0], ast.Constant) \
+            and isinstance(values[0].value, str):
+        return values[0].value
+    if values:
+        return None     # reassigned or non-constant: give up
+    const = fn.module.constants.get(name)
+    if isinstance(const, ast.Constant) and isinstance(const.value, str):
+        return const.value
+    return None
+
+
+def _fstring_pattern(fn, node):
+    """A JoinedStr as a glob pattern, or None when un-analyzable."""
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant):
+            parts.append(str(value.value))
+        elif isinstance(value, ast.FormattedValue):
+            resolved = None
+            if isinstance(value.value, ast.Name):
+                resolved = _resolve_local(fn, value.value.id)
+            parts.append(resolved if resolved is not None else "*")
+        else:
+            return None
+    return "".join(parts)
+
+
+def _is_vacuous(pattern):
+    return pattern.replace("*", "").replace(".", "") == ""
+
+
+def _check_call(fn, call, kind, catalog, findings):
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant):
+        return      # literals are the lint catalog rules' job
+    if isinstance(arg, ast.Name):
+        name = _resolve_local(fn, arg.id)
+        if name is None or name in catalog:
+            return
+        if "." not in name and _dotted_only(fn, call, kind):
+            return
+        findings.append(Finding(
+            rule=NAME, severity=ERROR,
+            path=fn.relpath, line=call.lineno, col=call.col_offset + 1,
+            message=f"variable `{arg.id}` resolves to unknown {kind} "
+                    f"name {name!r}{_suggest(name, catalog)}",
+            data={"kind": kind, "name": name}))
+        return
+    if isinstance(arg, ast.JoinedStr):
+        pattern = _fstring_pattern(fn, arg)
+        if pattern is None or _is_vacuous(pattern):
+            return
+        if "." not in pattern.replace("*", "") \
+                and _dotted_only(fn, call, kind):
+            return
+        if "*" not in pattern:
+            if pattern in catalog:
+                return
+            findings.append(Finding(
+                rule=NAME, severity=ERROR,
+                path=fn.relpath, line=call.lineno,
+                col=call.col_offset + 1,
+                message=f"f-string resolves to unknown {kind} name "
+                        f"{pattern!r}{_suggest(pattern, catalog)}",
+                data={"kind": kind, "name": pattern}))
+            return
+        if not fnmatch.filter(sorted(catalog), pattern):
+            findings.append(Finding(
+                rule=NAME, severity=ERROR,
+                path=fn.relpath, line=call.lineno,
+                col=call.col_offset + 1,
+                message=f"f-string pattern {pattern!r} matches no "
+                        f"{kind} catalog entry — the name this builds "
+                        f"can never be cataloged",
+                data={"kind": kind, "pattern": pattern}))
+
+
+def _dotted_only(fn, call, kind):
+    """True when the callee is only an emitter for dotted names."""
+    return call_callee(call) in _EMITTERS[kind][1]
+
+
+def _kind_of(call, relpath, config):
+    callee = call_callee(call)
+    if callee is None or not call.args:
+        return None
+    for kind, (calls, dotted_only, scope_attr) in _EMITTERS.items():
+        if callee not in calls and callee not in dotted_only:
+            continue
+        if callee in dotted_only and not isinstance(call.func,
+                                                    ast.Attribute):
+            continue    # bare get()/set(): not an emitter
+        if any(relpath.startswith(p)
+               for p in getattr(config, scope_attr)):
+            return kind
+    return None
+
+
+def run_pass(index, config):
+    catalogs = load_catalogs(config)
+    findings = []
+    for info in sorted(index.functions.values(), key=lambda f: f.qname):
+        relpath = info.relpath
+        if any(relpath.startswith(p) for p in config.catalog_exclude):
+            continue
+        for call, _ in info.calls:
+            kind = _kind_of(call, relpath, config)
+            if kind is None:
+                continue
+            _check_call(info, call, kind, catalogs[kind], findings)
+    return findings

@@ -1,0 +1,190 @@
+"""Pass 2 — determinism taint into persistence sinks.
+
+The per-file lint rules ban nondeterminism sources inside the
+deterministic layers outright.  This pass asks the complementary,
+cross-file question: can a nondeterministic value produced *anywhere*
+(a wall-clock read in a runner, an unseeded draw in a script helper)
+flow through the call graph into something we **persist and later trust
+as replayable** — a checkpoint, a cell-cache entry, a genome key, an
+atomically-written ledger?
+
+The analysis is function-level may-flow, deliberately coarse:
+
+* a function is **tainted** if its body contains a source (wall clock,
+  unseeded RNG, ``os.environ``, bare ``id()``, unordered set
+  iteration);
+* a function is a **sink holder** if its body calls a configured sink
+  (by name — ``atomic_write_bytes``, ``genome_key`` — or by resolved
+  method — ``CheckpointStore.put``);
+* a finding fires when a tainted function can reach a sink holder in
+  the call graph without crossing the observability **barrier**
+  (``src/repro/obs/`` records wall-clock timestamps by design; nothing
+  behind it feeds replayed state, and without the barrier every
+  ``obs_event`` caller would light up).
+
+Coarse means conservative: the tainted value itself is not dataflow-
+tracked into the sink argument, so a hit says "audit this chain", with
+the shortest source→sink call path rendered as evidence.  Suppress a
+vetted chain with ``# repro-lint: disable=determinism-taint -- why``
+on the source line.
+"""
+
+import ast
+
+from repro.analysis.lint.astutil import dotted_name
+from repro.analysis.lint.findings import ERROR, Finding
+from repro.analysis.lint.rules.determinism import (
+    ForbiddenClockRule, UnseededRngRule,
+)
+
+NAME = "determinism-taint"
+DESCRIPTION = ("nondeterminism source can reach a persistence sink "
+               "through the call graph")
+
+_WALL_CLOCK = ForbiddenClockRule._WALL_CLOCK
+_DATETIME_FNS = ForbiddenClockRule._DATETIME_FNS
+_NP_GLOBAL = UnseededRngRule._NP_GLOBAL
+_PY_RANDOM = UnseededRngRule._PY_RANDOM
+
+
+def _rng_source(expanded, call):
+    parts = expanded.split(".")
+    unseeded = not call.args and not call.keywords
+    if len(parts) == 3 and parts[0] in ("numpy", "np") \
+            and parts[1] == "random":
+        if parts[2] in ("default_rng", "RandomState"):
+            return f"unseeded `{expanded}()`" if unseeded else None
+        if parts[2] in _NP_GLOBAL:
+            return f"global NumPy RNG `{expanded}(...)`"
+    elif len(parts) == 2 and parts[0] == "random":
+        if parts[1] == "Random":
+            return "unseeded `random.Random()`" if unseeded else None
+        if parts[1] in _PY_RANDOM:
+            return f"global stdlib RNG `{expanded}(...)`"
+    return None
+
+
+def _call_source(expanded, call):
+    """Describe the nondeterminism source a call is, or None."""
+    parts = expanded.split(".")
+    if expanded in _WALL_CLOCK:
+        return f"wall-clock read `{expanded}()`"
+    if parts[-1] in _DATETIME_FNS and (
+            "datetime" in parts[:-1] or "date" in parts[:-1]):
+        return f"wall-clock read `{expanded}()`"
+    if expanded == "os.getenv":
+        return "environment read `os.getenv(...)`"
+    if expanded == "id" and len(call.args) == 1:
+        return "address-derived value `id(...)`"
+    return _rng_source(expanded, call)
+
+
+def _set_iterables(node):
+    if isinstance(node, ast.For):
+        return [node.iter]
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                         ast.DictComp)):
+        return [gen.iter for gen in node.generators]
+    return []
+
+
+def function_sources(info):
+    """``(description, node)`` for every source in one function."""
+    sources = []
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            desc = _call_source(info.module.expand(dotted), node)
+            if desc is not None:
+                sources.append((desc, node))
+        elif isinstance(node, ast.Attribute):
+            if dotted_name(node) is not None and \
+                    info.module.expand(dotted_name(node)) == "os.environ":
+                sources.append(("environment read `os.environ`", node))
+        else:
+            for it in _set_iterables(node):
+                bare = isinstance(it, (ast.Set, ast.SetComp)) or (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Name)
+                    and it.func.id in ("set", "frozenset"))
+                if bare:
+                    sources.append(
+                        ("unordered set iteration", it))
+    return sources
+
+
+class _SinkTable:
+    """Resolves calls against the configured sink sets."""
+
+    def __init__(self, index, config):
+        self.index = index
+        self.names = config.taint_sink_names
+        self.methods = config.taint_sink_methods
+        self.method_lastnames = frozenset(
+            q.rpartition(".")[2] for q in config.taint_sink_methods)
+
+    def sink_of(self, info, call):
+        """The sink a call hits, or None."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        last = dotted.split(".")[-1]
+        if last in self.names:
+            return last
+        if last in self.method_lastnames:
+            for target in self.index._call_targets(info, dotted):
+                if target is not None and target.qname in self.methods:
+                    return target.qname
+        return None
+
+
+def _in_prefixes(relpath, prefixes):
+    return any(relpath.startswith(p) or relpath == p.rstrip("/")
+               for p in prefixes)
+
+
+def run_pass(index, config):
+    barrier_prefixes = config.taint_barriers
+    sinks = _SinkTable(index, config)
+
+    def barrier(target):
+        return _in_prefixes(target.relpath, barrier_prefixes)
+
+    sink_holders = {}   # qname -> sink description
+    for info in index.functions.values():
+        if barrier(info):
+            continue
+        for call, _ in info.calls:
+            sink = sinks.sink_of(info, call)
+            if sink is not None:
+                sink_holders.setdefault(info.qname, sink)
+                break
+
+    findings = []
+    for info in sorted(index.functions.values(), key=lambda f: f.qname):
+        if barrier(info):
+            continue
+        sources = function_sources(info)
+        if not sources:
+            continue
+        reached = index.reachable(info.qname, barrier=barrier)
+        hits = sorted(q for q in sink_holders if q in reached)
+        if not hits:
+            continue
+        goal = hits[0]
+        chain = index.call_path(info.qname, goal, barrier=barrier) \
+            or [info.qname, goal]
+        for desc, node in sources:
+            findings.append(Finding(
+                rule=NAME, severity=ERROR,
+                path=info.relpath, line=node.lineno,
+                col=node.col_offset + 1,
+                message=f"{desc} in `{info.qname}` can reach "
+                        f"persistence sink `{sink_holders[goal]}` via "
+                        f"{' -> '.join(chain)}; persisted state must be "
+                        f"a pure function of (workload, seed)",
+                data={"source": desc, "sink": sink_holders[goal],
+                      "chain": chain}))
+    return findings

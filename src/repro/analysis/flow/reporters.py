@@ -1,0 +1,55 @@
+"""Text and JSON renderers for a :class:`FlowResult`.
+
+Same shape family as the lint reporters; the JSON payload is
+schema-versioned as ``repro-flow/1`` and pinned by
+``tests/analysis/test_flow_passes.py``.  Baselined findings are
+reported in their own section/array — visible debt, not a failure.
+"""
+
+from repro.analysis.lint.findings import ERROR, WARNING
+
+JSON_SCHEMA = "repro-flow/1"
+
+
+def render_text(result):
+    """Human-readable report: new findings, then accepted debt."""
+    lines = [f"{f.location()}: [{f.severity}] {f.rule}: {f.message}"
+             for f in result.findings]
+    for finding in result.baselined:
+        lines.append(f"{finding.location()}: [baselined] "
+                     f"{finding.rule}: {finding.message}")
+    passes = ", ".join(result.passes)
+    if result.findings:
+        lines.append(
+            f"repro-flow: {len(result.findings)} new finding(s) "
+            f"({len(result.baselined)} baselined, "
+            f"{result.suppressed} suppressed) across {result.files} "
+            f"modules / {result.functions} functions [{passes}]")
+    else:
+        lines.append(
+            f"repro-flow: clean — {result.files} modules / "
+            f"{result.functions} functions, passes: {passes} "
+            f"({len(result.baselined)} baselined, "
+            f"{result.suppressed} suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(result, root=None):
+    """JSON-serializable dict of the full run outcome."""
+    severities = [f.severity for f in result.findings]
+    return {
+        "schema": JSON_SCHEMA,
+        "root": str(root) if root is not None else None,
+        "passes": list(result.passes),
+        "index": {"files": result.files,
+                  "functions": result.functions},
+        "summary": {
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "error": severities.count(ERROR),
+            "warning": severities.count(WARNING),
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+    }

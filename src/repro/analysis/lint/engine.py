@@ -12,7 +12,6 @@ the engine root, e.g. ``src/repro/sim/`` — run the engine from the
 repo root (or pass ``root=``) so those prefixes line up.
 """
 
-import ast
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -20,6 +19,7 @@ from pathlib import Path
 from repro.analysis.lint.findings import ERROR, Finding, severity_rank
 from repro.analysis.lint.registry import LintUsageError, resolve_rules
 from repro.analysis.lint.suppress import is_suppressed, suppressions
+from repro.analysis.source import SourceCache
 
 #: directories never descended into during discovery
 SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules",
@@ -35,23 +35,24 @@ PARSE_ERROR_RULE = "parse-error"
 
 class FileContext:
     """Everything a rule may need about one file (AST built lazily,
-    shared across rules)."""
+    shared across rules — and, via the :class:`SourceCache`, across
+    tools running in the same process)."""
 
-    def __init__(self, path, root, kind):
+    def __init__(self, path, root, kind, cache=None):
         self.path = Path(path)
         self.root = Path(root)
         self.kind = kind
         self.relpath = _relpath(self.path, self.root)
-        self.text = self.path.read_text(encoding="utf-8")
-        self.lines = self.text.splitlines()
-        self._tree = None
+        # explicit None-check: an empty SourceCache is falsy (__len__)
+        cache = cache if cache is not None else SourceCache()
+        self._source = cache.get(self.path)
+        self.text = self._source.text
+        self.lines = self._source.lines
 
     @property
     def tree(self):
         """The parsed AST (raises ``SyntaxError`` on a broken file)."""
-        if self._tree is None:
-            self._tree = ast.parse(self.text, filename=str(self.path))
-        return self._tree
+        return self._source.tree
 
 
 @dataclass
@@ -89,9 +90,10 @@ def _skip(path):
 class LintEngine:
     """Run a ruleset over a file tree."""
 
-    def __init__(self, rules=None, root=None):
+    def __init__(self, rules=None, root=None, cache=None):
         self.rules = list(rules) if rules is not None else resolve_rules()
         self.root = Path(root or os.getcwd()).resolve()
+        self.cache = cache if cache is not None else SourceCache()
         #: only discover kinds some active rule can act on
         self.kinds = {kind for rule in self.rules
                       for kind in rule.file_kinds}
@@ -127,7 +129,7 @@ class LintEngine:
         files = {kind: 0 for kind in sorted(self.kinds)}
         suppressed = 0
         for path, kind in self.discover(paths):
-            ctx = FileContext(path, self.root, kind)
+            ctx = FileContext(path, self.root, kind, cache=self.cache)
             files[kind] += 1
             active = [rule for rule in self.rules
                       if kind in rule.file_kinds

@@ -1,0 +1,66 @@
+"""Shared source/AST cache for the static-analysis tools.
+
+Both the per-file contract linter (:mod:`repro.analysis.lint`) and the
+whole-program flow verifier (:mod:`repro.analysis.flow`) need the text
+and parsed AST of every Python file in the tree.  Parsing dominates
+their wall-clock, so when the two run in one process (the combined
+``python -m repro.analysis`` runner that ``scripts/ci.sh`` invokes)
+they share one :class:`SourceCache`: each file is read and parsed
+**exactly once**, regardless of how many tools or passes consume it.
+
+``parses`` counts actual ``ast.parse`` calls — the cache-sharing tests
+pin that it never exceeds the number of distinct files.
+"""
+
+import ast
+import os
+
+
+class SourceFile:
+    """One file's text, split lines, and lazily-parsed AST.
+
+    ``tree`` raises ``SyntaxError`` for a broken file, exactly like
+    calling ``ast.parse`` directly — consumers decide whether that is a
+    finding (the lint engine) or a skipped module (the flow index).
+    """
+
+    def __init__(self, path, cache=None):
+        self.path = path
+        with open(path, "r", encoding="utf-8") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self._tree = None
+        self._error = None
+        self._cache = cache
+
+    @property
+    def tree(self):
+        if self._error is not None:
+            raise self._error
+        if self._tree is None:
+            if self._cache is not None:
+                self._cache.parses += 1
+            try:
+                self._tree = ast.parse(self.text, filename=str(self.path))
+            except SyntaxError as exc:
+                self._error = exc
+                raise
+        return self._tree
+
+
+class SourceCache:
+    """Process-wide ``abspath -> SourceFile`` cache."""
+
+    def __init__(self):
+        self._files = {}
+        self.parses = 0          # actual ast.parse calls performed
+
+    def __len__(self):
+        return len(self._files)
+
+    def get(self, path):
+        key = os.path.abspath(path)
+        sf = self._files.get(key)
+        if sf is None:
+            sf = self._files[key] = SourceFile(key, cache=self)
+        return sf

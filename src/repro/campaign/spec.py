@@ -40,6 +40,9 @@ class CampaignCell:
     the :class:`~repro.campaign.cache.CellCache`.
     """
 
+    # two campaigns whose matrices order the same cell differently MUST
+    # share its cache entry, so `index` stays outside the content address
+    # flow: fingerprint-exempt(matrix position only, not simulated state)
     index: int
     kind: str                    # WORKLOAD | ATTACK
     name: str

@@ -128,9 +128,8 @@ class TraceMemoTable:
         h.update(f"|period:{machine.sampler.period}".encode())
         h.update(f"|budget:{max_cycles}".encode())
         h.update(f"|regs:{','.join(map(str, cpu.arch_regs))}".encode())
-        words = machine.memory._words
-        for addr in sorted(words):
-            h.update(f"|m{addr}={words[addr]}".encode())
+        for addr, value in machine.memory.snapshot():
+            h.update(f"|m{addr}={value}".encode())
         return h.hexdigest()
 
     # -- record/replay ------------------------------------------------------------
@@ -155,7 +154,7 @@ class TraceMemoTable:
             fetch_pc=cpu.fetch_pc,
             trap_handler=cpu.trap_handler,
             regs=tuple(cpu.arch_regs),
-            memory_words=tuple(sorted(machine.memory._words.items())),
+            memory_words=machine.memory.snapshot(),
             counter_values=tuple(machine.counters.values),
             samples=tuple(
                 (s.window_index, s.commit_index, s.cycle,
@@ -191,9 +190,7 @@ class TraceMemoTable:
         # in place: fast-path code holds preresolved references into the
         # bank (see CounterBank)
         machine.counters.values[:] = record.counter_values
-        words = machine.memory._words
-        words.clear()
-        words.update(record.memory_words)
+        machine.memory.load_snapshot(record.memory_words)
         sampler = machine.sampler
         sampler.samples = [
             Sample(window_index=w, commit_index=ci, cycle=cy,

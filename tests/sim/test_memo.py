@@ -55,7 +55,7 @@ class TestReplayBitExactness:
         assert [(p.commit_index, p.phase) for p in r2.phase_marks] == \
             [(p.commit_index, p.phase) for p in r1.phase_marks]
         # architectural side effects restored on the machine itself
-        assert m2.memory._words == m1.memory._words
+        assert m2.memory.snapshot() == m1.memory.snapshot()
         assert m2.cycle == m1.cycle
         assert m2.cpu.cycle == m1.cpu.cycle
         assert m2.cpu.halted == m1.cpu.halted
